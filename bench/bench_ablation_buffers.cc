@@ -1,0 +1,86 @@
+// Ablation: MGPV buffer geometry. The prototype uses 4-cell short buffers
+// (x16384) and 20-cell long buffers (x4096) (§7); this sweep shows why —
+// the aggregation ratio and the long-buffer hit behavior across geometries
+// and traces.
+#include <cstdio>
+
+#include "apps/policies.h"
+#include "common/table.h"
+#include "net/trace_gen.h"
+#include "policy/compile.h"
+#include "switchsim/fe_switch.h"
+
+namespace superfe {
+namespace {
+
+class NullMgpvSink : public MgpvSink {
+ public:
+  void OnMgpv(const MgpvReport&) override {}
+  void OnFgSync(const FgSyncMessage&) override {}
+};
+
+void Run() {
+  std::printf("== Ablation: MGPV buffer geometry (TF policy) ==\n");
+  std::printf("(prototype default: short 4 x 16384, long 20 x 4096)\n\n");
+
+  auto app = AppPolicyByName("TF");
+  auto compiled = Compile(app->policy);
+
+  struct Geometry {
+    uint32_t short_size;
+    uint32_t long_size;
+    uint32_t long_buffers;
+  };
+  const Geometry kGeometries[] = {
+      {1, 20, 4096}, {2, 20, 4096}, {4, 20, 4096}, {8, 20, 4096},
+      {4, 0, 0},     {4, 8, 4096},  {4, 40, 4096}, {4, 20, 512},
+  };
+
+  AsciiTable table({"Trace", "Short", "Long", "Rate ratio", "Byte ratio", "Long allocs",
+                    "Alloc fails", "Switch SRAM"});
+  for (const TraceProfile& profile : PaperProfiles()) {
+    const Trace trace = GenerateTrace(profile, 200000, 0xab1);
+    for (const Geometry& geometry : kGeometries) {
+      MgpvConfig config = FeSwitch::DefaultConfig(*compiled);
+      config.short_size = geometry.short_size;
+      config.long_size = geometry.long_size == 0 ? 1 : geometry.long_size;
+      config.long_buffers = geometry.long_buffers;
+
+      NullMgpvSink sink;
+      FeSwitch fe(*compiled, &sink, config);
+      for (const auto& pkt : trace.packets()) {
+        fe.OnPacket(pkt);
+      }
+      fe.Flush();
+      const MgpvStats& stats = fe.cache().stats();
+      char geom_short[16];
+      char geom_long[24];
+      std::snprintf(geom_short, sizeof(geom_short), "%u", geometry.short_size);
+      if (geometry.long_buffers == 0) {
+        std::snprintf(geom_long, sizeof(geom_long), "none");
+      } else {
+        std::snprintf(geom_long, sizeof(geom_long), "%u x %u", geometry.long_size,
+                      geometry.long_buffers);
+      }
+      table.AddRow({profile.name, geom_short, geom_long,
+                    AsciiTable::Percent(stats.MessageRatio(), 1),
+                    AsciiTable::Percent(stats.ByteRatio(), 1),
+                    std::to_string(stats.long_allocs),
+                    std::to_string(stats.long_alloc_failures),
+                    AsciiTable::Num(config.MemoryFootprintBytes() / 1048576.0, 2) + " MB"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: bigger short buffers improve aggregation but cost SRAM linearly;\n"
+      "long buffers absorb heavy-tailed flows (biggest effect on MAWI); too few long\n"
+      "buffers show up as allocation failures. The 4/20 default balances all three.\n");
+}
+
+}  // namespace
+}  // namespace superfe
+
+int main() {
+  superfe::Run();
+  return 0;
+}

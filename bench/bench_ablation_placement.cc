@@ -1,0 +1,125 @@
+// Ablation: group-table placement strategy on the NIC (§6.2's ILP vs
+// simpler alternatives) — per-packet state-access latency and the resulting
+// FE-NIC throughput.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "apps/policies.h"
+#include "common/table.h"
+#include "nicsim/placement.h"
+#include "policy/compile.h"
+
+namespace superfe {
+namespace {
+
+// All states forced to EMEM (the no-placement baseline).
+PlacementResult AllEmem(const PlacementProblem& problem) {
+  PlacementResult result;
+  result.assignment.assign(problem.states.size(), MemLevel::kEmem);
+  result.optimal = false;
+  for (size_t i = 0; i < problem.states.size(); ++i) {
+    result.level_bytes[static_cast<int>(MemLevel::kEmem)] += problem.states[i].bytes;
+    result.objective += static_cast<uint64_t>(std::max<uint32_t>(
+                            problem.states[i].accesses_per_packet, 1)) *
+                        problem.arch.memory(MemLevel::kEmem).latency_cycles;
+  }
+  return result;
+}
+
+// Greedy: most-accessed state first into the fastest level with room.
+PlacementResult Greedy(const PlacementProblem& problem) {
+  // SolvePlacement's fallback is exactly the greedy; reuse it by forcing
+  // the B&B to be skipped via a copy with a huge instance is not possible,
+  // so re-implement the simple loop here.
+  PlacementResult result;
+  result.assignment.assign(problem.states.size(), MemLevel::kEmem);
+  result.optimal = false;
+  std::vector<size_t> order(problem.states.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return problem.states[a].accesses_per_packet > problem.states[b].accesses_per_packet;
+  });
+  const uint64_t groups =
+      static_cast<uint64_t>(problem.groups_per_granularity) * problem.granularity_instances;
+  std::array<uint64_t, kNumMemLevels> used{};
+  for (size_t i : order) {
+    int chosen = static_cast<int>(MemLevel::kEmem);
+    for (int level = 0; level < kNumMemLevels; ++level) {
+      const MemLevelSpec& spec = problem.arch.memories[level];
+      const uint32_t width = std::max<uint32_t>(problem.table_width[level], 1);
+      const uint64_t bus_budget = spec.level == MemLevel::kEmem
+                                      ? UINT64_MAX
+                                      : (spec.bus_bytes / width > problem.key_bytes
+                                             ? spec.bus_bytes / width - problem.key_bytes
+                                             : 0);
+      const uint64_t cap_budget =
+          groups > 0 ? (spec.capacity_bytes / groups > problem.key_bytes
+                            ? spec.capacity_bytes / groups - problem.key_bytes
+                            : 0)
+                     : UINT64_MAX;
+      if (used[level] + problem.states[i].bytes <= bus_budget &&
+          used[level] + problem.states[i].bytes <= cap_budget) {
+        chosen = level;
+        break;
+      }
+    }
+    used[chosen] += problem.states[i].bytes;
+    result.assignment[i] = static_cast<MemLevel>(chosen);
+    result.level_bytes[chosen] += problem.states[i].bytes;
+    result.objective += static_cast<uint64_t>(std::max<uint32_t>(
+                            problem.states[i].accesses_per_packet, 1)) *
+                        problem.arch.memories[chosen].latency_cycles;
+  }
+  return result;
+}
+
+void Run() {
+  std::printf("== Ablation: NIC group-table placement strategy ==\n\n");
+
+  AsciiTable table({"App", "Strategy", "Objective (cycles)", "Latency/pkt (cycles)",
+                    "Levels used"});
+  for (const char* name : {"TF", "N-BaIoT", "NPOD", "Kitsune"}) {
+    auto app = AppPolicyByName(name);
+    auto compiled = Compile(app->policy);
+    PlacementProblem problem;
+    problem.states = compiled->nic_program.states;
+    problem.key_bytes = compiled->switch_program.FgKeyBytes();
+    problem.table_width = DefaultTableWidths(compiled->nic_program.StateBytesPerGroup());
+
+    struct Row {
+      const char* strategy;
+      PlacementResult result;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"ILP (SuperFE)", std::move(SolvePlacement(problem)).value()});
+    rows.push_back({"greedy", Greedy(problem)});
+    rows.push_back({"all-EMEM", AllEmem(problem)});
+
+    for (const Row& row : rows) {
+      int levels = 0;
+      for (uint64_t bytes : row.result.level_bytes) {
+        levels += bytes > 0 ? 1 : 0;
+      }
+      table.AddRow({name, row.strategy, std::to_string(row.result.objective),
+                    std::to_string(row.result.LatencyPerPacket(problem.arch, problem.states)),
+                    std::to_string(levels)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the ILP never loses to greedy and both beat all-EMEM; with few state\n"
+      "items the greedy often matches the ILP (the paper's instances are small, which\n"
+      "is also why solving the ILP at policy-install time is cheap).\n");
+}
+
+}  // namespace
+}  // namespace superfe
+
+int main() {
+  superfe::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig 13: resource efficiency of MGPV vs \*Flow's single-granularity GPV
+// when applications group at 1 / 2 / 3 granularities (TF / N-BaIoT /
+// Kitsune). GPV needs one full cache instance per granularity (memory and
+// switch->NIC bandwidth scale linearly); MGPV stores each packet's metadata
+// once and re-splits on the NIC.
+#include <cstdio>
+#include <memory>
+
+#include "apps/policies.h"
+#include "common/table.h"
+#include "net/trace_gen.h"
+#include "policy/compile.h"
+#include "switchsim/fe_switch.h"
+
+namespace superfe {
+namespace {
+
+class NullMgpvSink : public MgpvSink {
+ public:
+  void OnMgpv(const MgpvReport&) override {}
+  void OnFgSync(const FgSyncMessage&) override {}
+};
+
+void Run() {
+  std::printf("== Fig 13: MGPV vs GPV with multi-granularity applications ==\n\n");
+
+  const char* kApps[] = {"TF", "N-BaIoT", "Kitsune"};
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 250000, 0xf13);
+
+  AsciiTable table({"App", "Granularities", "MGPV memory", "GPV memory", "MGPV to-NIC",
+                    "GPV to-NIC"});
+  for (const char* name : kApps) {
+    auto app = AppPolicyByName(name);
+    auto compiled = Compile(app->policy);
+    const auto& chain = compiled->switch_program.chain;
+
+    // MGPV: one cache for the whole chain.
+    uint64_t mgpv_bytes_out = 0;
+    uint64_t mgpv_memory = 0;
+    {
+      NullMgpvSink sink;
+      FeSwitch fe(*compiled, &sink);
+      for (const auto& pkt : trace.packets()) {
+        fe.OnPacket(pkt);
+      }
+      fe.Flush();
+      mgpv_bytes_out = fe.cache().stats().bytes_out;
+      mgpv_memory = fe.cache().config().MemoryFootprintBytes();
+    }
+
+    // GPV baseline: one full single-granularity cache per granularity, each
+    // seeing all (filtered) packets.
+    uint64_t gpv_bytes_out = 0;
+    uint64_t gpv_memory = 0;
+    for (Granularity g : chain) {
+      MgpvConfig config = FeSwitch::DefaultConfig(*compiled);
+      config.cg = g;
+      config.fg = g;
+      config.multi_granularity = false;
+      NullMgpvSink sink;
+      MgpvCache cache(config, &sink);
+      for (const auto& pkt : trace.packets()) {
+        if (compiled->switch_program.filter.Matches(pkt)) {
+          cache.Insert(pkt);
+        }
+      }
+      cache.Flush();
+      gpv_bytes_out += cache.stats().bytes_out;
+      gpv_memory += config.MemoryFootprintBytes();
+    }
+
+    table.AddRow({name, std::to_string(chain.size()),
+                  AsciiTable::Num(mgpv_memory / 1048576.0, 2) + " MB",
+                  AsciiTable::Num(gpv_memory / 1048576.0, 2) + " MB",
+                  AsciiTable::Num(mgpv_bytes_out / 1048576.0, 2) + " MB",
+                  AsciiTable::Num(gpv_bytes_out / 1048576.0, 2) + " MB"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: MGPV's footprint and switch->NIC traffic stay roughly constant\n"
+      "as granularities grow, while GPV scales linearly with the chain length.\n");
+}
+
+}  // namespace
+}  // namespace superfe
+
+int main() {
+  superfe::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 14: effect of the aging mechanism — aggregation ratio and buffer
+// efficiency (fraction of cached entries belonging to recently active
+// flows) as a function of the timeout T, per workload trace.
+#include <cstdio>
+
+#include "apps/policies.h"
+#include "common/table.h"
+#include "net/trace_gen.h"
+#include "policy/compile.h"
+#include "switchsim/fe_switch.h"
+
+namespace superfe {
+namespace {
+
+class NullMgpvSink : public MgpvSink {
+ public:
+  void OnMgpv(const MgpvReport&) override {}
+  void OnFgSync(const FgSyncMessage&) override {}
+};
+
+void Run() {
+  std::printf("== Fig 14: optimization of the aging design (TF policy) ==\n");
+  std::printf("(buffer efficiency = active flows among cached entries, 10 ms window)\n\n");
+
+  auto app = AppPolicyByName("TF");
+  auto compiled = Compile(app->policy);
+
+  const uint64_t kTimeoutsMs[] = {0, 2, 5, 10, 20, 50, 100, 200};
+
+  AsciiTable table({"Trace", "T (ms)", "Byte ratio", "Aging evictions", "Buffer efficiency",
+                    "Occupancy"});
+  for (const TraceProfile& profile : PaperProfiles()) {
+    const Trace trace = GenerateTrace(profile, 250000, 0xf14);
+    for (uint64_t timeout_ms : kTimeoutsMs) {
+      MgpvConfig config = FeSwitch::DefaultConfig(*compiled);
+      config.aging_timeout_ns = timeout_ms * 1000000ull;
+      config.aging_scan_per_packet = 4;
+
+      NullMgpvSink sink;
+      FeSwitch fe(*compiled, &sink, config);
+      double efficiency_sum = 0.0;
+      int samples = 0;
+      size_t count = 0;
+      for (const auto& pkt : trace.packets()) {
+        fe.OnPacket(pkt);
+        if (++count % 25000 == 0) {
+          efficiency_sum += fe.cache().BufferEfficiency(10000000ull);  // 10 ms.
+          ++samples;
+        }
+      }
+      const double occupancy = fe.cache().Occupancy();
+      fe.Flush();
+      const MgpvStats& stats = fe.cache().stats();
+      table.AddRow({profile.name, timeout_ms == 0 ? "off" : std::to_string(timeout_ms),
+                    AsciiTable::Percent(stats.ByteRatio(), 1),
+                    std::to_string(stats.evictions[static_cast<int>(EvictReason::kAging)]),
+                    AsciiTable::Percent(samples > 0 ? efficiency_sum / samples : 1.0, 1),
+                    AsciiTable::Percent(occupancy, 1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: aging raises buffer efficiency (entries track live flows); too\n"
+      "small T inflates the eviction ratio, too large T degenerates to no aging; the\n"
+      "sweet spot depends on the trace's flow-length distribution.\n");
+}
+
+}  // namespace
+}  // namespace superfe
+
+int main() {
+  superfe::Run();
+  return 0;
+}

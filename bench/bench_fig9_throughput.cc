@@ -1,0 +1,76 @@
+// Fig 9: throughput of SuperFE-accelerated traffic analysis applications
+// vs their original software implementations.
+//
+// For each of the four §8.3 applications (TF, N-BaIoT, NPOD, Kitsune):
+//  - SuperFE: raw-traffic rate the switch+NIC pipeline sustains (NIC cycle
+//    model at 120 cores behind the 3.3 Tb/s switch) and the feature-vector
+//    output rate;
+//  - Software: the measured C++ extraction pipeline mapped onto the
+//    original deployment (port mirroring, 16 cores, interpreter overhead of
+//    the original Python-based implementations).
+#include <cstdio>
+
+#include "apps/policies.h"
+#include "common/table.h"
+#include "core/runtime.h"
+#include "core/software_extractor.h"
+#include "net/trace_gen.h"
+
+namespace superfe {
+namespace {
+
+class NullSink : public FeatureSink {
+ public:
+  void OnFeatureVector(FeatureVector&&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+void Run() {
+  std::printf("== Fig 9: multi-100Gbps performance ==\n\n");
+
+  const Trace trace = GenerateTrace(MawiIxpProfile(), 300000, 0xf19);
+  const char* kApps[] = {"TF", "N-BaIoT", "NPOD", "Kitsune"};
+
+  AsciiTable table({"Application", "SuperFE raw traffic", "SuperFE features out",
+                    "Bottleneck", "Software (original)", "Speedup"});
+  for (const char* name : kApps) {
+    auto app = AppPolicyByName(name);
+    if (!app.ok()) {
+      continue;
+    }
+    auto runtime = SuperFeRuntime::Create(app->policy, RuntimeConfig{});
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, runtime.status().ToString().c_str());
+      continue;
+    }
+    NullSink sink;
+    const RunReport report = (*runtime)->Run(trace, &sink);
+
+    auto compiled = Compile(app->policy);
+    auto software = SoftwareExtractor::Create(*compiled);
+    NullSink sw_sink;
+    const SoftwareRunReport sw = (*software)->Run(trace, &sw_sink, SoftwareDeployment{});
+
+    const double speedup = sw.deployed_gbps > 0.0 ? report.sustainable_gbps / sw.deployed_gbps
+                                                  : 0.0;
+    table.AddRow({name, AsciiTable::Num(report.sustainable_gbps, 0) + " Gbps",
+                  AsciiTable::Num(report.feature_output_gbps, 2) + " Gbps", report.bottleneck,
+                  AsciiTable::Num(sw.deployed_gbps, 2) + " Gbps",
+                  AsciiTable::Num(speedup, 0) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: SuperFE sustains multi-100Gbps raw traffic, emits feature\n"
+      "vectors at ~Gbps, and exceeds the software baseline by ~2 orders of magnitude.\n");
+}
+
+}  // namespace
+}  // namespace superfe
+
+int main() {
+  superfe::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Dependency-graph granularities (§9 "More complex granularity dependency
+// relationships"): when an application needs granularities that form a DAG
+// rather than a chain, SuperFE splits the DAG into a minimum set of
+// dependency chains and deploys one MGPV instance (one policy) per chain.
+//
+//   ./dependency_graph
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "net/trace_gen.h"
+#include "policy/granularity_graph.h"
+#include "policy/parser.h"
+
+using namespace superfe;
+
+int main() {
+  // 1. A future-style analysis wants features at four granularities whose
+  //    refinements form a diamond, not a chain:
+  //
+  //            host
+  //           /    \.
+  //      channel   host-port (srcIP x dstPort service mix)
+  //           \    /
+  //           socket
+  GranularityGraph graph;
+  const int host = graph.AddNode("host");
+  const int channel = graph.AddNode("channel");
+  const int host_port = graph.AddNode("host-port");
+  const int socket = graph.AddNode("socket");
+  (void)graph.AddEdge(host, channel);
+  (void)graph.AddEdge(host, host_port);
+  (void)graph.AddEdge(channel, socket);
+  (void)graph.AddEdge(host_port, socket);
+
+  auto chains = graph.SplitIntoMinimumChains();
+  if (!chains.ok()) {
+    std::fprintf(stderr, "%s\n", chains.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Granularity DAG with %d nodes splits into %zu dependency chains:\n",
+              graph.node_count(), chains->size());
+  for (const auto& chain : *chains) {
+    std::printf("  chain:");
+    for (int node : chain) {
+      std::printf(" %s", graph.name(node).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 2. Each chain maps onto one MGPV instance. The built-in granularities
+  //    cover the first chain directly; the host-port granularity of the
+  //    second chain is approximated here with its closest built-in
+  //    refinement (socket), showing the two pipelines running side by side.
+  const char* kChainPolicies[] = {
+      R"(
+pktstream
+  .groupby(host, channel, socket)
+  .reduce(size, [f_mean{decay=1}, f_std{decay=1}])
+  .collect(pkt)
+)",
+      R"(
+pktstream
+  .groupby(host, socket)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(ipt, [f_mean{decay=1}])
+  .collect(pkt)
+)",
+  };
+
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 30000, 11);
+  for (size_t i = 0; i < std::size(kChainPolicies); ++i) {
+    auto policy = ParsePolicy("chain" + std::to_string(i), kChainPolicies[i]);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 1;
+    }
+    auto runtime = SuperFeRuntime::Create(*policy, RuntimeConfig{});
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+      return 1;
+    }
+    CollectingFeatureSink sink;
+    const RunReport report = (*runtime)->Run(trace, &sink);
+    std::printf(
+        "chain %zu: %zu-granularity MGPV, %u features/vector, %zu vectors, "
+        "%.1f%% of bytes to the NIC\n",
+        i, (*runtime)->compiled().switch_program.chain.size(),
+        (*runtime)->compiled().nic_program.FeatureDimension(), sink.vectors().size(),
+        report.mgpv.ByteRatio() * 100.0);
+  }
+  std::printf(
+      "\nEach chain runs its own MGPV cache; a dependency graph costs one cache per\n"
+      "chain of the minimum cover rather than one per granularity.\n");
+  return 0;
+}

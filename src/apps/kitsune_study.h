@@ -1,0 +1,69 @@
+// Shared harness for the Kitsune application study (§8.3, Figs 10-11):
+// extracts 115-dim per-packet features through the full SuperFE pipeline,
+// re-associates packet labels with emitted vectors, and trains/evaluates a
+// KitNET detector.
+#ifndef SUPERFE_APPS_KITSUNE_STUDY_H_
+#define SUPERFE_APPS_KITSUNE_STUDY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feature_vector.h"
+#include "net/attack_gen.h"
+
+namespace superfe {
+
+// Associates emitted feature vectors with the original packets' labels.
+// Per-socket packet order is preserved end to end (MGPV is order-preserving
+// within a group, §5.1), so the i-th vector of a socket corresponds to the
+// i-th packet of that socket.
+class PacketLabelOracle {
+ public:
+  explicit PacketLabelOracle(const LabeledTrace& trace);
+
+  // Label of the next vector for this FG group (consumes one slot).
+  int NextLabel(const GroupKey& fg_key);
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> labels_;
+  std::map<std::string, size_t> cursor_;
+};
+
+struct DetectionResult {
+  std::string attack;
+  uint64_t train_vectors = 0;
+  uint64_t test_vectors = 0;
+  double auc = 0.0;
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double threshold = 0.0;
+};
+
+struct KitsuneStudyConfig {
+  size_t background_packets = 60000;
+  size_t attack_packets = 15000;
+  double train_fraction = 0.45;  // Attack starts at 0.5 of the timeline.
+  uint64_t seed = 1234;
+  // When false, extract features with exact software arithmetic instead of
+  // the SuperFE pipeline (ablation).
+  bool use_superfe = true;
+};
+
+// Runs the full study for one attack type.
+Result<DetectionResult> RunKitsuneDetection(AttackType attack, const KitsuneStudyConfig& config);
+
+// Extracts per-packet Kitsune features through SuperFE for a labeled trace;
+// returns vectors paired with labels in emission order.
+struct LabeledFeatures {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+  std::vector<uint64_t> timestamps;
+};
+Result<LabeledFeatures> ExtractKitsuneFeatures(const LabeledTrace& trace, bool use_superfe);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_APPS_KITSUNE_STUDY_H_

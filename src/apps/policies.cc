@@ -1,0 +1,240 @@
+#include "apps/policies.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "policy/parser.h"
+
+namespace superfe {
+namespace {
+
+// Parses a policy and aborts on failure: the sources below are library
+// constants, so a parse error is a programming bug (tests cover each one).
+Policy MustParse(const std::string& name, const std::string& source) {
+  auto parsed = ParsePolicy(name, source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "internal policy error: %s\n", parsed.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(parsed).value();
+}
+
+std::string FormatLambda(double lambda) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", lambda);
+  return buf;
+}
+
+}  // namespace
+
+Policy CumulPolicy() {
+  // CUMUL (Panchenko et al., NDSS'16): 4 base features (packet/byte counts,
+  // net direction counts) + 100 interpolation points of the cumulative
+  // directional byte trace.
+  return MustParse("CUMUL", R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(dirone, one, f_direction)
+  .map(dirsize, size, f_direction)
+  .reduce(one, [f_sum])
+  .reduce(size, [f_sum])
+  .reduce(dirone, [f_sum])
+  .reduce(dirsize, [f_sum])
+  .reduce(dirsize, [f_array{5000}])
+  .synthesize(f_marker(dirsize.f_array))
+  .synthesize(ft_sample(dirsize.f_array, 100))
+  .collect(flow)
+)");
+}
+
+namespace {
+
+// AWF / DF / TF share the Fig 5 direction-sequence policy (fixed-length
+// 5000 sequence of +-1).
+Policy DirectionSequencePolicy(const std::string& name) {
+  return MustParse(name, R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(direction, one, f_direction)
+  .reduce(direction, [f_array{5000}])
+  .collect(flow)
+)");
+}
+
+}  // namespace
+
+Policy AwfPolicy() { return DirectionSequencePolicy("AWF"); }
+Policy DfPolicy() { return DirectionSequencePolicy("DF"); }
+Policy TfPolicy() { return DirectionSequencePolicy("TF"); }
+
+Policy PeerSharkPolicy() {
+  // PeerShark (Narang et al.): per-IP-pair conversation features — packet
+  // count, mean payload size, median-ish inter-arrival, conversation span.
+  return MustParse("PeerShark", R"(
+pktstream
+  .groupby(channel)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(one, [f_sum])
+  .reduce(size, [f_mean])
+  .reduce(ipt, [f_mean, f_max])
+  .collect(channel)
+)");
+}
+
+Policy NBaiotPolicy() {
+  // N-BaIoT (Meidan et al.): damped-window statistics at host and channel
+  // granularity over 5 decay windows; 13 features per window = 65.
+  std::string source = R"(
+pktstream
+  .groupby(host, channel)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+)";
+  for (double lambda : KitsuneLambdas()) {
+    const std::string l = FormatLambda(lambda);
+    source += "  .reduce(one, [f_sum{decay=" + l + "}], host)\n";
+    source += "  .reduce(size, [f_mean{decay=" + l + "}, f_std{decay=" + l + "}], host)\n";
+    source += "  .reduce(one, [f_sum{decay=" + l + "}], channel)\n";
+    source += "  .reduce(size, [f_mean{decay=" + l + "}, f_std{decay=" + l + "}, f_mag{decay=" +
+              l + "}, f_radius{decay=" + l + "}, f_cov{decay=" + l + "}, f_pcc{decay=" + l +
+              "}], channel)\n";
+    source += "  .reduce(ipt, [f_mean{decay=" + l + "}, f_std{decay=" + l + "}, f_sum{decay=" +
+              l + "}], channel)\n";
+  }
+  source += "  .collect(pkt)\n";
+  return MustParse("N-BaIoT", source);
+}
+
+Policy MptdPolicy() {
+  // MPTD (Barradas et al., USENIX Sec'18): rich per-flow statistics of
+  // packet sizes, inter-arrival times and instantaneous rate — moments,
+  // extrema, deciles and 64-bucket frequency distributions (166 features).
+  std::string source = R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+  .map(speed, size, f_speed)
+  .reduce(one, [f_sum])
+  .reduce(size, [f_sum, f_mean, f_var, f_std, f_min, f_max, f_skew, f_kur])
+  .reduce(ipt, [f_mean, f_var, f_std, f_min, f_max, f_skew, f_kur])
+  .reduce(speed, [f_mean, f_var, f_min, f_max])
+)";
+  for (int d = 1; d <= 9; ++d) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "  .reduce(size, [ft_percent{0.%d}])\n", d);
+    source += line;
+  }
+  for (int d = 1; d <= 9; ++d) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "  .reduce(ipt, [ft_percent{0.%d}])\n", d);
+    source += line;
+  }
+  source += R"(
+  .reduce(size, [ft_hist{24, 64}])
+  .reduce(ipt, [ft_hist{250000, 64}])
+  .collect(flow)
+)";
+  return MustParse("MPTD", source);
+}
+
+Policy NpodPolicy() {
+  // NPOD (Wang et al., CCS'15): packet-size and inter-arrival frequency
+  // distributions per flow plus basic statistics (37 features); Fig 4.
+  return MustParse("NPOD", R"(
+pktstream
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(one, [f_sum])
+  .reduce(size, [ft_hist{100, 16}])
+  .reduce(ipt, [ft_hist{10000, 16}])
+  .reduce(size, [f_mean, f_std])
+  .reduce(ipt, [f_mean, f_std])
+  .collect(flow)
+)");
+}
+
+namespace {
+
+// Kitsune-style damped-window policy over a granularity chain.
+//   host:    weight + size mean/std                          (3)
+//   channel: weight + size mean/std + 2D stats [+ jitter]    (7 or 10)
+//   socket:  weight + size mean/std + 2D stats + jitter      (10)
+Policy DampedChainPolicy(const std::string& name, bool channel_jitter, bool with_socket) {
+  std::string source = "\npktstream\n  .groupby(host, channel";
+  if (with_socket) {
+    source += ", socket";
+  }
+  source += ")\n  .map(one, _, f_one)\n  .map(ipt, tstamp, f_ipt)\n";
+  for (double lambda : KitsuneLambdas()) {
+    const std::string l = FormatLambda(lambda);
+    auto stats_block = [&](const std::string& gran, bool jitter) {
+      source += "  .reduce(one, [f_sum{decay=" + l + "}], " + gran + ")\n";
+      if (gran == "host") {
+        source += "  .reduce(size, [f_mean{decay=" + l + "}, f_std{decay=" + l + "}], host)\n";
+        return;
+      }
+      source += "  .reduce(size, [f_mean{decay=" + l + "}, f_std{decay=" + l +
+                "}, f_mag{decay=" + l + "}, f_radius{decay=" + l + "}, f_cov{decay=" + l +
+                "}, f_pcc{decay=" + l + "}], " + gran + ")\n";
+      if (jitter) {
+        source += "  .reduce(ipt, [f_sum{decay=" + l + "}, f_mean{decay=" + l +
+                  "}, f_std{decay=" + l + "}], " + gran + ")\n";
+      }
+    };
+    stats_block("host", false);
+    stats_block("channel", channel_jitter);
+    if (with_socket) {
+      stats_block("socket", true);
+    }
+  }
+  source += "  .collect(pkt)\n";
+  return MustParse(name, source);
+}
+
+}  // namespace
+
+Policy HeladPolicy() {
+  // HELAD (Zhong et al.): Kitsune-like damped statistics at host / channel /
+  // socket without channel jitter: (3 + 7 + 10) x 5 = 100 features.
+  return DampedChainPolicy("HELAD", /*channel_jitter=*/false, /*with_socket=*/true);
+}
+
+Policy KitsunePolicy() {
+  // Kitsune (Mirsky et al., NDSS'18): damped incremental statistics over
+  // host / channel / socket with jitter: (3 + 10 + 10) x 5 = 115 features.
+  return DampedChainPolicy("Kitsune", /*channel_jitter=*/true, /*with_socket=*/true);
+}
+
+std::vector<AppPolicy> AllAppPolicies() {
+  return {
+      {"CUMUL", "Website fingerprinting", 104, 29, CumulPolicy()},
+      {"AWF", "Website fingerprinting", 5000, 9, AwfPolicy()},
+      {"DF", "Website fingerprinting", 5000, 9, DfPolicy()},
+      {"TF", "Website fingerprinting", 5000, 9, TfPolicy()},
+      {"PeerShark", "Botnet detection", 4, 22, PeerSharkPolicy()},
+      {"N-BaIoT", "Botnet detection", 65, 34, NBaiotPolicy()},
+      {"MPTD", "Covert channel detection", 166, 101, MptdPolicy()},
+      {"NPOD", "Covert channel detection", 37, 24, NpodPolicy()},
+      {"HELAD", "Intrusion detection", 100, 49, HeladPolicy()},
+      {"Kitsune", "Intrusion detection", 115, 49, KitsunePolicy()},
+  };
+}
+
+Result<AppPolicy> AppPolicyByName(const std::string& name) {
+  for (auto& app : AllAppPolicies()) {
+    if (app.name == name) {
+      return app;
+    }
+  }
+  return Status::NotFound("no Table 3 application named '" + name + "'");
+}
+
+}  // namespace superfe

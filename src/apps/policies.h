@@ -1,0 +1,50 @@
+// The ten state-of-the-art feature extractors of Table 3, re-implemented as
+// SuperFE policies (§8.2). Each returns the policy DSL source plus the
+// paper's reference numbers (feature dimension, LoC) for the Table 3 bench.
+#ifndef SUPERFE_APPS_POLICIES_H_
+#define SUPERFE_APPS_POLICIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "policy/ast.h"
+
+namespace superfe {
+
+struct AppPolicy {
+  std::string name;
+  std::string objective;      // "Website fingerprinting", ...
+  uint32_t paper_dimension;   // Feature dimension reported in Table 3.
+  uint32_t paper_loc;         // LoC reported in Table 3.
+  Policy policy;
+};
+
+// Kitsune's damped-window lambdas (5 windows).
+inline const std::vector<double>& KitsuneLambdas() {
+  static const std::vector<double> lambdas = {5.0, 3.0, 1.0, 0.1, 0.01};
+  return lambdas;
+}
+
+// Individual policies (parsed + validated; aborts on internal DSL errors,
+// which are covered by tests).
+Policy CumulPolicy();      // Website fingerprinting, 104 dims.
+Policy AwfPolicy();        // Website fingerprinting, 5000 dims.
+Policy DfPolicy();         // Website fingerprinting, 5000 dims.
+Policy TfPolicy();         // Website fingerprinting, 5000 dims.
+Policy PeerSharkPolicy();  // Botnet detection, 4 dims.
+Policy NBaiotPolicy();     // Botnet detection, 65 dims.
+Policy MptdPolicy();       // Covert channel detection, 166 dims.
+Policy NpodPolicy();       // Covert channel detection, 37 dims.
+Policy HeladPolicy();      // Intrusion detection, 100 dims.
+Policy KitsunePolicy();    // Intrusion detection, 115 dims.
+
+// All ten, in Table 3 order.
+std::vector<AppPolicy> AllAppPolicies();
+
+// Lookup by Table 3 name ("CUMUL", "Kitsune", ...).
+Result<AppPolicy> AppPolicyByName(const std::string& name);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_APPS_POLICIES_H_

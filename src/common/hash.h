@@ -1,0 +1,33 @@
+// Hash functions used by the switch and NIC simulators.
+//
+// The Tofino data plane exposes CRC-based hash units; the NFP reuses the
+// switch-computed hash index when the optimization is enabled (§6.2). Both
+// simulators therefore share these implementations.
+#ifndef SUPERFE_COMMON_HASH_H_
+#define SUPERFE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace superfe {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Matches the polynomial available
+// in Tofino hash engines.
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+// MurmurHash3 x86 32-bit finalizer-based hash; used where a second
+// independent hash function is needed (e.g. HyperLogLog bucketing).
+uint32_t Murmur3(const void* data, size_t length, uint32_t seed = 0);
+
+// 64-bit avalanche mix (splitmix64 finalizer). Good for hashing small
+// integer keys.
+uint64_t Mix64(uint64_t x);
+
+// Combines two hash values (boost-style).
+inline uint32_t HashCombine(uint32_t a, uint32_t b) {
+  return a ^ (b + 0x9e3779b9u + (a << 6) + (a >> 2));
+}
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_HASH_H_

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace superfe {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* BaseName(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace log_internal {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), BaseName(file), line,
+               message.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace superfe

@@ -1,0 +1,64 @@
+// Minimal leveled logger for SuperFE.
+//
+// The library is a simulation framework, so logging defaults to kWarn to keep
+// benchmark output clean; tests and examples may raise the level.
+#ifndef SUPERFE_COMMON_LOGGING_H_
+#define SUPERFE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace superfe {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Returns the process-wide minimum level that is emitted.
+LogLevel GetLogLevel();
+
+// Sets the process-wide minimum level. Not thread-safe by design: call it
+// once at startup (tests and binaries are single-threaded at setup time).
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+// Emits one formatted log line to stderr. `file` is the bare source file name.
+void Emit(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file),
+                                                           line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace superfe
+
+#define SUPERFE_LOG(level)                                                              \
+  if (static_cast<int>(level) < static_cast<int>(::superfe::GetLogLevel())) {           \
+  } else                                                                                \
+    ::superfe::log_internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define SFE_DLOG() SUPERFE_LOG(::superfe::LogLevel::kDebug)
+#define SFE_ILOG() SUPERFE_LOG(::superfe::LogLevel::kInfo)
+#define SFE_WLOG() SUPERFE_LOG(::superfe::LogLevel::kWarn)
+#define SFE_ELOG() SUPERFE_LOG(::superfe::LogLevel::kError)
+
+#endif  // SUPERFE_COMMON_LOGGING_H_

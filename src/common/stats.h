@@ -1,0 +1,42 @@
+// Offline summary statistics used by tests and benchmark reporting.
+//
+// These are the *exact* (buffered) definitions; the streaming counterparts in
+// src/streaming are validated against them.
+#ifndef SUPERFE_COMMON_STATS_H_
+#define SUPERFE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace superfe {
+
+double Mean(const std::vector<double>& xs);
+
+// Population variance (divide by n), matching the paper's Welford recurrence.
+double Variance(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+// Fisher skewness / excess-free kurtosis (population moments).
+double Skewness(const std::vector<double>& xs);
+double Kurtosis(const std::vector<double>& xs);
+
+// Population covariance / Pearson correlation of two equal-length series.
+double Covariance(const std::vector<double>& xs, const std::vector<double>& ys);
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::vector<double> xs, double q);
+
+// Relative error |got - want| / max(|want|, eps).
+double RelativeError(double got, double want, double eps = 1e-9);
+
+// Mean relative error across two equal-length vectors.
+double MeanRelativeError(const std::vector<double>& got, const std::vector<double>& want,
+                         double eps = 1e-9);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_STATS_H_

@@ -1,0 +1,35 @@
+// ASCII table printer used by the benchmark harnesses to emit paper-style
+// tables and figure series.
+#ifndef SUPERFE_COMMON_TABLE_H_
+#define SUPERFE_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace superfe {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  // Adds one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Formats the table with aligned columns.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+  // Convenience numeric formatting.
+  static std::string Num(double v, int precision = 2);
+  static std::string Percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_TABLE_H_

@@ -1,0 +1,125 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+namespace superfe {
+
+class SuperFeRuntime::ForwardingSink : public FeatureSink {
+ public:
+  void OnFeatureVector(FeatureVector&& vector) override {
+    if (target_ != nullptr) {
+      target_->OnFeatureVector(std::move(vector));
+    }
+  }
+  void set_target(FeatureSink* target) { target_ = target; }
+
+ private:
+  FeatureSink* target_ = nullptr;
+};
+
+Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& policy,
+                                                               const RuntimeConfig& config) {
+  auto compiled = Compile(policy);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  std::unique_ptr<SuperFeRuntime> runtime(
+      new SuperFeRuntime(std::move(compiled).value(), config));
+
+  auto nic = FeNic::Create(runtime->compiled_, config.nic, runtime->forwarding_.get());
+  if (!nic.ok()) {
+    return nic.status();
+  }
+  runtime->nic_ = std::move(nic).value();
+  runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, runtime->nic_.get(),
+                                                config.mgpv);
+  return runtime;
+}
+
+SuperFeRuntime::SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config)
+    : compiled_(std::move(compiled)),
+      config_(config),
+      forwarding_(std::make_unique<ForwardingSink>()) {}
+
+SuperFeRuntime::~SuperFeRuntime() = default;
+
+RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
+  forwarding_->set_target(sink);
+  RunReport report;
+  report.offered = Replay(trace, config_.replay, *switch_);
+  switch_->Flush();
+  nic_->Flush();
+  forwarding_->set_target(nullptr);
+
+  report.switch_stats = switch_->stats();
+  report.mgpv = switch_->cache().stats();
+  report.nic = nic_->stats();
+  report.avg_packet_bytes =
+      report.offered.packets > 0
+          ? static_cast<double>(report.offered.bytes) / report.offered.packets
+          : 0.0;
+  report.filter_pass_fraction =
+      report.switch_stats.packets_seen > 0
+          ? static_cast<double>(report.switch_stats.packets_batched) /
+                report.switch_stats.packets_seen
+          : 1.0;
+
+  // Per-limit diagnostics at the configured core count.
+  const double nic_pps =
+      std::min(nic_->perf().ThroughputPps(config_.nic_cores), config_.nic_ingest_mpps * 1e6);
+  report.nic_limited_gbps =
+      report.filter_pass_fraction > 0.0
+          ? nic_pps / report.filter_pass_fraction * report.avg_packet_bytes * 8.0 * 1e-9
+          : config_.switch_capacity_gbps;
+  const double byte_ratio = report.mgpv.ByteRatio();
+  report.link_limited_gbps = byte_ratio > 0.0 ? config_.switch_nic_link_gbps / byte_ratio
+                                              : config_.switch_capacity_gbps;
+  report.sustainable_gbps = SustainableGbps(report, config_.nic_cores);
+  report.bottleneck = report.sustainable_gbps == report.nic_limited_gbps ? "nic-compute"
+                      : report.sustainable_gbps == report.link_limited_gbps
+                          ? "switch-nic-link"
+                          : "switch-capacity";
+
+  // Feature output rate, proportional to the sustained input rate.
+  const double vector_bytes =
+      static_cast<double>(compiled_.nic_program.FeatureDimension()) * 4.0;
+  if (report.offered.duration_s > 0.0 && report.offered.offered_gbps > 0.0) {
+    const double vectors_per_offered_bit =
+        static_cast<double>(report.nic.vectors_emitted) /
+        (static_cast<double>(report.offered.bytes) * 8.0);
+    report.feature_output_gbps =
+        report.sustainable_gbps * 1e9 * vectors_per_offered_bit * vector_bytes * 8.0 * 1e-9;
+  }
+  return report;
+}
+
+double SuperFeRuntime::SustainableGbps(const RunReport& report, uint32_t cores) const {
+  // (a) NIC compute limit: cells/s the cores sustain (bounded by the NBI
+  // ingest ceiling), mapped back to offered traffic (cells = filtered
+  // packets).
+  const double nic_pps =
+      std::min(nic_->perf().ThroughputPps(cores), config_.nic_ingest_mpps * 1e6);
+  double nic_limited = 0.0;
+  if (report.filter_pass_fraction > 0.0) {
+    nic_limited = nic_pps / report.filter_pass_fraction * report.avg_packet_bytes * 8.0 * 1e-9;
+  } else {
+    nic_limited = config_.switch_capacity_gbps;  // Nothing reaches the NIC.
+  }
+  // (b) Switch->NIC link limit at the measured aggregation byte ratio.
+  const double byte_ratio = report.mgpv.ByteRatio();
+  const double link_limited = byte_ratio > 0.0
+                                  ? config_.switch_nic_link_gbps / byte_ratio
+                                  : config_.switch_capacity_gbps;
+  // (c) Switch capacity.
+  return std::min({nic_limited, link_limited, config_.switch_capacity_gbps});
+}
+
+SwitchResourceUsage SuperFeRuntime::SwitchResources() const {
+  return EstimateSwitchResources(compiled_, switch_->cache().config());
+}
+
+double SuperFeRuntime::NicMemoryUtilization() const {
+  return nic_->placement().MemoryUtilization(nic_->placement_problem());
+}
+
+}  // namespace superfe

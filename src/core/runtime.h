@@ -1,0 +1,99 @@
+// SuperFeRuntime: the top-level facade. Compiles a policy, wires FE-Switch
+// to FE-NIC, replays traffic through the pair, and reports features plus the
+// end-to-end performance model (Fig 9 / Fig 16).
+//
+//   auto runtime = SuperFeRuntime::Create(policy, {});
+//   CollectingFeatureSink sink;
+//   RunReport report = runtime->Run(trace, &sink);
+#ifndef SUPERFE_CORE_RUNTIME_H_
+#define SUPERFE_CORE_RUNTIME_H_
+
+#include <memory>
+
+#include "core/feature_vector.h"
+#include "net/replay.h"
+#include "nicsim/fe_nic.h"
+#include "policy/compile.h"
+#include "switchsim/fe_switch.h"
+#include "switchsim/resources.h"
+
+namespace superfe {
+
+struct RuntimeConfig {
+  // Cache geometry / aging overrides; policy-derived fields are filled in.
+  MgpvConfig mgpv;
+  FeNicConfig nic;
+  ReplayOptions replay;
+
+  // Deployment for throughput reporting: two NFP-4000s (120 cores) behind
+  // two 40GbE ports, fronted by a 3.3 Tb/s Tofino (§8.1).
+  uint32_t nic_cores = 120;
+  double switch_capacity_gbps = 3300.0;
+  double switch_nic_link_gbps = 80.0;
+  // NBI/DMA ingest ceiling across both SmartNICs (cells per second the
+  // packet-engine front end can accept regardless of core count).
+  double nic_ingest_mpps = 60.0;
+};
+
+struct RunReport {
+  ReplayReport offered;
+  FeSwitchStats switch_stats;
+  MgpvStats mgpv;
+  FeNicStats nic;
+
+  double avg_packet_bytes = 0.0;
+  // Fraction of offered packets that pass the policy filter into MGPV.
+  double filter_pass_fraction = 1.0;
+
+  // Sustainable end-to-end rates, limited by (a) switch capacity, (b) the
+  // switch->NIC links at the measured aggregation ratio, (c) NIC feature
+  // computation at the configured core count.
+  double sustainable_gbps = 0.0;
+  double nic_limited_gbps = 0.0;
+  double link_limited_gbps = 0.0;
+  const char* bottleneck = "";
+
+  // Feature-vector output rate (the ~Gbps "generate feature vectors" rate
+  // of Fig 9), assuming 4-byte feature values.
+  double feature_output_gbps = 0.0;
+};
+
+class SuperFeRuntime {
+ public:
+  static Result<std::unique_ptr<SuperFeRuntime>> Create(const Policy& policy,
+                                                        const RuntimeConfig& config);
+  ~SuperFeRuntime();  // Out of line: ForwardingSink is incomplete here.
+
+  // Replays the trace through switch + NIC, flushes both, reports.
+  RunReport Run(const Trace& trace, FeatureSink* sink);
+
+  // Computes the report's throughput fields for an arbitrary core count
+  // (Fig 16 sweeps cores without re-running the trace).
+  double SustainableGbps(const RunReport& report, uint32_t cores) const;
+
+  const CompiledPolicy& compiled() const { return compiled_; }
+  const RuntimeConfig& config() const { return config_; }
+  const FeNic& nic() const { return *nic_; }
+  const FeSwitch& fe_switch() const { return *switch_; }
+
+  // Table 4 helpers.
+  SwitchResourceUsage SwitchResources() const;
+  double NicMemoryUtilization() const;
+
+ private:
+  SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config);
+
+  CompiledPolicy compiled_;
+  RuntimeConfig config_;
+  std::unique_ptr<FeNic> nic_;       // Must outlive switch_ (sink wiring).
+  std::unique_ptr<FeSwitch> switch_;
+  FeatureSink* user_sink_ = nullptr;
+
+  // Internal forwarding sink: FeNic is created per Run with the user sink.
+  class ForwardingSink;
+  std::unique_ptr<ForwardingSink> forwarding_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_CORE_RUNTIME_H_

@@ -1,0 +1,127 @@
+#include "ml/autoencoder.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace superfe {
+namespace {
+
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Autoencoder::Autoencoder(int input_dim, int hidden_dim, double learning_rate, uint64_t seed)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      learning_rate_(learning_rate),
+      w_enc_(static_cast<size_t>(hidden_dim) * input_dim),
+      b_enc_(hidden_dim, 0.0),
+      w_dec_(static_cast<size_t>(input_dim) * hidden_dim),
+      b_dec_(input_dim, 0.0),
+      feat_min_(input_dim, 0.0),
+      feat_max_(input_dim, 0.0) {
+  assert(input_dim > 0 && hidden_dim > 0);
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim));
+  for (auto& w : w_enc_) {
+    w = rng.UniformDouble(-scale, scale);
+  }
+  for (auto& w : w_dec_) {
+    w = rng.UniformDouble(-scale, scale);
+  }
+}
+
+void Autoencoder::UpdateNormalization(const std::vector<double>& x) {
+  if (!norm_initialized_) {
+    feat_min_.assign(x.begin(), x.end());
+    feat_max_.assign(x.begin(), x.end());
+    norm_initialized_ = true;
+    return;
+  }
+  for (int i = 0; i < input_dim_; ++i) {
+    feat_min_[i] = std::min(feat_min_[i], x[i]);
+    feat_max_[i] = std::max(feat_max_[i], x[i]);
+  }
+}
+
+std::vector<double> Autoencoder::Normalize(const std::vector<double>& x) const {
+  std::vector<double> v(input_dim_, 0.0);
+  for (int i = 0; i < input_dim_; ++i) {
+    const double range = feat_max_[i] - feat_min_[i];
+    v[i] = range > 0.0 ? (x[i] - feat_min_[i]) / range : 0.0;
+  }
+  return v;
+}
+
+double Autoencoder::Forward(const std::vector<double>& v, std::vector<double>& hidden,
+                            std::vector<double>& output) const {
+  hidden.assign(hidden_dim_, 0.0);
+  for (int h = 0; h < hidden_dim_; ++h) {
+    double z = b_enc_[h];
+    const double* row = &w_enc_[static_cast<size_t>(h) * input_dim_];
+    for (int i = 0; i < input_dim_; ++i) {
+      z += row[i] * v[i];
+    }
+    hidden[h] = Sigmoid(z);
+  }
+  output.assign(input_dim_, 0.0);
+  double sq_err = 0.0;
+  for (int i = 0; i < input_dim_; ++i) {
+    double z = b_dec_[i];
+    const double* row = &w_dec_[static_cast<size_t>(i) * hidden_dim_];
+    for (int h = 0; h < hidden_dim_; ++h) {
+      z += row[h] * hidden[h];
+    }
+    output[i] = Sigmoid(z);
+    const double e = output[i] - v[i];
+    sq_err += e * e;
+  }
+  return std::sqrt(sq_err / input_dim_);
+}
+
+double Autoencoder::Score(const std::vector<double>& x) const {
+  assert(static_cast<int>(x.size()) == input_dim_);
+  std::vector<double> hidden;
+  std::vector<double> output;
+  return Forward(Normalize(x), hidden, output);
+}
+
+double Autoencoder::Train(const std::vector<double>& x) {
+  assert(static_cast<int>(x.size()) == input_dim_);
+  UpdateNormalization(x);
+  const std::vector<double> v = Normalize(x);
+  std::vector<double> hidden;
+  std::vector<double> output;
+  const double rmse = Forward(v, hidden, output);
+
+  // Backprop of 0.5 * sum (out - v)^2 through sigmoid output and hidden.
+  std::vector<double> delta_out(input_dim_);
+  for (int i = 0; i < input_dim_; ++i) {
+    delta_out[i] = (output[i] - v[i]) * output[i] * (1.0 - output[i]);
+  }
+  std::vector<double> delta_hidden(hidden_dim_, 0.0);
+  for (int h = 0; h < hidden_dim_; ++h) {
+    double sum = 0.0;
+    for (int i = 0; i < input_dim_; ++i) {
+      sum += w_dec_[static_cast<size_t>(i) * hidden_dim_ + h] * delta_out[i];
+    }
+    delta_hidden[h] = sum * hidden[h] * (1.0 - hidden[h]);
+  }
+  for (int i = 0; i < input_dim_; ++i) {
+    double* row = &w_dec_[static_cast<size_t>(i) * hidden_dim_];
+    for (int h = 0; h < hidden_dim_; ++h) {
+      row[h] -= learning_rate_ * delta_out[i] * hidden[h];
+    }
+    b_dec_[i] -= learning_rate_ * delta_out[i];
+  }
+  for (int h = 0; h < hidden_dim_; ++h) {
+    double* row = &w_enc_[static_cast<size_t>(h) * input_dim_];
+    for (int i = 0; i < input_dim_; ++i) {
+      row[i] -= learning_rate_ * delta_hidden[h] * v[i];
+    }
+    b_enc_[h] -= learning_rate_ * delta_hidden[h];
+  }
+  return rmse;
+}
+
+}  // namespace superfe

@@ -1,0 +1,54 @@
+// Single-hidden-layer autoencoder with SGD training — the building block of
+// KitNET (Kitsune's detector) and the deep-autoencoder stand-in for
+// N-BaIoT's detector. Anomaly score = reconstruction RMSE.
+#ifndef SUPERFE_ML_AUTOENCODER_H_
+#define SUPERFE_ML_AUTOENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace superfe {
+
+class Autoencoder {
+ public:
+  // `input_dim` visible units, `hidden_dim` sigmoid units.
+  Autoencoder(int input_dim, int hidden_dim, double learning_rate, uint64_t seed);
+
+  // One SGD step on a raw sample (min-max normalization is maintained
+  // online, as Kitsune does). Returns the pre-update reconstruction RMSE.
+  double Train(const std::vector<double>& x);
+
+  // Reconstruction RMSE without updating weights.
+  double Score(const std::vector<double>& x) const;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  std::vector<double> Normalize(const std::vector<double>& x) const;
+  void UpdateNormalization(const std::vector<double>& x);
+  // Forward pass; returns RMSE and fills activations.
+  double Forward(const std::vector<double>& v, std::vector<double>& hidden,
+                 std::vector<double>& output) const;
+
+  int input_dim_;
+  int hidden_dim_;
+  double learning_rate_;
+
+  // Row-major weights: encoder [hidden x input], decoder [input x hidden].
+  std::vector<double> w_enc_;
+  std::vector<double> b_enc_;
+  std::vector<double> w_dec_;
+  std::vector<double> b_dec_;
+
+  // Online min-max normalization state.
+  std::vector<double> feat_min_;
+  std::vector<double> feat_max_;
+  bool norm_initialized_ = false;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_ML_AUTOENCODER_H_

@@ -1,0 +1,164 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace superfe {
+namespace {
+
+int MajorityLabel(const std::vector<int>& labels, const std::vector<int>& indices) {
+  std::map<int, int> counts;
+  for (int i : indices) {
+    counts[labels[i]]++;
+  }
+  int best_label = 0;
+  int best_count = -1;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double Gini(const std::map<int, int>& counts, int total) {
+  if (total == 0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    sum += p * p;
+  }
+  return 1.0 - sum;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& samples,
+                       const std::vector<int>& labels) {
+  assert(samples.size() == labels.size());
+  nodes_.clear();
+  depth_ = 0;
+  if (samples.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  std::vector<int> indices(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    indices[i] = static_cast<int>(i);
+  }
+  Build(samples, labels, indices, 0);
+}
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& samples,
+                        const std::vector<int>& labels, std::vector<int>& indices, int depth) {
+  depth_ = std::max(depth_, depth);
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].label = MajorityLabel(labels, indices);
+
+  // Stop: depth cap, too few samples, or pure node.
+  bool pure = true;
+  for (int i : indices) {
+    if (labels[i] != labels[indices[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= config_.max_depth ||
+      static_cast<int>(indices.size()) < config_.min_samples_split) {
+    return node_index;
+  }
+
+  // Exhaustive best split by Gini over midpoints of sorted unique values.
+  const size_t dims = samples[indices[0]].size();
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::map<int, int> total_counts;
+  for (int i : indices) {
+    total_counts[labels[i]]++;
+  }
+  const double parent_gini = Gini(total_counts, static_cast<int>(indices.size()));
+
+  std::vector<int> sorted = indices;
+  for (size_t f = 0; f < dims; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return samples[a][f] < samples[b][f];
+    });
+    std::map<int, int> left_counts;
+    int left_total = 0;
+    std::map<int, int> right_counts = total_counts;
+    int right_total = static_cast<int>(indices.size());
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const int idx = sorted[k];
+      left_counts[labels[idx]]++;
+      ++left_total;
+      right_counts[labels[idx]]--;
+      --right_total;
+      const double v = samples[idx][f];
+      const double next = samples[sorted[k + 1]][f];
+      if (v == next) {
+        continue;
+      }
+      const double weighted = (left_total * Gini(left_counts, left_total) +
+                               right_total * Gini(right_counts, right_total)) /
+                              static_cast<double>(indices.size());
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + next) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) {
+    return node_index;
+  }
+
+  std::vector<int> left_idx;
+  std::vector<int> right_idx;
+  for (int i : indices) {
+    (samples[i][best_feature] <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) {
+    return node_index;
+  }
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int left = Build(samples, labels, left_idx, depth + 1);
+  nodes_[node_index].left = left;
+  const int right = Build(samples, labels, right_idx, depth + 1);
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+int DecisionTree::Predict(const std::vector<double>& sample) const {
+  if (nodes_.empty()) {
+    return 0;
+  }
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    const double v = n.feature < static_cast<int>(sample.size()) ? sample[n.feature] : 0.0;
+    node = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].label;
+}
+
+std::vector<int> DecisionTree::PredictBatch(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    out.push_back(Predict(s));
+  }
+  return out;
+}
+
+}  // namespace superfe

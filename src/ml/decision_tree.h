@@ -1,0 +1,48 @@
+// CART decision tree (Gini impurity), the detector used by the NPOD-style
+// covert-channel application study.
+#ifndef SUPERFE_ML_DECISION_TREE_H_
+#define SUPERFE_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace superfe {
+
+struct DecisionTreeConfig {
+  int max_depth = 8;
+  int min_samples_split = 4;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(const DecisionTreeConfig& config = {}) : config_(config) {}
+
+  // Fits on row-major samples with integer class labels.
+  void Fit(const std::vector<std::vector<double>>& samples, const std::vector<int>& labels);
+
+  int Predict(const std::vector<double>& sample) const;
+  std::vector<int> PredictBatch(const std::vector<std::vector<double>>& samples) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 = leaf.
+    double threshold = 0.0;  // Left: x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    int label = 0;  // Majority class (leaves).
+  };
+
+  int Build(const std::vector<std::vector<double>>& samples, const std::vector<int>& labels,
+            std::vector<int>& indices, int depth);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_ML_DECISION_TREE_H_

@@ -1,0 +1,143 @@
+#include "ml/kitnet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace superfe {
+
+KitNet::KitNet(int input_dim, const KitNetConfig& config)
+    : input_dim_(input_dim), config_(config) {
+  assert(input_dim > 0);
+  fm_buffer_.reserve(config.feature_map_samples);
+}
+
+std::vector<double> KitNet::Slice(const std::vector<double>& x,
+                                  const std::vector<int>& idx) const {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (int i : idx) {
+    out.push_back(x[i]);
+  }
+  return out;
+}
+
+void KitNet::BuildFeatureMap() {
+  // Agglomerative clustering on 1 - |corr| distance, capped at
+  // max_cluster_size (Kitsune's feature-mapping phase).
+  const int d = input_dim_;
+  std::vector<std::vector<double>> columns(d);
+  for (auto& col : columns) {
+    col.reserve(fm_buffer_.size());
+  }
+  for (const auto& row : fm_buffer_) {
+    for (int i = 0; i < d; ++i) {
+      columns[i].push_back(row[i]);
+    }
+  }
+
+  std::vector<std::vector<double>> dist(d, std::vector<double>(d, 0.0));
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      const double c = PearsonCorrelation(columns[i], columns[j]);
+      dist[i][j] = dist[j][i] = 1.0 - std::fabs(c);
+    }
+  }
+
+  // Single-linkage agglomeration with size cap.
+  std::vector<std::vector<int>> clusters;
+  clusters.reserve(d);
+  for (int i = 0; i < d; ++i) {
+    clusters.push_back({i});
+  }
+  auto cluster_distance = [&](const std::vector<int>& a, const std::vector<int>& b) {
+    double best = 2.0;
+    for (int i : a) {
+      for (int j : b) {
+        best = std::min(best, dist[i][j]);
+      }
+    }
+    return best;
+  };
+  for (;;) {
+    double best = 2.0;
+    int bi = -1;
+    int bj = -1;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (clusters[i].size() + clusters[j].size() >
+            static_cast<size_t>(config_.max_cluster_size)) {
+          continue;
+        }
+        const double dd = cluster_distance(clusters[i], clusters[j]);
+        if (dd < best) {
+          best = dd;
+          bi = static_cast<int>(i);
+          bj = static_cast<int>(j);
+        }
+      }
+    }
+    if (bi < 0 || best > 0.9) {
+      break;  // No mergeable pair (or only uncorrelated features remain).
+    }
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(), clusters[bj].end());
+    clusters.erase(clusters.begin() + bj);
+  }
+  clusters_ = std::move(clusters);
+  BuildEnsemble();
+  mapped_ = true;
+}
+
+void KitNet::BuildEnsemble() {
+  ensemble_.clear();
+  uint64_t seed = config_.seed;
+  for (const auto& cluster : clusters_) {
+    const int in = static_cast<int>(cluster.size());
+    const int hidden = std::max(1, static_cast<int>(std::ceil(in * config_.hidden_ratio)));
+    ensemble_.push_back(
+        std::make_unique<Autoencoder>(in, hidden, config_.learning_rate, seed++));
+  }
+  const int out_in = static_cast<int>(clusters_.size());
+  const int out_hidden = std::max(1, static_cast<int>(std::ceil(out_in * config_.hidden_ratio)));
+  output_layer_ =
+      std::make_unique<Autoencoder>(out_in, out_hidden, config_.learning_rate, seed);
+}
+
+double KitNet::Train(const std::vector<double>& x) {
+  assert(static_cast<int>(x.size()) == input_dim_);
+  if (!mapped_) {
+    fm_buffer_.push_back(x);
+    if (static_cast<int>(fm_buffer_.size()) >= config_.feature_map_samples) {
+      BuildFeatureMap();
+      // Replay the FM buffer as the first training samples.
+      auto buffered = std::move(fm_buffer_);
+      fm_buffer_.clear();
+      for (const auto& sample : buffered) {
+        Train(sample);
+      }
+    }
+    return 0.0;
+  }
+  std::vector<double> rmses(clusters_.size());
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    rmses[c] = ensemble_[c]->Train(Slice(x, clusters_[c]));
+  }
+  return output_layer_->Train(rmses);
+}
+
+double KitNet::Score(const std::vector<double>& x) const {
+  assert(static_cast<int>(x.size()) == input_dim_);
+  if (!mapped_) {
+    return 0.0;
+  }
+  std::vector<double> rmses(clusters_.size());
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    rmses[c] = ensemble_[c]->Score(Slice(x, clusters_[c]));
+  }
+  return output_layer_->Score(rmses);
+}
+
+}  // namespace superfe

@@ -1,0 +1,55 @@
+// KitNET: Kitsune's online anomaly detector (Mirsky et al., NDSS'18) — an
+// ensemble of small autoencoders over correlated feature clusters, plus an
+// output autoencoder over the ensemble's RMSEs. Used by the Fig 11
+// detection-accuracy experiments.
+#ifndef SUPERFE_ML_KITNET_H_
+#define SUPERFE_ML_KITNET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/autoencoder.h"
+
+namespace superfe {
+
+struct KitNetConfig {
+  int max_cluster_size = 10;   // Kitsune's m.
+  int feature_map_samples = 2000;  // FM-phase sample budget.
+  double learning_rate = 0.1;
+  double hidden_ratio = 0.75;  // Hidden size = ratio * cluster size.
+  uint64_t seed = 42;
+};
+
+class KitNet {
+ public:
+  KitNet(int input_dim, const KitNetConfig& config);
+
+  // Processes one sample. During the feature-mapping phase samples are
+  // buffered; afterwards each call trains (train mode) or scores. Returns
+  // the anomaly score (0 during the FM phase).
+  double Train(const std::vector<double>& x);
+  double Score(const std::vector<double>& x) const;
+
+  bool mapped() const { return mapped_; }
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  const std::vector<std::vector<int>>& clusters() const { return clusters_; }
+
+ private:
+  void BuildFeatureMap();
+  void BuildEnsemble();
+  std::vector<double> Slice(const std::vector<double>& x, const std::vector<int>& idx) const;
+
+  int input_dim_;
+  KitNetConfig config_;
+  bool mapped_ = false;
+
+  std::vector<std::vector<double>> fm_buffer_;
+  std::vector<std::vector<int>> clusters_;
+  std::vector<std::unique_ptr<Autoencoder>> ensemble_;
+  std::unique_ptr<Autoencoder> output_layer_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_ML_KITNET_H_

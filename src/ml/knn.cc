@@ -1,0 +1,59 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace superfe {
+
+void KnnClassifier::Fit(std::vector<std::vector<double>> samples, std::vector<int> labels) {
+  assert(samples.size() == labels.size());
+  samples_ = std::move(samples);
+  labels_ = std::move(labels);
+}
+
+int KnnClassifier::Predict(const std::vector<double>& sample) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const auto& train = samples_[i];
+    const size_t dims = std::min(train.size(), sample.size());
+    double d2 = 0.0;
+    for (size_t f = 0; f < dims; ++f) {
+      const double d = train[f] - sample[f];
+      d2 += d * d;
+    }
+    distances.emplace_back(d2, labels_[i]);
+  }
+  const size_t k = std::min<size_t>(k_, distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + k, distances.end());
+  std::map<int, int> votes;
+  for (size_t i = 0; i < k; ++i) {
+    votes[distances[i].second]++;
+  }
+  int best_label = distances[0].second;  // Nearest breaks ties.
+  int best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<int> KnnClassifier::PredictBatch(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    out.push_back(Predict(s));
+  }
+  return out;
+}
+
+}  // namespace superfe

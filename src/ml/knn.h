@@ -1,0 +1,33 @@
+// k-nearest-neighbors classifier — the detector for CUMUL-style website
+// fingerprinting and the stand-in for TF's triplet network (DESIGN.md:
+// substitution table); the feature path, which SuperFE accelerates, is
+// identical.
+#ifndef SUPERFE_ML_KNN_H_
+#define SUPERFE_ML_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace superfe {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  void Fit(std::vector<std::vector<double>> samples, std::vector<int> labels);
+
+  // Majority vote among the k nearest (L2) training samples.
+  int Predict(const std::vector<double>& sample) const;
+  std::vector<int> PredictBatch(const std::vector<std::vector<double>>& samples) const;
+
+  size_t size() const { return samples_.size(); }
+
+ private:
+  int k_;
+  std::vector<std::vector<double>> samples_;
+  std::vector<int> labels_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_ML_KNN_H_

@@ -1,0 +1,107 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/rng.h"
+
+namespace superfe {
+namespace {
+
+std::vector<double> Project(const std::vector<double>& sample, const std::vector<int>& keep) {
+  std::vector<double> out;
+  out.reserve(keep.size());
+  for (int f : keep) {
+    out.push_back(f < static_cast<int>(sample.size()) ? sample[f] : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& samples,
+                       const std::vector<int>& labels) {
+  assert(samples.size() == labels.size());
+  trees_.clear();
+  feature_sets_.clear();
+  if (samples.empty()) {
+    return;
+  }
+  Rng rng(config_.seed);
+  const size_t dims = samples[0].size();
+  const size_t keep_features =
+      std::max<size_t>(1, static_cast<size_t>(dims * config_.feature_fraction));
+  const size_t keep_samples =
+      std::max<size_t>(1, static_cast<size_t>(samples.size() * config_.sample_fraction));
+
+  for (int t = 0; t < config_.trees; ++t) {
+    // Feature subsample: a random subset of distinct feature indices.
+    std::vector<int> features(dims);
+    for (size_t f = 0; f < dims; ++f) {
+      features[f] = static_cast<int>(f);
+    }
+    for (size_t f = dims - 1; f > 0; --f) {
+      std::swap(features[f], features[rng.UniformU64(f + 1)]);
+    }
+    features.resize(keep_features);
+    std::sort(features.begin(), features.end());
+
+    // Bootstrap sample (with replacement).
+    std::vector<std::vector<double>> tree_x;
+    std::vector<int> tree_y;
+    tree_x.reserve(keep_samples);
+    tree_y.reserve(keep_samples);
+    for (size_t i = 0; i < keep_samples; ++i) {
+      const size_t pick = rng.UniformU64(samples.size());
+      tree_x.push_back(Project(samples[pick], features));
+      tree_y.push_back(labels[pick]);
+    }
+
+    DecisionTree tree(config_.tree);
+    tree.Fit(tree_x, tree_y);
+    trees_.push_back(std::move(tree));
+    feature_sets_.push_back(std::move(features));
+  }
+}
+
+int RandomForest::Predict(const std::vector<double>& sample) const {
+  std::map<int, int> votes;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    votes[trees_[t].Predict(Project(sample, feature_sets_[t]))]++;
+  }
+  int best_label = 0;
+  int best_votes = -1;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<int> RandomForest::PredictBatch(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    out.push_back(Predict(s));
+  }
+  return out;
+}
+
+double RandomForest::Score(const std::vector<double>& sample) const {
+  if (trees_.empty()) {
+    return 0.0;
+  }
+  int positive = 0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (trees_[t].Predict(Project(sample, feature_sets_[t])) == 1) {
+      ++positive;
+    }
+  }
+  return static_cast<double>(positive) / trees_.size();
+}
+
+}  // namespace superfe

@@ -1,0 +1,48 @@
+// Random forest: bagged CART ensemble with feature subsampling. Several of
+// the Table 3 applications (MPTD, NPOD-family follow-ups) use tree
+// ensembles as their detectors; the examples use it where a single tree
+// overfits.
+#ifndef SUPERFE_ML_RANDOM_FOREST_H_
+#define SUPERFE_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace superfe {
+
+struct RandomForestConfig {
+  int trees = 20;
+  DecisionTreeConfig tree;
+  // Fraction of samples bootstrapped per tree and of features kept per tree.
+  double sample_fraction = 0.7;
+  double feature_fraction = 0.7;
+  uint64_t seed = 1;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(const RandomForestConfig& config = {}) : config_(config) {}
+
+  void Fit(const std::vector<std::vector<double>>& samples, const std::vector<int>& labels);
+
+  // Majority vote across trees.
+  int Predict(const std::vector<double>& sample) const;
+  std::vector<int> PredictBatch(const std::vector<std::vector<double>>& samples) const;
+
+  // Fraction of trees voting for class 1 (binary-score convenience).
+  double Score(const std::vector<double>& sample) const;
+
+  int tree_count() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  // Per-tree feature masks (feature subsampling).
+  std::vector<std::vector<int>> feature_sets_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_ML_RANDOM_FOREST_H_

@@ -1,0 +1,312 @@
+#include "net/attack_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace superfe {
+
+const char* AttackTypeName(AttackType type) {
+  switch (type) {
+    case AttackType::kOsScan:
+      return "OS_Scan";
+    case AttackType::kSsdpFlood:
+      return "SSDP_Flood";
+    case AttackType::kSynDos:
+      return "SYN_DoS";
+    case AttackType::kMiraiScan:
+      return "Mirai";
+  }
+  return "unknown";
+}
+
+namespace {
+
+PacketRecord MakePacket(const FiveTuple& tuple, uint64_t ts, uint32_t bytes, uint8_t flags,
+                        Direction dir = Direction::kForward) {
+  PacketRecord pkt;
+  pkt.timestamp_ns = ts;
+  pkt.tuple = tuple;
+  pkt.wire_bytes = bytes;
+  pkt.tcp_flags = flags;
+  pkt.direction = dir;
+  pkt.src_mac = MacForIp(tuple.src_ip);
+  pkt.dst_mac = MacForIp(tuple.dst_ip);
+  return pkt;
+}
+
+// Appends OS-scan packets: one attacker sweeps hosts x ports with SYNs.
+void AppendOsScan(LabeledTrace& out, size_t count, uint64_t start_ns, uint64_t span_ns,
+                  Rng& rng) {
+  const uint32_t attacker = MakeIp(192, 168, 66, 6);
+  const uint64_t gap = std::max<uint64_t>(span_ns / std::max<size_t>(count, 1), 1);
+  uint64_t ts = start_ns;
+  for (size_t i = 0; i < count; ++i) {
+    FiveTuple t;
+    t.src_ip = attacker;
+    t.dst_ip = MakeIp(172, 16, 0, 0) + static_cast<uint32_t>(i / 16 % 4096);
+    t.src_port = static_cast<uint16_t>(40000 + (i % 1024));
+    t.dst_port = static_cast<uint16_t>(1 + (i * 7919) % 1024);  // Port sweep.
+    t.protocol = kProtoTcp;
+    out.Add(MakePacket(t, ts, 64, kTcpSyn), 1);
+    ts += gap + rng.UniformU64(gap);
+  }
+}
+
+// Appends SSDP flood: many reflectors hammer one victim with UDP/1900.
+void AppendSsdpFlood(LabeledTrace& out, size_t count, uint64_t start_ns, uint64_t span_ns,
+                     Rng& rng) {
+  const uint32_t victim = MakeIp(172, 16, 9, 9);
+  const uint64_t gap = std::max<uint64_t>(span_ns / std::max<size_t>(count, 1), 1);
+  uint64_t ts = start_ns;
+  for (size_t i = 0; i < count; ++i) {
+    FiveTuple t;
+    t.src_ip = MakeIp(203, 0, 0, 0) + static_cast<uint32_t>(rng.UniformU64(48));
+    t.dst_ip = victim;
+    t.src_port = 1900;
+    t.dst_port = static_cast<uint16_t>(1024 + rng.UniformU64(60000));
+    t.protocol = kProtoUdp;
+    out.Add(MakePacket(t, ts, 512, 0), 1);  // Amplified response payloads.
+    ts += gap / 2 + rng.UniformU64(gap);
+  }
+}
+
+// Appends SYN DoS: spoofed sources flood one service port; the victim
+// answers with SYN-ACK backscatter (also attack-induced, labeled 1).
+void AppendSynDos(LabeledTrace& out, size_t count, uint64_t start_ns, uint64_t span_ns,
+                  Rng& rng) {
+  const uint32_t victim = MakeIp(172, 16, 7, 7);
+  const size_t floods = count / 2;
+  const uint64_t gap = std::max<uint64_t>(span_ns / std::max<size_t>(floods, 1), 1);
+  uint64_t ts = start_ns;
+  for (size_t i = 0; i < floods; ++i) {
+    FiveTuple t;
+    t.src_ip = rng.NextU32();  // Fully spoofed.
+    t.dst_ip = victim;
+    t.src_port = static_cast<uint16_t>(1024 + rng.UniformU64(64000));
+    t.dst_port = 80;
+    t.protocol = kProtoTcp;
+    out.Add(MakePacket(t, ts, 64, kTcpSyn), 1);
+    PacketRecord backscatter =
+        MakePacket(t.Reversed(), ts + 20000, 64, kTcpSyn | kTcpAck, Direction::kBackward);
+    out.Add(backscatter, 1);
+    ts += gap / 2 + rng.UniformU64(gap);
+  }
+}
+
+// Appends Mirai-style scanning: compromised hosts sweep the internal
+// network for telnet; ~15% of probed servers are alive and answer with an
+// RST (attack-induced backscatter, labeled 1).
+void AppendMiraiScan(LabeledTrace& out, size_t count, uint64_t start_ns, uint64_t span_ns,
+                     Rng& rng) {
+  const int kBots = 3;
+  const size_t probes = count * 7 / 8;
+  const uint64_t gap = std::max<uint64_t>(span_ns / std::max<size_t>(probes, 1), 1);
+  uint64_t ts = start_ns;
+  for (size_t i = 0; i < probes; ++i) {
+    FiveTuple t;
+    t.src_ip = MakeIp(10, 66, 0, 0) + static_cast<uint32_t>(rng.UniformU64(kBots));
+    t.dst_ip = MakeIp(172, 16, 0, 0) + static_cast<uint32_t>(rng.UniformU64(2048));
+    t.src_port = static_cast<uint16_t>(1024 + rng.UniformU64(60000));
+    t.dst_port = rng.Bernoulli(0.8) ? 23 : 2323;
+    t.protocol = kProtoTcp;
+    out.Add(MakePacket(t, ts, 64, kTcpSyn), 1);
+    if (rng.Bernoulli(0.15)) {
+      out.Add(MakePacket(t.Reversed(), ts + 30000, 64, kTcpRst | kTcpAck,
+                         Direction::kBackward),
+              1);
+    }
+    ts += gap + rng.UniformU64(gap);
+  }
+}
+
+}  // namespace
+
+LabeledTrace GenerateAttackTrace(const AttackConfig& config, const TraceProfile& profile,
+                                 size_t background_packets, uint64_t seed) {
+  Rng rng(seed);
+  LabeledTrace out;
+
+  Trace background = GenerateTrace(profile, background_packets, seed ^ 0xbac6u);
+  for (const auto& pkt : background.packets()) {
+    out.Add(pkt, 0);
+  }
+
+  const uint64_t duration_ns = static_cast<uint64_t>(profile.duration_s * 1e9);
+  const uint64_t start_ns = static_cast<uint64_t>(config.start_fraction * duration_ns);
+  const uint64_t span_ns = duration_ns > start_ns ? duration_ns - start_ns : duration_ns;
+
+  switch (config.type) {
+    case AttackType::kOsScan:
+      AppendOsScan(out, config.attack_packets, start_ns, span_ns, rng);
+      break;
+    case AttackType::kSsdpFlood:
+      AppendSsdpFlood(out, config.attack_packets, start_ns, span_ns, rng);
+      break;
+    case AttackType::kSynDos:
+      AppendSynDos(out, config.attack_packets, start_ns, span_ns, rng);
+      break;
+    case AttackType::kMiraiScan:
+      AppendMiraiScan(out, config.attack_packets, start_ns, span_ns, rng);
+      break;
+  }
+  out.SortByTime();
+  out.trace.set_name(std::string(profile.name) + "+" + AttackTypeName(config.type));
+  return out;
+}
+
+LabeledFlowSet GenerateWebsiteSessions(int sites, int sessions_per_site, uint64_t seed) {
+  Rng rng(seed);
+  LabeledFlowSet out;
+
+  // Per-site page template: a direction/size sequence.
+  struct Template {
+    std::vector<Direction> dirs;
+    std::vector<uint16_t> sizes;
+  };
+  std::vector<Template> templates(sites);
+  for (int s = 0; s < sites; ++s) {
+    Rng site_rng(seed ^ (0x517eull * (s + 1)));
+    const size_t length = 80 + site_rng.UniformU64(320);
+    templates[s].dirs.resize(length);
+    templates[s].sizes.resize(length);
+    // Pages are mostly inbound (server->client) with request bursts.
+    double p_inbound = 0.55 + site_rng.UniformDouble() * 0.35;
+    for (size_t i = 0; i < length; ++i) {
+      const bool inbound = site_rng.Bernoulli(p_inbound);
+      templates[s].dirs[i] = inbound ? Direction::kBackward : Direction::kForward;
+      templates[s].sizes[i] = inbound ? (site_rng.Bernoulli(0.7) ? 1514 : 576)
+                                      : (site_rng.Bernoulli(0.8) ? 120 : 600);
+    }
+  }
+
+  for (int s = 0; s < sites; ++s) {
+    for (int v = 0; v < sessions_per_site; ++v) {
+      const Template& tmpl = templates[s];
+      FiveTuple tuple;
+      tuple.src_ip = MakeIp(10, 1, 0, 0) + rng.NextU32() % 4096;
+      tuple.dst_ip = MakeIp(172, 31, 0, 0) + static_cast<uint32_t>(s);
+      tuple.src_port = static_cast<uint16_t>(1024 + rng.UniformU64(60000));
+      tuple.dst_port = 443;
+      tuple.protocol = kProtoTcp;
+
+      std::vector<PacketRecord> flow;
+      uint64_t ts = rng.UniformU64(1000000000ull);
+      for (size_t i = 0; i < tmpl.dirs.size(); ++i) {
+        if (rng.Bernoulli(0.06)) {
+          continue;  // Packet loss / retransmission noise.
+        }
+        Direction dir = tmpl.dirs[i];
+        if (rng.Bernoulli(0.03)) {
+          dir = dir == Direction::kForward ? Direction::kBackward : Direction::kForward;
+        }
+        PacketRecord pkt;
+        pkt.timestamp_ns = ts;
+        pkt.direction = dir;
+        pkt.tuple = dir == Direction::kForward ? tuple : tuple.Reversed();
+        int jitter = static_cast<int>(rng.UniformU64(33)) - 16;
+        pkt.wire_bytes = static_cast<uint32_t>(
+            std::max(64, static_cast<int>(tmpl.sizes[i]) + jitter));
+        pkt.tcp_flags = kTcpAck;
+        pkt.src_mac = MacForIp(pkt.tuple.src_ip);
+        pkt.dst_mac = MacForIp(pkt.tuple.dst_ip);
+        flow.push_back(pkt);
+        ts += 100000 + rng.UniformU64(900000);  // 0.1-1 ms gaps.
+      }
+      out.flows.push_back(std::move(flow));
+      out.labels.push_back(s);
+    }
+  }
+  return out;
+}
+
+LabeledFlowSet GenerateCovertTimingFlows(int flows_per_class, int packets_per_flow,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  LabeledFlowSet out;
+  const double kShortMs = 1.0;   // Bit 0.
+  const double kLongMs = 8.0;    // Bit 1.
+  const double kBenignMeanMs = (kShortMs + kLongMs) / 2.0;
+
+  for (int label = 0; label <= 1; ++label) {
+    for (int f = 0; f < flows_per_class; ++f) {
+      FiveTuple tuple;
+      tuple.src_ip = MakeIp(10, 2, 0, 0) + rng.NextU32() % 2048;
+      tuple.dst_ip = MakeIp(172, 30, 0, 0) + rng.NextU32() % 256;
+      tuple.src_port = static_cast<uint16_t>(1024 + rng.UniformU64(60000));
+      tuple.dst_port = 443;
+      tuple.protocol = kProtoTcp;
+
+      std::vector<PacketRecord> flow;
+      uint64_t ts = rng.UniformU64(1000000000ull);
+      for (int i = 0; i < packets_per_flow; ++i) {
+        PacketRecord pkt;
+        pkt.timestamp_ns = ts;
+        pkt.tuple = tuple;
+        pkt.direction = Direction::kForward;
+        pkt.wire_bytes = 120 + static_cast<uint32_t>(rng.UniformU64(64));
+        pkt.tcp_flags = kTcpPsh | kTcpAck;
+        pkt.src_mac = MacForIp(tuple.src_ip);
+        pkt.dst_mac = MacForIp(tuple.dst_ip);
+        flow.push_back(pkt);
+        double gap_ms;
+        if (label == 1) {
+          // Covert channel: bimodal delays encode bits, small jitter.
+          gap_ms = (rng.Bernoulli(0.5) ? kLongMs : kShortMs) + rng.Normal(0.0, 0.05);
+          gap_ms = std::max(gap_ms, 0.05);
+        } else {
+          gap_ms = rng.Exponential(1.0 / kBenignMeanMs);
+        }
+        ts += static_cast<uint64_t>(gap_ms * 1e6) + 1;
+      }
+      out.flows.push_back(std::move(flow));
+      out.labels.push_back(label);
+    }
+  }
+  return out;
+}
+
+LabeledFlowSet GenerateP2PConversations(int conversations_per_class, uint64_t seed) {
+  Rng rng(seed);
+  LabeledFlowSet out;
+
+  for (int label = 0; label <= 1; ++label) {
+    for (int c = 0; c < conversations_per_class; ++c) {
+      FiveTuple tuple;
+      tuple.src_ip = MakeIp(10, 3, 0, 0) + rng.NextU32() % 2048;
+      tuple.dst_ip = MakeIp(10, 3, 8, 0) + rng.NextU32() % 2048;
+      tuple.src_port = static_cast<uint16_t>(1024 + rng.UniformU64(60000));
+      tuple.dst_port = label == 1 ? static_cast<uint16_t>(30000 + rng.UniformU64(5000)) : 443;
+      tuple.protocol = label == 1 ? kProtoUdp : kProtoTcp;
+
+      std::vector<PacketRecord> flow;
+      uint64_t ts = rng.UniformU64(1000000000ull);
+      if (label == 1) {
+        // Bot keep-alive chatter: long-lived, small periodic packets.
+        const int n = 120 + static_cast<int>(rng.UniformU64(120));
+        for (int i = 0; i < n; ++i) {
+          PacketRecord pkt;
+          pkt.timestamp_ns = ts;
+          const bool fwd = (i % 2) == 0;
+          pkt.direction = fwd ? Direction::kForward : Direction::kBackward;
+          pkt.tuple = fwd ? tuple : tuple.Reversed();
+          pkt.wire_bytes = 96 + static_cast<uint32_t>(rng.UniformU64(32));
+          pkt.src_mac = MacForIp(pkt.tuple.src_ip);
+          pkt.dst_mac = MacForIp(pkt.tuple.dst_ip);
+          flow.push_back(pkt);
+          ts += static_cast<uint64_t>(30e6 + rng.Normal(0.0, 2e6));  // ~30 ms period.
+        }
+      } else {
+        // Normal web conversation: short, bursty, size-diverse.
+        Rng local(seed ^ (0xbeefull * (c + 1)));
+        auto pkts = GenerateFlow(tuple, 10 + local.UniformU64(40), ts, 800.0,
+                                 {{1514, 0.5}, {576, 0.2}, {64, 0.3}}, 0.5, local);
+        flow = std::move(pkts);
+      }
+      out.flows.push_back(std::move(flow));
+      out.labels.push_back(label);
+    }
+  }
+  return out;
+}
+
+}  // namespace superfe

@@ -1,0 +1,65 @@
+#include "net/five_tuple.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace superfe {
+
+std::array<uint8_t, 13> FiveTuple::ToBytes() const {
+  std::array<uint8_t, 13> out{};
+  out[0] = static_cast<uint8_t>(src_ip >> 24);
+  out[1] = static_cast<uint8_t>(src_ip >> 16);
+  out[2] = static_cast<uint8_t>(src_ip >> 8);
+  out[3] = static_cast<uint8_t>(src_ip);
+  out[4] = static_cast<uint8_t>(dst_ip >> 24);
+  out[5] = static_cast<uint8_t>(dst_ip >> 16);
+  out[6] = static_cast<uint8_t>(dst_ip >> 8);
+  out[7] = static_cast<uint8_t>(dst_ip);
+  out[8] = static_cast<uint8_t>(src_port >> 8);
+  out[9] = static_cast<uint8_t>(src_port);
+  out[10] = static_cast<uint8_t>(dst_port >> 8);
+  out[11] = static_cast<uint8_t>(dst_port);
+  out[12] = protocol;
+  return out;
+}
+
+FiveTuple FiveTuple::Canonical() const {
+  const FiveTuple reversed = Reversed();
+  return *this <= reversed ? *this : reversed;
+}
+
+std::string FiveTuple::ToString() const {
+  const char* proto_name = "ip";
+  switch (protocol) {
+    case kProtoTcp:
+      proto_name = "tcp";
+      break;
+    case kProtoUdp:
+      proto_name = "udp";
+      break;
+    case kProtoIcmp:
+      proto_name = "icmp";
+      break;
+    default:
+      break;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s:%u -> %s:%u %s", IpToString(src_ip).c_str(), src_port,
+                IpToString(dst_ip).c_str(), dst_port, proto_name);
+  return buf;
+}
+
+std::string IpToString(uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+size_t FiveTupleHash::operator()(const FiveTuple& t) const {
+  const auto bytes = t.ToBytes();
+  return Murmur3(bytes.data(), bytes.size(), 0x51af5e17u);
+}
+
+}  // namespace superfe

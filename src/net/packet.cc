@@ -1,0 +1,25 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace superfe {
+
+uint64_t PacketRecord::ChannelKey() const {
+  // Canonicalize the IP pair so both directions share a key.
+  uint32_t a = tuple.src_ip;
+  uint32_t b = tuple.dst_ip;
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+std::string PacketRecord::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%llu ns %s len=%u dir=%c", (unsigned long long)timestamp_ns,
+                tuple.ToString().c_str(), wire_bytes,
+                direction == Direction::kForward ? '>' : '<');
+  return buf;
+}
+
+}  // namespace superfe

@@ -1,0 +1,24 @@
+// Minimal libpcap-format reader/writer (nanosecond variant, magic
+// 0xa1b23c4d). Lets users exchange traces with standard tooling; frames are
+// encoded/decoded with net/wire.
+#ifndef SUPERFE_NET_PCAP_H_
+#define SUPERFE_NET_PCAP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "net/trace.h"
+
+namespace superfe {
+
+// Writes `trace` to `path` as a nanosecond-resolution pcap file.
+Status WritePcap(const std::string& path, const Trace& trace);
+
+// Reads a pcap file (both microsecond 0xa1b2c3d4 and nanosecond 0xa1b23c4d
+// magics, either byte order). Non-IPv4 frames are skipped. Direction is
+// reconstructed per flow: the first-seen orientation is kForward.
+Result<Trace> ReadPcap(const std::string& path);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NET_PCAP_H_

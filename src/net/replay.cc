@@ -1,0 +1,51 @@
+#include "net/replay.h"
+
+#include <algorithm>
+
+#include "net/trace_gen.h"
+
+namespace superfe {
+
+ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink& sink) {
+  ReplayReport report;
+  if (trace.empty()) {
+    return report;
+  }
+  const uint32_t amp = std::max<uint32_t>(options.amplification, 1);
+  const double speedup = options.speedup > 0.0 ? options.speedup : 1.0;
+  const uint64_t base_ts = trace.packets().front().timestamp_ns;
+
+  uint64_t min_ts = UINT64_MAX;
+  uint64_t max_ts = 0;
+  for (const auto& original : trace.packets()) {
+    const uint64_t scaled =
+        static_cast<uint64_t>(static_cast<double>(original.timestamp_ns - base_ts) / speedup);
+    for (uint32_t replica = 0; replica < amp; ++replica) {
+      PacketRecord pkt = original;
+      if (replica != 0) {
+        // Offset into a disjoint address block per replica so replicated
+        // packets form distinct flows, as the switch-based amplifier does.
+        const uint32_t offset = replica << 20;
+        pkt.tuple.src_ip += offset;
+        pkt.tuple.dst_ip += offset;
+        pkt.src_mac = MacForIp(pkt.tuple.src_ip);
+        pkt.dst_mac = MacForIp(pkt.tuple.dst_ip);
+      }
+      // Replicas are interleaved a few ns apart, preserving per-flow order.
+      pkt.timestamp_ns = scaled + replica * 8;
+      min_ts = std::min(min_ts, pkt.timestamp_ns);
+      max_ts = std::max(max_ts, pkt.timestamp_ns);
+      report.packets++;
+      report.bytes += pkt.wire_bytes;
+      sink.OnPacket(pkt);
+    }
+  }
+  report.duration_s = static_cast<double>(max_ts - min_ts) * 1e-9;
+  if (report.duration_s > 0.0) {
+    report.offered_gbps = static_cast<double>(report.bytes) * 8.0 / report.duration_s * 1e-9;
+    report.offered_mpps = static_cast<double>(report.packets) / report.duration_s * 1e-6;
+  }
+  return report;
+}
+
+}  // namespace superfe

@@ -1,0 +1,48 @@
+// Trace replay and amplification.
+//
+// The paper replays captures with MoonGen at up to 40 Gbps and uses
+// switch-side packet replication to amplify beyond that (§8.1). Replayer
+// models both: it feeds a PacketSink in timestamp order, optionally
+// replicating each packet `amplification` times with rewritten source
+// addresses and interleaved timestamps.
+#ifndef SUPERFE_NET_REPLAY_H_
+#define SUPERFE_NET_REPLAY_H_
+
+#include <cstdint>
+
+#include "net/trace.h"
+
+namespace superfe {
+
+// Consumer interface for replayed packets (FE-Switch implements this).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void OnPacket(const PacketRecord& packet) = 0;
+};
+
+struct ReplayOptions {
+  // Each input packet is emitted `amplification` times; replica i gets its
+  // source/destination IPs offset so replicas form distinct flows (matching
+  // the replicate-and-modify technique of IMap/Hypertester).
+  uint32_t amplification = 1;
+
+  // Time compression factor: timestamps are divided by this to model replay
+  // at a higher rate than the capture rate.
+  double speedup = 1.0;
+};
+
+struct ReplayReport {
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  double duration_s = 0.0;  // Replayed (post-speedup) time span.
+  double offered_gbps = 0.0;
+  double offered_mpps = 0.0;
+};
+
+// Replays `trace` into `sink`; returns offered-load accounting.
+ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink& sink);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NET_REPLAY_H_

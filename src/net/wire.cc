@@ -1,0 +1,147 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace superfe {
+namespace {
+
+void Put16(std::vector<uint8_t>& buf, size_t off, uint16_t v) {
+  buf[off] = static_cast<uint8_t>(v >> 8);
+  buf[off + 1] = static_cast<uint8_t>(v);
+}
+
+void Put32(std::vector<uint8_t>& buf, size_t off, uint32_t v) {
+  buf[off] = static_cast<uint8_t>(v >> 24);
+  buf[off + 1] = static_cast<uint8_t>(v >> 16);
+  buf[off + 2] = static_cast<uint8_t>(v >> 8);
+  buf[off + 3] = static_cast<uint8_t>(v);
+}
+
+uint16_t Get16(const uint8_t* p) {
+  return static_cast<uint16_t>((static_cast<uint16_t>(p[0]) << 8) | p[1]);
+}
+
+uint32_t Get32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+void PutMac(std::vector<uint8_t>& buf, size_t off, uint64_t mac) {
+  for (int i = 0; i < 6; ++i) {
+    buf[off + i] = static_cast<uint8_t>(mac >> (8 * (5 - i)));
+  }
+}
+
+uint64_t GetMac(const uint8_t* p) {
+  uint64_t mac = 0;
+  for (int i = 0; i < 6; ++i) {
+    mac = (mac << 8) | p[i];
+  }
+  return mac;
+}
+
+}  // namespace
+
+uint16_t InternetChecksum(const uint8_t* data, size_t length, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < length; i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < length) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffffu) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+std::vector<uint8_t> EncodeFrame(const PacketRecord& record) {
+  const bool tcp = record.tuple.protocol == kProtoTcp;
+  const bool udp = record.tuple.protocol == kProtoUdp;
+  const size_t l4_len = tcp ? kTcpMinHeaderLen : (udp ? kUdpHeaderLen : 0);
+  const size_t min_len = kEthHeaderLen + kIpv4MinHeaderLen + l4_len;
+  const size_t frame_len = std::max<size_t>(std::max<size_t>(record.wire_bytes, min_len),
+                                            kMinFrameLen);
+  std::vector<uint8_t> buf(frame_len, 0);
+
+  // Ethernet.
+  PutMac(buf, 0, record.dst_mac);
+  PutMac(buf, 6, record.src_mac);
+  Put16(buf, 12, kEtherTypeIpv4);
+
+  // IPv4.
+  const size_t ip_off = kEthHeaderLen;
+  const size_t ip_total = frame_len - kEthHeaderLen;
+  buf[ip_off + 0] = 0x45;  // Version 4, IHL 5.
+  buf[ip_off + 1] = 0;     // DSCP/ECN.
+  Put16(buf, ip_off + 2, static_cast<uint16_t>(ip_total));
+  Put16(buf, ip_off + 4, static_cast<uint16_t>(record.timestamp_ns & 0xffff));  // IP ID.
+  Put16(buf, ip_off + 6, 0x4000);  // Don't fragment.
+  buf[ip_off + 8] = 64;            // TTL.
+  buf[ip_off + 9] = record.tuple.protocol;
+  Put16(buf, ip_off + 10, 0);  // Checksum placeholder.
+  Put32(buf, ip_off + 12, record.tuple.src_ip);
+  Put32(buf, ip_off + 16, record.tuple.dst_ip);
+  const uint16_t ip_csum = InternetChecksum(buf.data() + ip_off, kIpv4MinHeaderLen);
+  Put16(buf, ip_off + 10, ip_csum);
+
+  const size_t l4_off = ip_off + kIpv4MinHeaderLen;
+  if (tcp) {
+    Put16(buf, l4_off + 0, record.tuple.src_port);
+    Put16(buf, l4_off + 2, record.tuple.dst_port);
+    Put32(buf, l4_off + 4, static_cast<uint32_t>(record.timestamp_ns));  // Seq.
+    Put32(buf, l4_off + 8, 0);                                           // Ack.
+    buf[l4_off + 12] = 0x50;  // Data offset 5.
+    buf[l4_off + 13] = record.tcp_flags != 0 ? record.tcp_flags : kTcpAck;
+    Put16(buf, l4_off + 14, 0xffff);  // Window.
+  } else if (udp) {
+    Put16(buf, l4_off + 0, record.tuple.src_port);
+    Put16(buf, l4_off + 2, record.tuple.dst_port);
+    Put16(buf, l4_off + 4, static_cast<uint16_t>(ip_total - kIpv4MinHeaderLen));
+    Put16(buf, l4_off + 6, 0);  // UDP checksum optional for IPv4.
+  }
+  return buf;
+}
+
+Result<PacketRecord> ParseFrame(const uint8_t* data, size_t length) {
+  if (length < kEthHeaderLen + kIpv4MinHeaderLen) {
+    return Status::InvalidArgument("frame too short for eth+ipv4");
+  }
+  if (Get16(data + 12) != kEtherTypeIpv4) {
+    return Status::InvalidArgument("not an IPv4 frame");
+  }
+  PacketRecord record;
+  record.dst_mac = GetMac(data);
+  record.src_mac = GetMac(data + 6);
+
+  const uint8_t* ip = data + kEthHeaderLen;
+  const uint8_t version = ip[0] >> 4;
+  const size_t ihl = static_cast<size_t>(ip[0] & 0x0f) * 4;
+  if (version != 4 || ihl < kIpv4MinHeaderLen) {
+    return Status::InvalidArgument("bad IPv4 header");
+  }
+  if (length < kEthHeaderLen + ihl) {
+    return Status::InvalidArgument("truncated IPv4 header");
+  }
+  record.tuple.protocol = ip[9];
+  record.tuple.src_ip = Get32(ip + 12);
+  record.tuple.dst_ip = Get32(ip + 16);
+  record.wire_bytes = static_cast<uint32_t>(length);
+
+  const uint8_t* l4 = ip + ihl;
+  const size_t l4_avail = length - kEthHeaderLen - ihl;
+  if (record.tuple.protocol == kProtoTcp && l4_avail >= kTcpMinHeaderLen) {
+    record.tuple.src_port = Get16(l4);
+    record.tuple.dst_port = Get16(l4 + 2);
+    record.tcp_flags = l4[13];
+  } else if (record.tuple.protocol == kProtoUdp && l4_avail >= kUdpHeaderLen) {
+    record.tuple.src_port = Get16(l4);
+    record.tuple.dst_port = Get16(l4 + 2);
+  }
+  return record;
+}
+
+}  // namespace superfe

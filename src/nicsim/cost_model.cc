@@ -1,0 +1,72 @@
+#include "nicsim/cost_model.h"
+
+#include <algorithm>
+
+namespace superfe {
+
+const char* MemLevelName(MemLevel level) {
+  switch (level) {
+    case MemLevel::kCls:
+      return "CLS";
+    case MemLevel::kCtm:
+      return "CTM";
+    case MemLevel::kImem:
+      return "IMEM";
+    case MemLevel::kEmem:
+      return "EMEM";
+  }
+  return "?";
+}
+
+void NicPerfModel::AccountCell(const CellWork& work) {
+  ++cells_;
+  uint64_t compute = costs_.dispatch + static_cast<uint64_t>(work.alu_ops) * costs_.alu;
+  compute += static_cast<uint64_t>(work.divisions) *
+             (opts_.eliminate_division ? costs_.division_opt : costs_.division);
+  uint32_t hashes = work.hashes;
+  if (opts_.reuse_switch_hash && hashes > 0) {
+    --hashes;  // The switch-computed hash index rides along with the MGPV.
+  }
+  compute += static_cast<uint64_t>(hashes) * costs_.hash;
+  compute_cycles_ += compute;
+  memory_cycles_ += work.mem_latency_cycles;
+  mem_accesses_ += work.mem_accesses;
+}
+
+void NicPerfModel::AccountReport() {
+  ++reports_;
+  compute_cycles_ += costs_.report_overhead;
+}
+
+uint64_t NicPerfModel::EffectiveCycles() const {
+  if (!opts_.multithreading) {
+    // Single thread per core: memory stalls serialize with compute.
+    return compute_cycles_ + memory_cycles_;
+  }
+  // 8 threads per core hide memory latency: while one thread waits on a
+  // state read, others compute. The core is busy for at least the compute
+  // time plus a 2-cycle context switch per memory access; it can never beat
+  // the aggregate memory pipeline divided across threads.
+  const uint64_t switched = compute_cycles_ + mem_accesses_ * costs_.context_switch;
+  const uint64_t mem_bound = memory_cycles_ / arch_.threads_per_core;
+  return std::max(switched, mem_bound);
+}
+
+double NicPerfModel::ThroughputPps(uint32_t cores) const {
+  if (cells_ == 0 || cores == 0) {
+    return 0.0;
+  }
+  const double cycles_per_cell =
+      static_cast<double>(EffectiveCycles()) / static_cast<double>(cells_);
+  const double core_hz = arch_.clock_ghz * 1e9;
+  // Near-linear NBI scaling with a small serialization term (shared DMA
+  // descriptors), visible only at high core counts.
+  const double scaling = static_cast<double>(cores) / (1.0 + 0.0008 * cores);
+  return core_hz / cycles_per_cell * scaling;
+}
+
+double NicPerfModel::ThroughputGbps(uint32_t cores, double avg_packet_bytes) const {
+  return ThroughputPps(cores) * avg_packet_bytes * 8.0 * 1e-9;
+}
+
+}  // namespace superfe

@@ -1,0 +1,85 @@
+// Cycle cost model for feature computation on NFP microengines, with the
+// three §6.2 optimizations as switchable flags (the Fig 17 ablation):
+//   1. reuse the switch-computed hash (skips per-cell hashing),
+//   2. thread-level latency hiding (8 threads, 2-cycle context switch),
+//   3. division elimination (1500-cycle software divide -> comparison).
+#ifndef SUPERFE_NICSIM_COST_MODEL_H_
+#define SUPERFE_NICSIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "nicsim/nfp.h"
+
+namespace superfe {
+
+struct NicOptimizations {
+  bool reuse_switch_hash = true;
+  bool multithreading = true;
+  bool eliminate_division = true;
+
+  static NicOptimizations None() { return {false, false, false}; }
+  static NicOptimizations All() { return {true, true, true}; }
+};
+
+struct CycleCosts {
+  uint32_t alu = 1;
+  uint32_t hash = 110;          // CRC over a five-tuple in software.
+  uint32_t division = 1500;     // Compiler-provided soft divide (§6.2).
+  uint32_t division_opt = 4;    // Comparison-trick replacement.
+  uint32_t context_switch = 2;
+  uint32_t dispatch = 24;       // Per-cell parse/dispatch overhead.
+  uint32_t report_overhead = 60;  // Per-MGPV-report DMA + header handling.
+};
+
+// Per-cell work description, produced by the execution engine.
+struct CellWork {
+  uint32_t alu_ops = 0;
+  uint32_t divisions = 0;
+  uint32_t mem_accesses = 0;      // Distinct state-memory round trips.
+  uint64_t mem_latency_cycles = 0;  // Sum of access latencies (placement-aware).
+  // Group-lookup hash computations needed (one per granularity). With the
+  // reuse optimization the switch-provided hash covers one of them.
+  uint32_t hashes = 1;
+};
+
+// Accumulates work and converts it to wall-clock throughput for a given
+// core count.
+class NicPerfModel {
+ public:
+  NicPerfModel(const NfpArch& arch, const NicOptimizations& opts)
+      : arch_(arch), opts_(opts) {}
+
+  void AccountCell(const CellWork& work);
+  void AccountReport();
+
+  uint64_t cells() const { return cells_; }
+  uint64_t compute_cycles() const { return compute_cycles_; }
+  uint64_t memory_cycles() const { return memory_cycles_; }
+
+  // Effective core-cycles consumed, after thread-level latency hiding.
+  uint64_t EffectiveCycles() const;
+
+  // Packets (cells) per second achievable with `cores` microengines; the
+  // NBI distributes per-IP so scaling is near-linear with a small
+  // serialization term.
+  double ThroughputPps(uint32_t cores) const;
+  double ThroughputGbps(uint32_t cores, double avg_packet_bytes) const;
+
+  const NicOptimizations& optimizations() const { return opts_; }
+  const CycleCosts& costs() const { return costs_; }
+
+ private:
+  NfpArch arch_;
+  NicOptimizations opts_;
+  CycleCosts costs_;
+
+  uint64_t cells_ = 0;
+  uint64_t reports_ = 0;
+  uint64_t compute_cycles_ = 0;
+  uint64_t memory_cycles_ = 0;
+  uint64_t mem_accesses_ = 0;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_COST_MODEL_H_

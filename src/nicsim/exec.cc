@@ -1,0 +1,511 @@
+#include "nicsim/exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/hash.h"
+
+namespace superfe {
+namespace {
+
+// ft_percent bucket index: floor(log2(v)) + 1, clamped (0 for v < 1).
+int LogBucket(double v) {
+  if (v < 1.0) {
+    return 0;
+  }
+  const int b = static_cast<int>(std::floor(std::log2(v))) + 1;
+  return std::min(b, 31);
+}
+
+}  // namespace
+
+Reducer::Reducer(const ReduceSpec& spec, const ExecOptions& options, bool directional)
+    : spec_(spec), nic_(options.nic_arithmetic) {
+  const double lambda = spec.decay_lambda;
+  const DampedMode mode = options.EffectiveDampedMode();
+  // Directional tracking applies to damped 1D statistics only.
+  directional_ = directional && lambda > 0.0 &&
+                 (spec.fn == ReduceFn::kSum || spec.fn == ReduceFn::kMean ||
+                  spec.fn == ReduceFn::kVar || spec.fn == ReduceFn::kStd);
+  switch (spec.fn) {
+    case ReduceFn::kSum:
+      // Damped sum (decay > 0) is the decayed linear sum — the "weight"
+      // feature of Kitsune-style damped windows when applied to f_one.
+      if (lambda > 0.0) {
+        if (directional_) {
+          impl_ = DampedStats2D(lambda, mode);
+        } else {
+          impl_ = DampedStats(lambda, mode);
+        }
+      } else {
+        impl_ = exec_internal::SumAgg{};
+      }
+      break;
+    case ReduceFn::kMax:
+    case ReduceFn::kMin:
+      impl_ = exec_internal::MinMaxAgg{};
+      break;
+    case ReduceFn::kMean:
+    case ReduceFn::kVar:
+    case ReduceFn::kStd:
+      if (lambda > 0.0) {
+        if (directional_) {
+          impl_ = DampedStats2D(lambda, mode);
+        } else {
+          impl_ = DampedStats(lambda, mode);
+        }
+      } else if (nic_) {
+        impl_ = NicWelfordStats();
+      } else {
+        impl_ = WelfordStats();
+      }
+      break;
+    case ReduceFn::kKur:
+    case ReduceFn::kSkew:
+      impl_ = StreamingMoments();
+      break;
+    case ReduceFn::kMag:
+    case ReduceFn::kRadius:
+    case ReduceFn::kCov:
+    case ReduceFn::kPcc:
+      impl_ = DampedStats2D(lambda, mode);  // lambda == 0 -> undamped.
+      break;
+    case ReduceFn::kCard:
+      impl_ = HyperLogLog(6);  // 64 one-byte buckets (§6.1).
+      break;
+    case ReduceFn::kArray:
+      impl_ = exec_internal::ArrayAgg{spec.array_limit != 0 ? spec.array_limit : 5000, {}};
+      break;
+    case ReduceFn::kHist:
+    case ReduceFn::kPdf:
+    case ReduceFn::kCdf:
+      impl_ = FixedHistogram(std::max(spec.param0, 1e-9),
+                             std::max(static_cast<int>(spec.param1), 1));
+      break;
+    case ReduceFn::kPercent:
+      impl_ = exec_internal::LogHist{};
+      break;
+  }
+}
+
+void Reducer::Update(double value, double t_seconds, Direction dir) {
+  switch (spec_.fn) {
+    case ReduceFn::kSum:
+      if (auto* two_sided = std::get_if<DampedStats2D>(&impl_)) {
+        if (dir == Direction::kForward) {
+          two_sided->AddA(value, t_seconds);
+        } else {
+          two_sided->AddB(value, t_seconds);
+        }
+      } else if (auto* damped = std::get_if<DampedStats>(&impl_)) {
+        damped->Add(value, t_seconds);
+      } else {
+        std::get<exec_internal::SumAgg>(impl_).sum += value;
+      }
+      break;
+    case ReduceFn::kMax: {
+      auto& agg = std::get<exec_internal::MinMaxAgg>(impl_);
+      if (!agg.any || value > agg.value) {
+        agg.value = value;
+      }
+      agg.any = true;
+      break;
+    }
+    case ReduceFn::kMin: {
+      auto& agg = std::get<exec_internal::MinMaxAgg>(impl_);
+      if (!agg.any || value < agg.value) {
+        agg.value = value;
+      }
+      agg.any = true;
+      break;
+    }
+    case ReduceFn::kMean:
+    case ReduceFn::kVar:
+    case ReduceFn::kStd:
+      if (auto* two_sided = std::get_if<DampedStats2D>(&impl_)) {
+        if (dir == Direction::kForward) {
+          two_sided->AddA(value, t_seconds);
+        } else {
+          two_sided->AddB(value, t_seconds);
+        }
+      } else if (auto* damped = std::get_if<DampedStats>(&impl_)) {
+        damped->Add(value, t_seconds);
+      } else if (auto* nicw = std::get_if<NicWelfordStats>(&impl_)) {
+        nicw->Add(static_cast<int64_t>(std::llround(value)));
+      } else {
+        std::get<WelfordStats>(impl_).Add(value);
+      }
+      break;
+    case ReduceFn::kKur:
+    case ReduceFn::kSkew:
+      std::get<StreamingMoments>(impl_).Add(value);
+      break;
+    case ReduceFn::kMag:
+    case ReduceFn::kRadius:
+    case ReduceFn::kCov:
+    case ReduceFn::kPcc: {
+      auto& stats2d = std::get<DampedStats2D>(impl_);
+      if (dir == Direction::kForward) {
+        stats2d.AddA(value, t_seconds);
+      } else {
+        stats2d.AddB(value, t_seconds);
+      }
+      break;
+    }
+    case ReduceFn::kCard:
+      std::get<HyperLogLog>(impl_).AddU64(static_cast<uint64_t>(std::llround(value)));
+      break;
+    case ReduceFn::kArray: {
+      auto& agg = std::get<exec_internal::ArrayAgg>(impl_);
+      if (agg.values.size() < agg.limit) {
+        agg.values.push_back(value);
+      }
+      break;
+    }
+    case ReduceFn::kHist:
+    case ReduceFn::kPdf:
+    case ReduceFn::kCdf:
+      std::get<FixedHistogram>(impl_).Add(value);
+      break;
+    case ReduceFn::kPercent: {
+      auto& hist = std::get<exec_internal::LogHist>(impl_);
+      hist.buckets[LogBucket(value)]++;
+      hist.total++;
+      break;
+    }
+  }
+}
+
+void Reducer::Emit(std::vector<double>& out, Direction dir) const {
+  // Directional 1D statistics report the emitting packet's side.
+  const DampedStats* side = nullptr;
+  if (directional_) {
+    const auto& two_sided = std::get<DampedStats2D>(impl_);
+    side = dir == Direction::kForward ? &two_sided.a() : &two_sided.b();
+  }
+  switch (spec_.fn) {
+    case ReduceFn::kSum:
+      if (side != nullptr) {
+        out.push_back(side->linear_sum());
+      } else if (const auto* damped = std::get_if<DampedStats>(&impl_)) {
+        out.push_back(damped->linear_sum());
+      } else {
+        out.push_back(std::get<exec_internal::SumAgg>(impl_).sum);
+      }
+      break;
+    case ReduceFn::kMax:
+    case ReduceFn::kMin:
+      out.push_back(std::get<exec_internal::MinMaxAgg>(impl_).value);
+      break;
+    case ReduceFn::kMean:
+    case ReduceFn::kVar:
+    case ReduceFn::kStd: {
+      double mean = 0.0;
+      double var = 0.0;
+      if (side != nullptr) {
+        mean = side->mean();
+        var = side->variance();
+      } else if (const auto* damped = std::get_if<DampedStats>(&impl_)) {
+        mean = damped->mean();
+        var = damped->variance();
+      } else if (const auto* nicw = std::get_if<NicWelfordStats>(&impl_)) {
+        mean = nicw->mean();
+        var = nicw->variance();
+      } else {
+        const auto& w = std::get<WelfordStats>(impl_);
+        mean = w.mean();
+        var = w.variance();
+      }
+      if (spec_.fn == ReduceFn::kMean) {
+        out.push_back(mean);
+      } else if (spec_.fn == ReduceFn::kVar) {
+        out.push_back(var);
+      } else {
+        out.push_back(std::sqrt(var));
+      }
+      break;
+    }
+    case ReduceFn::kKur:
+      out.push_back(std::get<StreamingMoments>(impl_).kurtosis());
+      break;
+    case ReduceFn::kSkew:
+      out.push_back(std::get<StreamingMoments>(impl_).skewness());
+      break;
+    case ReduceFn::kMag:
+      out.push_back(std::get<DampedStats2D>(impl_).Magnitude());
+      break;
+    case ReduceFn::kRadius:
+      out.push_back(std::get<DampedStats2D>(impl_).Radius());
+      break;
+    case ReduceFn::kCov:
+      out.push_back(std::get<DampedStats2D>(impl_).Covariance());
+      break;
+    case ReduceFn::kPcc:
+      out.push_back(std::get<DampedStats2D>(impl_).CorrelationCoefficient());
+      break;
+    case ReduceFn::kCard:
+      out.push_back(std::get<HyperLogLog>(impl_).Estimate());
+      break;
+    case ReduceFn::kArray: {
+      const auto& agg = std::get<exec_internal::ArrayAgg>(impl_);
+      for (double v : agg.values) {
+        out.push_back(v);
+      }
+      for (size_t i = agg.values.size(); i < agg.limit; ++i) {
+        out.push_back(0.0);  // Fixed-width padding for ML consumers.
+      }
+      break;
+    }
+    case ReduceFn::kHist: {
+      const auto& hist = std::get<FixedHistogram>(impl_);
+      for (int b = 0; b < hist.bins(); ++b) {
+        out.push_back(static_cast<double>(hist.count(b)));
+      }
+      break;
+    }
+    case ReduceFn::kPdf: {
+      for (double v : std::get<FixedHistogram>(impl_).Pdf()) {
+        out.push_back(v);
+      }
+      break;
+    }
+    case ReduceFn::kCdf: {
+      for (double v : std::get<FixedHistogram>(impl_).Cdf()) {
+        out.push_back(v);
+      }
+      break;
+    }
+    case ReduceFn::kPercent: {
+      const auto& hist = std::get<exec_internal::LogHist>(impl_);
+      const double q = std::clamp(spec_.param0, 0.0, 1.0);
+      if (hist.total == 0) {
+        out.push_back(0.0);
+        break;
+      }
+      const double target = q * static_cast<double>(hist.total);
+      double cumulative = 0.0;
+      double estimate = 0.0;
+      for (size_t b = 0; b < hist.buckets.size(); ++b) {
+        cumulative += hist.buckets[b];
+        if (cumulative >= target) {
+          // Bucket b covers [2^(b-1), 2^b); report its geometric midpoint.
+          estimate = b == 0 ? 0.5 : std::exp2(static_cast<double>(b) - 0.5);
+          break;
+        }
+      }
+      out.push_back(estimate);
+      break;
+    }
+  }
+}
+
+std::vector<double> ApplySynth(const SynthStep& step, std::vector<double> values) {
+  switch (step.fn) {
+    case SynthFn::kNorm: {
+      double max_abs = 0.0;
+      for (double v : values) {
+        max_abs = std::max(max_abs, std::fabs(v));
+      }
+      if (max_abs > 0.0) {
+        for (double& v : values) {
+          v /= max_abs;
+        }
+      }
+      return values;
+    }
+    case SynthFn::kSample: {
+      const size_t n = static_cast<size_t>(std::max(step.param, 1.0));
+      std::vector<double> out(n, 0.0);
+      if (values.empty()) {
+        return out;
+      }
+      if (values.size() == 1) {
+        std::fill(out.begin(), out.end(), values[0]);
+        return out;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const double pos = static_cast<double>(i) * (values.size() - 1) /
+                           (n > 1 ? static_cast<double>(n - 1) : 1.0);
+        const size_t lo = static_cast<size_t>(pos);
+        const size_t hi = std::min(lo + 1, values.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        out[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+      }
+      return out;
+    }
+    case SynthFn::kMarker: {
+      // CUMUL-style markers: cumulative sum sampled at every sign change.
+      std::vector<double> out;
+      double cumulative = 0.0;
+      double prev_sign = 0.0;
+      for (double v : values) {
+        const double sign = v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : prev_sign);
+        if (prev_sign != 0.0 && sign != prev_sign) {
+          out.push_back(cumulative);
+        }
+        cumulative += v;
+        prev_sign = sign;
+      }
+      out.push_back(cumulative);  // Final total.
+      return out;
+    }
+  }
+  return values;
+}
+
+Result<ExecPlan> ExecPlan::FromProgram(const NicProgram& program) {
+  ExecPlan plan;
+  std::map<std::string, int> field_index = {{"size", kFieldSize},
+                                            {"tstamp", kFieldTstamp},
+                                            {"direction", kFieldDirection},
+                                            {"fgkey", kFieldFgKey}};
+
+  for (const auto& m : program.maps) {
+    MapStep step;
+    step.fn = m.fn;
+    if (m.src.empty()) {
+      step.src = -1;
+    } else {
+      const auto it = field_index.find(m.src);
+      if (it == field_index.end()) {
+        return Status::Internal("exec plan: unresolved map source '" + m.src + "'");
+      }
+      step.src = it->second;
+    }
+    auto [it, inserted] = field_index.emplace(m.dst, plan.field_count);
+    if (inserted) {
+      ++plan.field_count;
+    }
+    step.dst = it->second;
+    plan.maps.push_back(step);
+  }
+
+  if (program.granularities.empty()) {
+    return Status::Internal("exec plan: program has no granularities");
+  }
+  for (Granularity g : program.granularities) {
+    GranularityPlan gp;
+    gp.granularity = g;
+    for (const auto& slot : program.layout) {
+      if (slot.granularity != g) {
+        continue;
+      }
+      const auto it = field_index.find(slot.field);
+      if (it == field_index.end()) {
+        return Status::Internal("exec plan: unresolved reduce source '" + slot.field + "'");
+      }
+      gp.reduces.push_back(ReduceStep{it->second, slot.spec});
+      gp.slots.push_back(slot);
+    }
+    plan.per_granularity.push_back(std::move(gp));
+  }
+  bool any = false;
+  for (const auto& gp : plan.per_granularity) {
+    if (!gp.reduces.empty()) {
+      any = true;
+    }
+  }
+  if (!any) {
+    return Status::Internal("exec plan: no collected features");
+  }
+  if (plan.field_count > 64) {
+    return Status::ResourceExhausted("exec plan: more than 64 per-packet fields");
+  }
+  return plan;
+}
+
+GroupState GroupState::Make(const ExecPlan& plan, size_t gi, const ExecOptions& options) {
+  GroupState state;
+  const auto& gp = plan.per_granularity[gi];
+  // flow carries no direction information (Table 5); the other
+  // granularities record it, making damped 1D statistics directional.
+  const bool directional = gp.granularity != Granularity::kFlow;
+  state.reducers.reserve(gp.reduces.size());
+  for (const auto& r : gp.reduces) {
+    state.reducers.emplace_back(r.spec, options, directional);
+  }
+  return state;
+}
+
+void UpdateGroup(const ExecPlan& plan, size_t gi, GroupState& group, const MgpvCell& cell) {
+  const double t_ns = static_cast<double>(cell.full_timestamp_ns);
+  const double t_seconds = t_ns * 1e-9;
+  const int dir_sign = cell.direction == Direction::kForward ? 1 : -1;
+  double& last_ts = group.last_tstamp_ns[static_cast<int>(cell.direction)];
+
+  // Builtin fields + mapped fields.
+  double fields[64];
+  fields[ExecPlan::kFieldSize] = static_cast<double>(cell.size);
+  fields[ExecPlan::kFieldTstamp] = t_ns;
+  fields[ExecPlan::kFieldDirection] = static_cast<double>(dir_sign);
+  // The FG-key hash is the switch-computed index shipped with the cell; a
+  // double holds 32 bits exactly.
+  const auto fg_bytes = cell.fg_tuple.ToBytes();
+  fields[ExecPlan::kFieldFgKey] =
+      static_cast<double>(Crc32(fg_bytes.data(), fg_bytes.size()));
+
+  for (const auto& m : plan.maps) {
+    const double src = m.src >= 0 ? fields[m.src] : 0.0;
+    double dst = 0.0;
+    switch (m.fn) {
+      case MapFn::kOne:
+        dst = 1.0;
+        break;
+      case MapFn::kIpt:
+        dst = last_ts < 0.0 ? 0.0 : t_ns - last_ts;
+        break;
+      case MapFn::kSpeed: {
+        const double ipt_ns = last_ts < 0.0 ? 0.0 : t_ns - last_ts;
+        dst = ipt_ns > 0.0 ? fields[ExecPlan::kFieldSize] / (ipt_ns * 1e-9) : 0.0;
+        break;
+      }
+      case MapFn::kBurst:
+        group.burst_len = (group.last_dir == dir_sign) ? group.burst_len + 1.0 : 1.0;
+        dst = group.burst_len;
+        break;
+      case MapFn::kDirection:
+        dst = src * dir_sign;
+        break;
+    }
+    fields[m.dst] = dst;
+  }
+
+  const auto& gp = plan.per_granularity[gi];
+  for (size_t i = 0; i < gp.reduces.size(); ++i) {
+    group.reducers[i].Update(fields[gp.reduces[i].src], t_seconds, cell.direction);
+  }
+
+  last_ts = t_ns;
+  group.last_dir = dir_sign;
+  group.packets++;
+  group.last_seen_ns = cell.full_timestamp_ns;
+  group.last_fg_tuple = cell.fg_tuple;
+  group.last_direction = cell.direction;
+}
+
+void EmitGroupFeatures(const ExecPlan& plan, size_t gi, const GroupState& group,
+                       std::vector<double>& out) {
+  const auto& gp = plan.per_granularity[gi];
+  for (size_t i = 0; i < gp.reduces.size(); ++i) {
+    std::vector<double> block;
+    group.reducers[i].Emit(block, group.last_direction);
+    for (const auto& step : gp.slots[i].synths) {
+      block = ApplySynth(step, std::move(block));
+    }
+    // Fixed layout: pad/truncate to the slot's declared width.
+    const uint32_t width = gp.slots[i].Width();
+    block.resize(width, 0.0);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+}
+
+uint32_t GranularityFeatureWidth(const ExecPlan& plan, size_t gi) {
+  uint32_t width = 0;
+  for (const auto& slot : plan.per_granularity[gi].slots) {
+    width += slot.Width();
+  }
+  return width;
+}
+
+}  // namespace superfe

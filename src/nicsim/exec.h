@@ -1,0 +1,174 @@
+// Feature-computation engine: executes the NIC side of a compiled policy
+// (map / reduce / synthesize) over MGPV cells, maintaining per-group state
+// with the streaming algorithms of §6.1.
+//
+// The engine is shared by FE-NIC (which adds the NFP cost model on top) and
+// by the software-baseline extractor (which runs it with exact arithmetic).
+#ifndef SUPERFE_NICSIM_EXEC_H_
+#define SUPERFE_NICSIM_EXEC_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "policy/compile.h"
+#include "streaming/damped.h"
+#include "streaming/histogram.h"
+#include "streaming/hyperloglog.h"
+#include "streaming/moments.h"
+#include "streaming/welford.h"
+#include "switchsim/evict.h"
+
+namespace superfe {
+
+struct ExecOptions {
+  // True: run the arithmetic the NFP actually uses (integer Welford with
+  // division elimination, fixed-point damped windows). False: exact
+  // double-precision (the standard feature definitions of Fig 10).
+  bool nic_arithmetic = true;
+
+  // Explicit damped-window arithmetic override; unset derives it from
+  // nic_arithmetic. kFloat32 reproduces the original Kitsune implementation
+  // for the Fig 10 comparison.
+  std::optional<DampedMode> damped_mode;
+
+  DampedMode EffectiveDampedMode() const {
+    if (damped_mode.has_value()) {
+      return *damped_mode;
+    }
+    return nic_arithmetic ? DampedMode::kNicFixedPoint : DampedMode::kExactDouble;
+  }
+};
+
+namespace exec_internal {
+
+struct SumAgg {
+  double sum = 0.0;
+};
+struct MinMaxAgg {
+  bool any = false;
+  double value = 0.0;
+};
+struct ArrayAgg {
+  uint32_t limit = 0;
+  std::vector<double> values;
+};
+// Log2-bucketed histogram used by ft_percent (index via clz; §6.1).
+// 32 buckets x 4 bytes, matching the cost registry and the generated
+// Micro-C state layout.
+struct LogHist {
+  std::array<uint32_t, 32> buckets{};
+  uint64_t total = 0;
+};
+
+}  // namespace exec_internal
+
+// One reducing-function instance for one group.
+//
+// At direction-recording granularities (host/channel/socket, Table 5) the
+// damped 1D statistics are *directional*: each direction's sub-stream is
+// tracked separately (Kitsune's HH/HpHp semantics) and emission reports the
+// current packet's side. Directed sub-streams also stay in timestamp order
+// through MGPV, since each lives inside one coarse-granularity group.
+class Reducer {
+ public:
+  Reducer(const ReduceSpec& spec, const ExecOptions& options, bool directional);
+
+  // Feeds one sample. `t_seconds` is the packet time (damped windows);
+  // `dir` routes bidirectional and directional statistics.
+  void Update(double value, double t_seconds, Direction dir);
+
+  // Appends this reducer's OutputWidth(spec) feature values. `dir` selects
+  // the side of directional statistics (the emitting packet's direction).
+  void Emit(std::vector<double>& out, Direction dir = Direction::kForward) const;
+
+  const ReduceSpec& spec() const { return spec_; }
+
+ private:
+  ReduceSpec spec_;
+  bool nic_ = true;
+  bool directional_ = false;
+  std::variant<exec_internal::SumAgg, exec_internal::MinMaxAgg, WelfordStats, NicWelfordStats,
+               DampedStats, StreamingMoments, DampedStats2D, HyperLogLog,
+               exec_internal::ArrayAgg, FixedHistogram, exec_internal::LogHist>
+      impl_;
+};
+
+// Post-processing (synthesize) of an emitted feature block.
+std::vector<double> ApplySynth(const SynthStep& step, std::vector<double> values);
+
+// Index-compiled form of a NicProgram (field names resolved to slots).
+// Reducer lists are per granularity: reduces may be restricted to one
+// granularity of the chain (Kitsune computes different feature sets per
+// granularity).
+struct ExecPlan {
+  static constexpr int kFieldSize = 0;
+  static constexpr int kFieldTstamp = 1;     // Nanoseconds.
+  static constexpr int kFieldDirection = 2;  // +1 / -1.
+  // Hash of the packet's finest-granularity group key: lets f_card count
+  // distinct finer groups per coarse group ("the number of TCP flows that
+  // each IP address establishes", §4.1).
+  static constexpr int kFieldFgKey = 3;
+
+  struct MapStep {
+    int dst = 0;
+    int src = -1;  // -1 for "_".
+    MapFn fn = MapFn::kOne;
+  };
+  struct ReduceStep {
+    int src = 0;
+    ReduceSpec spec;
+  };
+  struct GranularityPlan {
+    Granularity granularity = Granularity::kFlow;
+    std::vector<ReduceStep> reduces;  // In layout order.
+    std::vector<FeatureSlot> slots;   // Parallel to reduces (synth chains).
+  };
+
+  int field_count = 4;
+  std::vector<MapStep> maps;
+  std::vector<GranularityPlan> per_granularity;  // Chain order.
+
+  static Result<ExecPlan> FromProgram(const NicProgram& program);
+};
+
+// Per-group execution state.
+struct GroupState {
+  // Mapping-function state. Inter-packet time is tracked per direction:
+  // directional jitter is Kitsune's semantics, and each direction's
+  // sub-stream stays in timestamp order through MGPV (cells of one
+  // direction share a coarse-granularity group).
+  double last_tstamp_ns[2] = {-1.0, -1.0};  // Indexed by Direction.
+  int last_dir = 0;
+  double burst_len = 0.0;
+
+  std::vector<Reducer> reducers;  // Parallel to the granularity plan's reduces.
+
+  // Bookkeeping for emission.
+  uint64_t packets = 0;
+  uint64_t last_seen_ns = 0;
+  FiveTuple last_fg_tuple;  // For deriving coarser keys at emission.
+  Direction last_direction = Direction::kForward;
+
+  // Creates state for granularity index `gi` of the plan's chain.
+  static GroupState Make(const ExecPlan& plan, size_t gi, const ExecOptions& options);
+};
+
+// Updates one group (at granularity index `gi`) with one cell.
+void UpdateGroup(const ExecPlan& plan, size_t gi, GroupState& group, const MgpvCell& cell);
+
+// Emits the group's feature block for granularity index `gi`: reducer
+// outputs with synthesize chains applied, appended to `out`.
+void EmitGroupFeatures(const ExecPlan& plan, size_t gi, const GroupState& group,
+                       std::vector<double>& out);
+
+// Feature width of granularity index `gi` (for zero-fill of absent groups).
+uint32_t GranularityFeatureWidth(const ExecPlan& plan, size_t gi);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_EXEC_H_

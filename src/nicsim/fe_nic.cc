@@ -1,0 +1,194 @@
+#include "nicsim/fe_nic.h"
+
+#include <algorithm>
+
+namespace superfe {
+
+Result<std::unique_ptr<FeNic>> FeNic::Create(const CompiledPolicy& compiled,
+                                             const FeNicConfig& config, FeatureSink* sink) {
+  auto plan = ExecPlan::FromProgram(compiled.nic_program);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+
+  PlacementProblem problem;
+  // States are already expanded per granularity instance by the compiler.
+  problem.states = compiled.nic_program.states;
+  problem.arch = config.arch;
+  problem.groups_per_granularity = config.groups_hint;
+  problem.granularity_instances = 1;
+  problem.key_bytes = compiled.switch_program.FgKeyBytes();
+  problem.table_width = DefaultTableWidths(compiled.nic_program.StateBytesPerGroup());
+  auto placement = SolvePlacement(problem);
+  if (!placement.ok()) {
+    return placement.status();
+  }
+
+  return std::unique_ptr<FeNic>(new FeNic(compiled, config, sink, std::move(plan).value(),
+                                          std::move(problem), std::move(placement).value()));
+}
+
+FeNic::FeNic(const CompiledPolicy& compiled, const FeNicConfig& config, FeatureSink* sink,
+             ExecPlan plan, PlacementProblem problem, PlacementResult placement)
+    : compiled_(compiled),
+      config_(config),
+      sink_(sink),
+      plan_(std::move(plan)),
+      placement_problem_(std::move(problem)),
+      placement_(std::move(placement)),
+      perf_(config.arch, config.optimizations) {
+  const auto& grans = compiled_.nic_program.granularities;
+  tables_.reserve(grans.size());
+  for (size_t i = 0; i < grans.size(); ++i) {
+    tables_.push_back(std::make_unique<GroupTable<GroupState>>(config_.group_table_indices,
+                                                               config_.group_table_width));
+  }
+
+  // Precompute per-cell work from the compiled program and the placement
+  // (state items are already expanded per granularity instance).
+  base_cell_work_.alu_ops = compiled_.nic_program.AluOpsPerPacket();
+  base_cell_work_.divisions = compiled_.nic_program.DivisionsPerPacket();
+  base_cell_work_.mem_latency_cycles =
+      placement_.LatencyPerPacket(config_.arch, placement_problem_.states);
+  uint32_t levels_used = 0;
+  for (uint64_t bytes : placement_.level_bytes) {
+    if (bytes > 0) {
+      ++levels_used;
+    }
+  }
+  base_cell_work_.mem_accesses = std::max<uint32_t>(levels_used, 1);
+  base_cell_work_.hashes = static_cast<uint32_t>(grans.size());
+}
+
+void FeNic::OnFgSync(const FgSyncMessage& sync) {
+  // The NIC's table copy is modeled through the cells' shadow FG tuples;
+  // the sync message itself costs a control-path update.
+  (void)sync;
+  stats_.fg_syncs++;
+}
+
+void FeNic::OnMgpv(const MgpvReport& report) {
+  stats_.reports++;
+  perf_.AccountReport();
+  if (!report.cells.empty()) {
+    EvictIdleGroups(report.cells.back().full_timestamp_ns);
+  }
+
+  const auto& grans = compiled_.nic_program.granularities;
+  const bool per_packet = compiled_.nic_program.collect.per_packet;
+
+  for (const auto& cell : report.cells) {
+    stats_.cells++;
+    CellWork work = base_cell_work_;
+
+    // Locate and update the group at every granularity in the chain. The
+    // cell's FG tuple plus direction derives every key (§5.1).
+    std::array<GroupState*, 4> touched{};
+    for (size_t gi = 0; gi < grans.size(); ++gi) {
+      const GroupKey key = GroupKey::FromFgTuple(cell.fg_tuple, cell.direction, grans[gi]);
+      const uint32_t hash = key.Hash();
+      bool via_dram = false;
+      GroupState& group = tables_[gi]->FindOrCreate(
+          key, hash, [&] { return GroupState::Make(plan_, gi, config_.exec); }, via_dram);
+      if (via_dram) {
+        stats_.dram_detours++;
+        work.mem_accesses += 1;
+        work.mem_latency_cycles += config_.arch.dram_latency_cycles;
+      }
+      UpdateGroup(plan_, gi, group, cell);
+      touched[gi] = &group;
+    }
+    perf_.AccountCell(work);
+
+    if (per_packet) {
+      FeatureVector vector;
+      vector.group = GroupKey::FromFgTuple(cell.fg_tuple, cell.direction,
+                                           compiled_.switch_program.fg());
+      vector.timestamp_ns = cell.full_timestamp_ns;
+      vector.values.reserve(compiled_.nic_program.FeatureDimension());
+      for (size_t gi = 0; gi < grans.size(); ++gi) {
+        EmitGroupFeatures(plan_, gi, *touched[gi], vector.values);
+      }
+      stats_.vectors_emitted++;
+      sink_->OnFeatureVector(std::move(vector));
+    }
+  }
+}
+
+void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {
+  const auto& grans = compiled_.nic_program.granularities;
+  FeatureVector vector;
+  vector.group = unit_key;
+  vector.timestamp_ns = unit_group.last_seen_ns;
+  vector.values.reserve(compiled_.nic_program.FeatureDimension());
+
+  for (size_t gi = 0; gi < grans.size(); ++gi) {
+    if (grans[gi] == unit_key.granularity) {
+      EmitGroupFeatures(plan_, gi, unit_group, vector.values);
+      continue;
+    }
+    // Sibling granularity: derive its key from the unit group's last packet.
+    const GroupKey sibling_key =
+        GroupKey::FromFgTuple(unit_group.last_fg_tuple, unit_group.last_direction, grans[gi]);
+    GroupState* sibling = tables_[gi]->Find(sibling_key, sibling_key.Hash());
+    if (sibling != nullptr) {
+      EmitGroupFeatures(plan_, gi, *sibling, vector.values);
+    } else {
+      vector.values.resize(vector.values.size() + GranularityFeatureWidth(plan_, gi), 0.0);
+    }
+  }
+  stats_.vectors_emitted++;
+  sink_->OnFeatureVector(std::move(vector));
+}
+
+void FeNic::EvictIdleGroups(uint64_t now_ns) {
+  if (config_.idle_timeout_ns == 0 || compiled_.nic_program.collect.per_packet) {
+    return;
+  }
+  const Granularity unit = compiled_.nic_program.collect.unit;
+  const auto& grans = compiled_.nic_program.granularities;
+  for (size_t gi = 0; gi < grans.size(); ++gi) {
+    if (grans[gi] != unit) {
+      continue;
+    }
+    std::vector<GroupKey> expired;
+    tables_[gi]->ForEach([&](const GroupKey& key, GroupState& group) {
+      if (now_ns > group.last_seen_ns &&
+          now_ns - group.last_seen_ns > config_.idle_timeout_ns) {
+        EmitVector(key, group);
+        expired.push_back(key);
+      }
+    });
+    for (const auto& key : expired) {
+      tables_[gi]->Erase(key, key.Hash());
+    }
+  }
+}
+
+void FeNic::Flush() {
+  if (!compiled_.nic_program.collect.per_packet) {
+    const Granularity unit = compiled_.nic_program.collect.unit;
+    const auto& grans = compiled_.nic_program.granularities;
+    for (size_t gi = 0; gi < grans.size(); ++gi) {
+      if (grans[gi] != unit) {
+        continue;
+      }
+      tables_[gi]->ForEach(
+          [&](const GroupKey& key, GroupState& group) { EmitVector(key, group); });
+    }
+  }
+  for (auto& table : tables_) {
+    table->Clear();
+  }
+}
+
+std::vector<size_t> FeNic::GroupCounts() const {
+  std::vector<size_t> counts;
+  counts.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    counts.push_back(table->size());
+  }
+  return counts;
+}
+
+}  // namespace superfe

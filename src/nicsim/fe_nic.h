@@ -1,0 +1,104 @@
+// FE-NIC: the SmartNIC side of SuperFE (§6). Consumes MGPV batches evicted
+// by FE-Switch, re-splits multi-granularity groups via FG keys, runs the
+// compiled map/reduce/synthesize pipeline with streaming algorithms, and
+// emits feature vectors per the policy's collect unit — while accounting
+// NFP cycles and memory through the cost model and ILP placement.
+#ifndef SUPERFE_NICSIM_FE_NIC_H_
+#define SUPERFE_NICSIM_FE_NIC_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/feature_vector.h"
+#include "nicsim/cost_model.h"
+#include "nicsim/exec.h"
+#include "nicsim/group_table.h"
+#include "nicsim/placement.h"
+#include "policy/compile.h"
+#include "switchsim/evict.h"
+
+namespace superfe {
+
+struct FeNicConfig {
+  NfpArch arch;
+  NicOptimizations optimizations = NicOptimizations::All();
+  ExecOptions exec;
+
+  uint32_t group_table_indices = 16384;
+  uint32_t group_table_width = 4;
+
+  // Expected concurrent groups per granularity for the placement problem.
+  uint32_t groups_hint = 16384;  // Matches the FG-table size (§7).
+
+  // Continuous operation: for group-unit collect policies, groups idle for
+  // longer than this emit their feature vector and are recycled (the
+  // "feature vectors will be evicted from the SmartNIC" flow of §3.2).
+  // 0 keeps vectors until Flush() (batch mode).
+  uint64_t idle_timeout_ns = 0;
+};
+
+struct FeNicStats {
+  uint64_t reports = 0;
+  uint64_t cells = 0;
+  uint64_t fg_syncs = 0;
+  uint64_t vectors_emitted = 0;
+  uint64_t dram_detours = 0;
+};
+
+class FeNic : public MgpvSink {
+ public:
+  // Fails only on internal compilation inconsistencies.
+  static Result<std::unique_ptr<FeNic>> Create(const CompiledPolicy& compiled,
+                                               const FeNicConfig& config, FeatureSink* sink);
+
+  // MgpvSink:
+  void OnMgpv(const MgpvReport& report) override;
+  void OnFgSync(const FgSyncMessage& sync) override;
+
+  // Emits feature vectors for all live groups of the collect unit and
+  // clears state (end of run).
+  void Flush();
+
+  // Sweeps the collect-unit table and emits/evicts groups idle for longer
+  // than config.idle_timeout_ns (no-op when the timeout is 0 or collection
+  // is per-packet). Called internally per report; exposed for tests.
+  void EvictIdleGroups(uint64_t now_ns);
+
+  const FeNicStats& stats() const { return stats_; }
+  const NicPerfModel& perf() const { return perf_; }
+  const PlacementResult& placement() const { return placement_; }
+  const PlacementProblem& placement_problem() const { return placement_problem_; }
+  const ExecPlan& plan() const { return plan_; }
+
+  // Live group counts per granularity (diagnostics / memory experiments).
+  std::vector<size_t> GroupCounts() const;
+
+ private:
+  FeNic(const CompiledPolicy& compiled, const FeNicConfig& config, FeatureSink* sink,
+        ExecPlan plan, PlacementProblem problem, PlacementResult placement);
+
+  // Builds and emits a feature vector for the collect-unit group `unit`.
+  // Coarser/finer sibling groups are located via the group's last FG tuple.
+  void EmitVector(const GroupKey& unit_key, const GroupState& unit_group);
+
+  CompiledPolicy compiled_;
+  FeNicConfig config_;
+  FeatureSink* sink_;
+  ExecPlan plan_;
+  PlacementProblem placement_problem_;
+  PlacementResult placement_;
+  NicPerfModel perf_;
+  FeNicStats stats_;
+
+  // One group table per granularity in the chain.
+  std::vector<std::unique_ptr<GroupTable<GroupState>>> tables_;
+
+  // Precomputed per-cell work (placement-aware); DRAM detours are added
+  // dynamically.
+  CellWork base_cell_work_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_FE_NIC_H_

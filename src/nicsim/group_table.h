@@ -1,0 +1,145 @@
+// NIC group-state table (§6.2 "Group table implementation"): a hash table
+// with fixed-length chaining sized to the 512-bit data bus — one bus access
+// loads all `width` candidate entries of an index — plus external DRAM to
+// absorb chain overflow.
+//
+// The table is generic over the state type; lookup statistics feed the cycle
+// model (a DRAM detour costs an extra high-latency access).
+#ifndef SUPERFE_NICSIM_GROUP_TABLE_H_
+#define SUPERFE_NICSIM_GROUP_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "switchsim/group_key.h"
+
+namespace superfe {
+
+struct GroupTableStats {
+  uint64_t lookups = 0;
+  uint64_t inserts = 0;
+  uint64_t dram_lookups = 0;  // Chain overflow: search continued in DRAM.
+  uint64_t dram_entries = 0;  // Entries currently living in DRAM.
+
+  double DramRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(dram_lookups) /
+                                    static_cast<double>(lookups);
+  }
+};
+
+template <typename State>
+class GroupTable {
+ public:
+  // `indices` hash buckets of `width` entries each.
+  GroupTable(uint32_t indices, uint32_t width) : width_(width), buckets_(indices) {}
+
+  // Finds the state for `key`, creating it with `make` if absent.
+  // `via_dram` reports whether the access had to detour to DRAM.
+  template <typename MakeFn>
+  State& FindOrCreate(const GroupKey& key, uint32_t hash, MakeFn&& make, bool& via_dram) {
+    ++stats_.lookups;
+    via_dram = false;
+    Bucket& bucket = buckets_[hash % buckets_.size()];
+    for (auto& entry : bucket.entries) {
+      if (entry.key == key) {
+        return *entry.state;
+      }
+    }
+    if (bucket.entries.size() < width_) {
+      ++stats_.inserts;
+      bucket.entries.push_back(Entry{key, std::make_unique<State>(make())});
+      return *bucket.entries.back().state;
+    }
+    // Chain full: the entry lives in DRAM (§6.2 collision handling).
+    via_dram = true;
+    ++stats_.dram_lookups;
+    auto it = dram_.find(key);
+    if (it == dram_.end()) {
+      ++stats_.inserts;
+      ++stats_.dram_entries;
+      it = dram_.emplace(key, std::make_unique<State>(make())).first;
+    }
+    return *it->second;
+  }
+
+  // Returns the state if present (no creation); nullptr otherwise.
+  State* Find(const GroupKey& key, uint32_t hash) {
+    Bucket& bucket = buckets_[hash % buckets_.size()];
+    for (auto& entry : bucket.entries) {
+      if (entry.key == key) {
+        return entry.state.get();
+      }
+    }
+    const auto it = dram_.find(key);
+    return it == dram_.end() ? nullptr : it->second.get();
+  }
+
+  // Visits every (key, state) pair.
+  template <typename Visitor>
+  void ForEach(Visitor&& visit) {
+    for (auto& bucket : buckets_) {
+      for (auto& entry : bucket.entries) {
+        visit(entry.key, *entry.state);
+      }
+    }
+    for (auto& [key, state] : dram_) {
+      visit(key, *state);
+    }
+  }
+
+  // Removes one entry; returns true if it existed.
+  bool Erase(const GroupKey& key, uint32_t hash) {
+    Bucket& bucket = buckets_[hash % buckets_.size()];
+    for (auto it = bucket.entries.begin(); it != bucket.entries.end(); ++it) {
+      if (it->key == key) {
+        bucket.entries.erase(it);
+        return true;
+      }
+    }
+    const auto it = dram_.find(key);
+    if (it != dram_.end()) {
+      dram_.erase(it);
+      --stats_.dram_entries;
+      return true;
+    }
+    return false;
+  }
+
+  void Clear() {
+    for (auto& bucket : buckets_) {
+      bucket.entries.clear();
+    }
+    dram_.clear();
+    stats_.dram_entries = 0;
+  }
+
+  size_t size() const {
+    size_t n = dram_.size();
+    for (const auto& bucket : buckets_) {
+      n += bucket.entries.size();
+    }
+    return n;
+  }
+
+  const GroupTableStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    GroupKey key;
+    std::unique_ptr<State> state;
+  };
+  struct Bucket {
+    std::vector<Entry> entries;
+  };
+
+  uint32_t width_;
+  std::vector<Bucket> buckets_;
+  std::unordered_map<GroupKey, std::unique_ptr<State>, GroupKeyHash> dram_;
+  GroupTableStats stats_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_GROUP_TABLE_H_

@@ -1,0 +1,248 @@
+#include "nicsim/microc_gen.h"
+
+#include <map>
+#include <sstream>
+
+namespace superfe {
+namespace {
+
+const char* MemLevelMicroC(MemLevel level) {
+  switch (level) {
+    case MemLevel::kCls:
+      return "__declspec(cls)";
+    case MemLevel::kCtm:
+      return "__declspec(ctm)";
+    case MemLevel::kImem:
+      return "__declspec(imem)";
+    case MemLevel::kEmem:
+      return "__declspec(emem)";
+  }
+  return "__declspec(emem)";
+}
+
+std::string SanitizeIdent(std::string name) {
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+void EmitStateStruct(std::ostringstream& out, const ReduceSpec& spec, const std::string& name) {
+  out << "struct " << name << " {\n";
+  switch (spec.fn) {
+    case ReduceFn::kSum:
+    case ReduceFn::kMax:
+    case ReduceFn::kMin:
+      out << "    int32_t value;\n";
+      break;
+    case ReduceFn::kMean:
+    case ReduceFn::kVar:
+    case ReduceFn::kStd:
+      if (spec.decay_lambda > 0.0) {
+        out << "    uint32_t w_fp;      /* 16.16 decayed weight */\n"
+               "    int32_t  mean_fp;   /* 16.16 Welford mean */\n"
+               "    uint32_t m2_fp;     /* 16.16 decayed central moment */\n"
+               "    uint32_t last_ts;\n";
+      } else {
+        out << "    uint32_t n;\n"
+               "    int32_t  mean;\n"
+               "    int32_t  var;\n"
+               "    int32_t  mean_acc;  /* division-elimination residue */\n"
+               "    int32_t  var_acc;\n";
+      }
+      break;
+    case ReduceFn::kKur:
+    case ReduceFn::kSkew:
+      out << "    uint32_t n;\n    int32_t m1, m2, m3, m4;\n";
+      break;
+    case ReduceFn::kMag:
+    case ReduceFn::kRadius:
+    case ReduceFn::kCov:
+    case ReduceFn::kPcc:
+      out << "    /* two directed sub-streams + decayed residual product */\n"
+             "    uint32_t wa_fp, wb_fp;\n"
+             "    int32_t  mean_a_fp, mean_b_fp;\n"
+             "    uint32_t m2a_fp, m2b_fp;\n"
+             "    int32_t  sr_fp;\n"
+             "    uint32_t last_ts;\n";
+      break;
+    case ReduceFn::kCard:
+      out << "    uint8_t hll[64];    /* HyperLogLog, 64 buckets */\n";
+      break;
+    case ReduceFn::kArray: {
+      const uint32_t limit = spec.array_limit != 0 ? spec.array_limit : 5000;
+      out << "    uint16_t count;\n    int16_t values[" << limit << "];\n";
+      break;
+    }
+    case ReduceFn::kHist:
+    case ReduceFn::kPdf:
+    case ReduceFn::kCdf:
+      out << "    uint32_t bins[" << static_cast<uint32_t>(spec.param1) << "];\n";
+      break;
+    case ReduceFn::kPercent:
+      out << "    uint32_t log_bins[32];\n";
+      break;
+  }
+  out << "};\n\n";
+}
+
+void EmitUpdate(std::ostringstream& out, const ReduceSpec& spec, const std::string& name) {
+  out << "static __forceinline void update_" << name << "(struct " << name
+      << " *st, int32_t x, uint32_t ts, int dir) {\n";
+  switch (spec.fn) {
+    case ReduceFn::kSum:
+      out << "    st->value += x;\n";
+      break;
+    case ReduceFn::kMax:
+      out << "    if (x > st->value) st->value = x;\n";
+      break;
+    case ReduceFn::kMin:
+      out << "    if (x < st->value) st->value = x;\n";
+      break;
+    case ReduceFn::kMean:
+    case ReduceFn::kVar:
+    case ReduceFn::kStd:
+      if (spec.decay_lambda > 0.0) {
+        out << "    /* decayed Welford: gamma = exp2_lut(-LAMBDA * (ts - st->last_ts)) */\n"
+               "    uint32_t gamma = exp2_lut(LAMBDA_" << name << ", ts - st->last_ts);\n"
+               "    st->w_fp  = fp_mul(st->w_fp,  gamma) + FP_ONE;\n"
+               "    st->m2_fp = fp_mul(st->m2_fp, gamma);\n"
+               "    { int32_t delta = (x << 16) - st->mean_fp;\n"
+               "      /* delta / w via shift-quotient (no divider, Section 6.2) */\n"
+               "      st->mean_fp += shift_div(delta, st->w_fp);\n"
+               "      st->m2_fp   += fp_mul(delta, (x << 16) - st->mean_fp) >> 16; }\n"
+               "    st->last_ts = ts;\n";
+      } else {
+        out << "    st->n++;\n"
+               "    { int32_t delta = x - st->mean;\n"
+               "      st->mean_acc += delta;\n"
+               "      drain_residue(&st->mean_acc, st->n, &st->mean);\n"
+               "      st->var_acc += delta * (x - st->mean) - st->var;\n"
+               "      drain_residue(&st->var_acc, st->n, &st->var); }\n";
+      }
+      break;
+    case ReduceFn::kKur:
+    case ReduceFn::kSkew:
+      out << "    moments4_update(st, x);  /* Pebay one-pass central moments */\n";
+      break;
+    case ReduceFn::kMag:
+    case ReduceFn::kRadius:
+    case ReduceFn::kCov:
+    case ReduceFn::kPcc:
+      out << "    if (dir == DIR_FWD) twod_update_a(st, x, ts);\n"
+             "    else                twod_update_b(st, x, ts);\n";
+      break;
+    case ReduceFn::kCard:
+      out << "    /* switch-computed hash rides in the MGPV header (hash reuse) */\n"
+             "    { uint32_t h = mgpv_hash ^ (uint32_t)x;\n"
+             "      uint32_t idx = h >> 26;                 /* 6 index bits */\n"
+             "      uint8_t rank = clz32(h << 6) + 1;\n"
+             "      if (rank > st->hll[idx]) st->hll[idx] = rank; }\n";
+      break;
+    case ReduceFn::kArray: {
+      const uint32_t limit = spec.array_limit != 0 ? spec.array_limit : 5000;
+      out << "    if (st->count < " << limit << ") st->values[st->count++] = (int16_t)x;\n";
+      break;
+    }
+    case ReduceFn::kHist:
+    case ReduceFn::kPdf:
+    case ReduceFn::kCdf: {
+      const uint32_t bins = static_cast<uint32_t>(spec.param1);
+      out << "    /* bin width rounded to a power of two: index is a shift */\n"
+             "    { uint32_t b = (uint32_t)x >> WIDTH_SHIFT_" << name << ";\n"
+             "      if (b >= " << bins << ") b = " << bins - 1 << ";\n"
+             "      st->bins[b]++; }\n";
+      break;
+    }
+    case ReduceFn::kPercent:
+      out << "    st->log_bins[x > 0 ? 31 - clz32((uint32_t)x) + 1 : 0]++;\n";
+      break;
+  }
+  out << "}\n\n";
+}
+
+}  // namespace
+
+std::string GenerateMicroC(const CompiledPolicy& compiled, const PlacementResult& placement) {
+  const NicProgram& nic = compiled.nic_program;
+  std::ostringstream out;
+  out << "/* FE-NIC program generated by SuperFE for policy '" << compiled.policy.name
+      << "'.\n * Granularity chain:";
+  for (Granularity g : nic.granularities) {
+    out << " " << GranularityName(g);
+  }
+  out << "\n * Feature dimension: " << nic.FeatureDimension() << "\n */\n\n";
+  out << "#include <nfp.h>\n#include <nfp/me.h>\n#include <nfp/mem_bulk.h>\n"
+         "#include \"superfe_runtime.h\"  /* exp2_lut, shift_div, drain_residue, ... */\n\n";
+
+  // State structs + update routines, deduplicated by shape.
+  std::map<std::string, ReduceSpec> emitted;
+  for (const auto& slot : nic.layout) {
+    const std::string name = SanitizeIdent(slot.Name());
+    if (emitted.emplace(name, slot.spec).second) {
+      EmitStateStruct(out, slot.spec, name);
+      EmitUpdate(out, slot.spec, name);
+    }
+  }
+
+  // Group tables per granularity with ILP-assigned placement.
+  out << "/* ---- Group tables (fixed-length chaining, bus-aligned entries;\n"
+         " * placement solved per Section 6.2's ILP) ---- */\n";
+  for (size_t gi = 0; gi < nic.granularities.size(); ++gi) {
+    const char* gran = GranularityName(nic.granularities[gi]);
+    // The coarsest-placed state of this granularity decides the table home.
+    MemLevel level = MemLevel::kEmem;
+    for (size_t s = 0; s < nic.states.size(); ++s) {
+      if (nic.states[s].name.rfind(std::string(gran) + "/", 0) == 0) {
+        level = placement.assignment[s];
+        break;
+      }
+    }
+    out << MemLevelMicroC(level) << " struct group_entry_" << gran << " table_" << gran
+        << "[GROUP_TABLE_INDICES][GROUP_TABLE_WIDTH];\n";
+  }
+  out << "__declspec(emem) struct dram_overflow overflow;  /* chain spill */\n\n";
+
+  // Main per-cell loop.
+  out << R"(__forceinline static void process_cell(struct mgpv_cell *cell, uint32_t mgpv_hash) {
+    /* One hardware thread per cell; ctx_swap() hides memory latency while
+     * the other 7 threads of this ME keep computing (Section 6.2). */
+)";
+  for (size_t gi = 0; gi < nic.granularities.size(); ++gi) {
+    const char* gran = GranularityName(nic.granularities[gi]);
+    out << "    {\n        struct group_entry_" << gran << " *g = lookup_or_insert_" << gran
+        << "(cell, mgpv_hash);\n";
+    for (const auto& slot : nic.layout) {
+      if (slot.granularity != nic.granularities[gi]) {
+        continue;
+      }
+      const std::string name = SanitizeIdent(slot.Name());
+      out << "        update_" << name << "(&g->" << name << ", cell->" << slot.field
+          << ", cell->tstamp, cell->dir);\n";
+    }
+    out << "    }\n";
+  }
+  if (nic.collect.per_packet) {
+    out << "    emit_feature_vector(cell);  /* collect(pkt) */\n";
+  } else {
+    out << "    /* collect(" << GranularityName(nic.collect.unit)
+        << "): vectors emitted on group eviction/teardown */\n";
+  }
+  out << "}\n\n";
+
+  out << R"(int main(void) {
+    for (;;) {
+        struct mgpv_report rep;
+        mgpv_receive(&rep);              /* DMA from the switch-facing port */
+        for (int i = 0; i < rep.cell_count; i++) {
+            process_cell(&rep.cells[i], rep.hash);
+        }
+    }
+}
+)";
+  return out.str();
+}
+
+}  // namespace superfe

@@ -1,0 +1,24 @@
+// Micro-C code generation for FE-NIC (§7: the policy engine "assembles the
+// program of FE-NIC by translating the rest of the operators").
+//
+// Emits a Netronome Micro-C program implementing the compiled policy's NIC
+// side: MGPV report parsing, per-granularity group tables placed per the
+// ILP solution, mapping-function state, and one update routine per reducing
+// function using the §6.1 streaming algorithms with the §6.2 optimizations
+// (hash reuse, division elimination). Reference source for a real NFP
+// deployment; this repository executes the simulator instead.
+#ifndef SUPERFE_NICSIM_MICROC_GEN_H_
+#define SUPERFE_NICSIM_MICROC_GEN_H_
+
+#include <string>
+
+#include "nicsim/placement.h"
+#include "policy/compile.h"
+
+namespace superfe {
+
+std::string GenerateMicroC(const CompiledPolicy& compiled, const PlacementResult& placement);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_MICROC_GEN_H_

@@ -1,0 +1,55 @@
+// Architectural description of the Netronome NFP-4000 SoC SmartNIC (§6.2,
+// Fig 8): islands of RISC microengines (8 hardware threads each, 800 MHz)
+// over a hierarchical memory (CLS / CTM / IMEM / EMEM+DRAM) with a 512-bit
+// data bus between cores and the memory subsystem.
+#ifndef SUPERFE_NICSIM_NFP_H_
+#define SUPERFE_NICSIM_NFP_H_
+
+#include <array>
+#include <cstdint>
+
+namespace superfe {
+
+enum class MemLevel : uint8_t {
+  kCls = 0,   // Cluster Local Scratch (per island).
+  kCtm = 1,   // Cluster Target Memory (per island).
+  kImem = 2,  // Internal SRAM (shared).
+  kEmem = 3,  // External memory: SRAM cache backed by DRAM (shared).
+};
+inline constexpr int kNumMemLevels = 4;
+
+const char* MemLevelName(MemLevel level);
+
+struct MemLevelSpec {
+  MemLevel level = MemLevel::kCls;
+  uint64_t capacity_bytes = 0;  // Aggregate across islands where per-island.
+  uint32_t latency_cycles = 0;  // Read-modify-write round trip.
+  uint32_t bus_bytes = 64;      // Max data moved per access (512-bit bus).
+};
+
+struct NfpArch {
+  uint32_t islands = 5;
+  uint32_t cores_per_island = 12;  // 60 MEs per NFP-4000.
+  uint32_t threads_per_core = 8;
+  double clock_ghz = 0.8;
+
+  std::array<MemLevelSpec, kNumMemLevels> memories = {{
+      {MemLevel::kCls, 5ull * 64 * 1024, 30, 64},     // 64 KB per island.
+      {MemLevel::kCtm, 5ull * 256 * 1024, 60, 64},    // 256 KB per island.
+      {MemLevel::kImem, 4ull * 1024 * 1024, 150, 64}, // 4 MB shared.
+      {MemLevel::kEmem, 3ull * 1024 * 1024, 250, 64}, // 3 MB SRAM cache.
+  }};
+  // Accesses that miss EMEM's cache fall through to external DRAM.
+  uint32_t dram_latency_cycles = 500;
+  uint64_t dram_capacity_bytes = 2ull << 30;
+
+  uint32_t total_cores() const { return islands * cores_per_island; }
+
+  const MemLevelSpec& memory(MemLevel level) const {
+    return memories[static_cast<int>(level)];
+  }
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_NFP_H_

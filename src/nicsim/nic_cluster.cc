@@ -1,0 +1,84 @@
+#include "nicsim/nic_cluster.h"
+
+#include <algorithm>
+
+namespace superfe {
+
+Result<std::unique_ptr<NicCluster>> NicCluster::Create(const CompiledPolicy& compiled,
+                                                       const FeNicConfig& config,
+                                                       size_t nic_count, FeatureSink* sink) {
+  if (nic_count == 0) {
+    return Status::InvalidArgument("a NIC cluster needs at least one member");
+  }
+  std::vector<std::unique_ptr<FeNic>> nics;
+  nics.reserve(nic_count);
+  for (size_t i = 0; i < nic_count; ++i) {
+    auto nic = FeNic::Create(compiled, config, sink);
+    if (!nic.ok()) {
+      return nic.status();
+    }
+    nics.push_back(std::move(nic).value());
+  }
+  return std::unique_ptr<NicCluster>(new NicCluster(std::move(nics)));
+}
+
+NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics) : nics_(std::move(nics)) {}
+
+void NicCluster::OnMgpv(const MgpvReport& report) {
+  // Route by the switch-computed hash: every report of a CG group reaches
+  // the same NIC, so per-group state never splits across members.
+  nics_[report.hash % nics_.size()]->OnMgpv(report);
+}
+
+void NicCluster::OnFgSync(const FgSyncMessage& sync) {
+  for (auto& nic : nics_) {
+    nic->OnFgSync(sync);
+  }
+}
+
+void NicCluster::Flush() {
+  for (auto& nic : nics_) {
+    nic->Flush();
+  }
+}
+
+double NicCluster::ThroughputPps(uint32_t cores_per_nic) const {
+  // The cluster sustains N times the per-NIC rate only if load is balanced;
+  // the slowest (most loaded) member gates the aggregate.
+  uint64_t total_cells = 0;
+  uint64_t max_cells = 0;
+  for (const auto& nic : nics_) {
+    total_cells += nic->stats().cells;
+    max_cells = std::max(max_cells, nic->stats().cells);
+  }
+  if (total_cells == 0 || max_cells == 0) {
+    return 0.0;
+  }
+  // The most-loaded NIC processes max_cells of every total_cells offered.
+  const double gating_fraction = static_cast<double>(max_cells) / total_cells;
+  double min_member_pps = 0.0;
+  for (const auto& nic : nics_) {
+    const double pps = nic->perf().ThroughputPps(cores_per_nic);
+    if (nic->stats().cells == max_cells) {
+      min_member_pps = pps;
+      break;
+    }
+  }
+  return min_member_pps / gating_fraction;
+}
+
+double NicCluster::LoadImbalance() const {
+  uint64_t total = 0;
+  uint64_t max_cells = 0;
+  for (const auto& nic : nics_) {
+    total += nic->stats().cells;
+    max_cells = std::max(max_cells, nic->stats().cells);
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total) / nics_.size();
+  return mean > 0.0 ? static_cast<double>(max_cells) / mean : 1.0;
+}
+
+}  // namespace superfe

@@ -1,0 +1,50 @@
+// Multi-SmartNIC scale-out (§8.5): "We can also add more SmartNICs to scale
+// up FE-NIC further, with a simple load-balance mechanism implemented on
+// the switch to distribute the MGPV traffic across them evenly."
+//
+// NicCluster is that mechanism: an MgpvSink that routes each report to one
+// of N FE-NIC instances by the switch-computed CG hash (so a group's
+// reports always land on the same NIC, preserving state locality), and
+// broadcasts FG-key syncs to all members.
+#ifndef SUPERFE_NICSIM_NIC_CLUSTER_H_
+#define SUPERFE_NICSIM_NIC_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nicsim/fe_nic.h"
+
+namespace superfe {
+
+class NicCluster : public MgpvSink {
+ public:
+  // Creates `nic_count` FE-NIC instances sharing one feature sink.
+  static Result<std::unique_ptr<NicCluster>> Create(const CompiledPolicy& compiled,
+                                                    const FeNicConfig& config, size_t nic_count,
+                                                    FeatureSink* sink);
+
+  // MgpvSink: hash-routes reports, broadcasts syncs.
+  void OnMgpv(const MgpvReport& report) override;
+  void OnFgSync(const FgSyncMessage& sync) override;
+
+  void Flush();
+
+  size_t size() const { return nics_.size(); }
+  const FeNic& nic(size_t i) const { return *nics_[i]; }
+
+  // Aggregate throughput: the sum of per-NIC throughputs at `cores_per_nic`
+  // each (each member runs its own SoC).
+  double ThroughputPps(uint32_t cores_per_nic) const;
+
+  // Load-balance quality: max over NICs of (cells on NIC / mean cells).
+  double LoadImbalance() const;
+
+ private:
+  explicit NicCluster(std::vector<std::unique_ptr<FeNic>> nics);
+
+  std::vector<std::unique_ptr<FeNic>> nics_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_NIC_CLUSTER_H_

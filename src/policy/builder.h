@@ -1,0 +1,59 @@
+// Fluent C++ builder for SuperFE policies, mirroring the text DSL:
+//
+//   Policy p = PolicyBuilder("covert")
+//                  .Filter(FilterExpr::TcpOnly())
+//                  .GroupBy(Granularity::kFlow)
+//                  .Map("one", "_", MapFn::kOne)
+//                  .Reduce("one", {{ReduceFn::kSum}})
+//                  .Collect(Granularity::kFlow)
+//                  .Build()
+//                  .value();
+//
+// Build() validates the pipeline (ordering rules, field references,
+// granularity-chain consistency) and returns a Status on error.
+#ifndef SUPERFE_POLICY_BUILDER_H_
+#define SUPERFE_POLICY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "policy/ast.h"
+
+namespace superfe {
+
+class PolicyBuilder {
+ public:
+  explicit PolicyBuilder(std::string name);
+
+  PolicyBuilder& Filter(FilterExpr expr);
+  PolicyBuilder& GroupBy(Granularity g);
+  PolicyBuilder& GroupBy(std::vector<Granularity> chain);
+  PolicyBuilder& Map(std::string dst, std::string src, MapFn fn);
+  PolicyBuilder& Reduce(std::string src, std::vector<ReduceSpec> specs);
+  // Reduce restricted to one granularity of the chain.
+  PolicyBuilder& ReduceAt(Granularity at, std::string src, std::vector<ReduceSpec> specs);
+  PolicyBuilder& Synthesize(std::string src, SynthFn fn, double param0 = 0.0);
+  PolicyBuilder& CollectPerPacket();
+  PolicyBuilder& Collect(Granularity unit);
+
+  // Validates and returns the policy.
+  Result<Policy> Build() const;
+
+ private:
+  Policy policy_;
+};
+
+// Validates an assembled policy; used by both the builder and the parser.
+// On success the policy may be normalized in place (granularity chain sorted
+// coarse -> fine).
+Status ValidatePolicy(Policy& policy);
+
+// Field names that exist on every packet tuple before any map runs
+// ("fgkey" is the finest-granularity group-key hash, enabling f_card of
+// finer groups per coarse group).
+bool IsBuiltinField(const std::string& name);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_POLICY_BUILDER_H_

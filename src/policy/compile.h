@@ -1,0 +1,112 @@
+// Policy compiler: partitions a validated policy across FE-Switch and
+// FE-NIC (§4.1 "Natural support to SuperFE architecture").
+//
+// filter + groupby compile to the switch program (match-action filter rule,
+// granularity dependency chain, per-packet metadata layout); map / reduce /
+// synthesize / collect compile to the NIC program (per-granularity feature
+// pipeline, group-state requirements for ILP placement, feature-vector
+// layout).
+#ifndef SUPERFE_POLICY_COMPILE_H_
+#define SUPERFE_POLICY_COMPILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "policy/ast.h"
+#include "policy/functions.h"
+
+namespace superfe {
+
+// Per-packet metadata fields the switch must batch for the NIC.
+enum class MetaField : uint8_t {
+  kSize,       // 2 bytes.
+  kTimestamp,  // 4 bytes (32-bit truncated ns, as on Tofino).
+  kDirection,  // 1 byte.
+};
+
+uint32_t MetaFieldBytes(MetaField field);
+const char* MetaFieldName(MetaField field);
+
+struct SwitchProgram {
+  FilterExpr filter;
+  std::vector<Granularity> chain;  // Coarse -> fine.
+  std::vector<MetaField> fields;
+
+  Granularity cg() const { return chain.front(); }
+  Granularity fg() const { return chain.back(); }
+  bool multi_granularity() const { return chain.size() > 1; }
+
+  // Bytes of feature metadata batched per packet: the listed fields plus a
+  // 2-byte FG-key index when the chain has several granularities (§5.1).
+  uint32_t MetadataBytesPerPacket() const;
+
+  // Bytes of the CG group key (4 for host, 8 for channel, 13 for 5-tuples).
+  uint32_t CgKeyBytes() const;
+  uint32_t FgKeyBytes() const;
+};
+
+// One synthesize application attached to a feature slot.
+struct SynthStep {
+  SynthFn fn = SynthFn::kNorm;
+  double param = 0.0;
+};
+
+// One scalar-or-array slot of the final feature vector.
+struct FeatureSlot {
+  Granularity granularity = Granularity::kFlow;
+  std::string field;  // Source field ("size", "ipt", ...).
+  ReduceSpec spec;    // The reducing function that produces it.
+  // Synthesizing post-processing chain, applied in order (e.g. CUMUL uses
+  // f_marker followed by ft_sample).
+  std::vector<SynthStep> synths;
+
+  // "host/size.f_mean" (+ ".f_norm" per synth step).
+  std::string Name() const;
+  uint32_t Width() const;
+};
+
+// One item of per-group state for the ILP placement problem (§6.2): size in
+// bytes and access count per packet.
+struct StateItem {
+  std::string name;
+  uint32_t bytes = 0;
+  uint32_t accesses_per_packet = 0;
+};
+
+struct NicProgram {
+  std::vector<Granularity> granularities;  // Same chain as the switch.
+  std::vector<MapOp> maps;                 // In pipeline order.
+  std::vector<ReduceOp> reduces;
+  std::vector<SynthOp> synths;
+  CollectOp collect;                 // Unified unit (validator guarantees).
+  std::vector<FeatureSlot> layout;   // Final feature-vector layout.
+  std::vector<StateItem> states;     // Per-group state items (one
+                                     // granularity instance each).
+
+  // Total per-group state bytes across one granularity instance.
+  uint32_t StateBytesPerGroup() const;
+
+  // Expected feature-vector width (arrays/histograms at declared width).
+  uint32_t FeatureDimension() const;
+
+  // Aggregate per-packet costs over all maps and reduces (all granularities),
+  // used by the cycle model.
+  uint32_t AluOpsPerPacket() const;
+  uint32_t DivisionsPerPacket() const;
+  uint32_t MemWordsPerPacket() const;
+};
+
+struct CompiledPolicy {
+  Policy policy;
+  SwitchProgram switch_program;
+  NicProgram nic_program;
+};
+
+// Validates (again, defensively) and compiles.
+Result<CompiledPolicy> Compile(const Policy& policy);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_POLICY_COMPILE_H_

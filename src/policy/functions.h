@@ -1,0 +1,43 @@
+// Cost/state metadata for every mapping/reducing/synthesizing function
+// (Table 5). The compiler uses it to size group state (ILP placement, §6.2),
+// the NIC cycle model uses the per-sample operation counts, and the resource
+// estimator uses it for Table 4.
+#ifndef SUPERFE_POLICY_FUNCTIONS_H_
+#define SUPERFE_POLICY_FUNCTIONS_H_
+
+#include <cstdint>
+
+#include "policy/ast.h"
+
+namespace superfe {
+
+// Per-sample update cost and per-group state of a reducing function, as it
+// executes on the NFP SoC cores.
+struct ReduceCost {
+  uint32_t state_bytes = 0;   // Persistent per-group state.
+  uint16_t alu_ops = 0;       // Simple ALU operations per sample.
+  uint16_t divisions = 0;     // Divisions per sample (1500 cycles each
+                              // before the §6.2 elimination).
+  uint16_t mem_words = 0;     // 32-bit state words touched per sample.
+  uint32_t naive_bytes_per_sample = 0;  // Buffered-baseline growth (Fig 15).
+};
+
+ReduceCost CostOfReduce(const ReduceSpec& spec);
+
+struct MapCost {
+  uint32_t state_bytes = 0;
+  uint16_t alu_ops = 0;
+  uint16_t divisions = 0;
+  uint16_t mem_words = 0;
+};
+
+MapCost CostOfMap(MapFn fn);
+
+// Number of scalar outputs a reducing function contributes to the feature
+// vector (histograms contribute their bin count, arrays their limit, 2D
+// statistics one scalar each).
+uint32_t OutputWidth(const ReduceSpec& spec);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_POLICY_FUNCTIONS_H_

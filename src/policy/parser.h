@@ -1,0 +1,34 @@
+// Parser for the SuperFE policy text DSL, the exact surface syntax of the
+// paper's figures (Figs 3-5):
+//
+//   pktstream
+//     .filter(tcp.exist)
+//     .groupby(flow)
+//     .map(ipt, tstamp, f_ipt)
+//     .reduce(ipt, [ft_hist{10000, 100}])
+//     .reduce(size, [f_mean, f_var, f_min, f_max])
+//     .synthesize(f_norm(size.f_mean))
+//     .collect(flow)
+//
+// Extensions over the figures (documented in DESIGN.md):
+//   - named parameters in braces: f_mean{decay=1}, f_array{limit=5000}
+//   - comparison predicates: .filter(dst_port == 443 && size > 100)
+//   - granularity chains: .groupby(host, channel, socket)
+//   - '#' line comments
+#ifndef SUPERFE_POLICY_PARSER_H_
+#define SUPERFE_POLICY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "policy/ast.h"
+
+namespace superfe {
+
+// Parses and validates a policy. `name` labels the policy; the source text
+// is retained for Table 3 LoC accounting. Errors carry line/column context.
+Result<Policy> ParsePolicy(const std::string& name, const std::string& source);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_POLICY_PARSER_H_

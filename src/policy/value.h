@@ -1,0 +1,45 @@
+// Value: the dynamically-typed payload of SuperFE key-value tuples (scalar
+// feature values and array-valued features such as direction sequences).
+#ifndef SUPERFE_POLICY_VALUE_H_
+#define SUPERFE_POLICY_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace superfe {
+
+class Value {
+ public:
+  Value() : data_(0.0) {}
+  Value(double v) : data_(v) {}                       // NOLINT(google-explicit-constructor)
+  Value(int64_t v) : data_(static_cast<double>(v)) {} // NOLINT(google-explicit-constructor)
+  Value(std::vector<double> v) : data_(std::move(v)) {} // NOLINT(google-explicit-constructor)
+
+  bool is_scalar() const { return std::holds_alternative<double>(data_); }
+  bool is_array() const { return !is_scalar(); }
+
+  double AsScalar() const { return is_scalar() ? std::get<double>(data_) : 0.0; }
+  const std::vector<double>& AsArray() const {
+    static const std::vector<double> kEmpty;
+    return is_array() ? std::get<std::vector<double>>(data_) : kEmpty;
+  }
+
+  // Flattens to doubles (scalar -> 1 element).
+  std::vector<double> Flatten() const {
+    if (is_scalar()) {
+      return {AsScalar()};
+    }
+    return AsArray();
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<double, std::vector<double>> data_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_POLICY_VALUE_H_

@@ -1,0 +1,197 @@
+#include "streaming/damped.h"
+
+#include <cmath>
+
+namespace superfe {
+namespace {
+
+constexpr double kFixedScale = 65536.0;  // 16.16 fixed point.
+
+}  // namespace
+
+double DampedStats::Quantize(double v) const {
+  switch (mode_) {
+    case DampedMode::kExactDouble:
+      return v;
+    case DampedMode::kNicFixedPoint: {
+      // 32-bit fixed point with per-group block scaling: values below 2^24
+      // live on the 16.16 grid; larger magnitudes shift the block exponent,
+      // keeping a 24-bit mantissa.
+      if (v == 0.0) {
+        return 0.0;
+      }
+      const double abs_v = std::fabs(v);
+      if (abs_v < 16777216.0) {  // 2^24.
+        return std::nearbyint(v * kFixedScale) / kFixedScale;
+      }
+      const int exponent = std::ilogb(abs_v) - 23;
+      const double scale = std::ldexp(1.0, exponent);
+      return std::nearbyint(v / scale) * scale;
+    }
+    case DampedMode::kFloat32:
+      return static_cast<float>(v);
+  }
+  return v;
+}
+
+double DampedStats::Factor(double dt) const {
+  if (dt <= 0.0) {
+    return 1.0;
+  }
+  switch (mode_) {
+    case DampedMode::kExactDouble:
+      return std::exp2(-lambda_ * dt);
+    case DampedMode::kNicFixedPoint:
+      // exp2 via a fractional LUT with linear interpolation, emitted on the
+      // 16.16 grid; the exponent keeps full fixed-point precision.
+      return std::nearbyint(std::exp2(-lambda_ * dt) * kFixedScale) / kFixedScale;
+    case DampedMode::kFloat32:
+      return static_cast<float>(std::exp2(-static_cast<float>(lambda_ * dt)));
+  }
+  return 1.0;
+}
+
+void DampedStats::DecayTo(double t_seconds) {
+  if (!initialized_) {
+    last_t_ = t_seconds;
+    initialized_ = true;
+    return;
+  }
+  const double factor = Factor(t_seconds - last_t_);
+  if (mode_ == DampedMode::kNicFixedPoint) {
+    // Welford-form state (§6.1): weight and central moment decay; the mean
+    // is a location estimate and is decay-invariant.
+    w_ = Quantize(w_ * factor);
+    m2_ = Quantize(m2_ * factor);
+  } else {
+    w_ = Quantize(w_ * factor);
+    ls_ = Quantize(ls_ * factor);
+    ss_ = Quantize(ss_ * factor);
+  }
+  if (t_seconds > last_t_) {
+    last_t_ = t_seconds;
+  }
+}
+
+void DampedStats::AddWeighted(double x, double weight) {
+  if (mode_ == DampedMode::kNicFixedPoint) {
+    // Weighted damped Welford update: numerically stable (no SS/w - mean^2
+    // cancellation), which is exactly why FE-NIC uses it (§6.1).
+    const double new_w = Quantize(w_ + weight);
+    if (new_w <= 0.0) {
+      return;
+    }
+    const double delta = x - mean_;
+    const double new_mean = Quantize(mean_ + weight * delta / new_w);
+    m2_ = Quantize(m2_ + weight * delta * (x - new_mean));
+    w_ = new_w;
+    mean_ = new_mean;
+    return;
+  }
+  // LS/SS form: the textbook decayed sums — and, in float32, the original
+  // Kitsune implementation (AfterImage) whose variance cancels badly.
+  w_ = Quantize(w_ + weight);
+  ls_ = Quantize(ls_ + weight * x);
+  ss_ = Quantize(ss_ + weight * x * x);
+}
+
+void DampedStats::Add(double x, double t_seconds) {
+  if (initialized_ && t_seconds < last_t_) {
+    // Late sample (MGPV delivers coarse groups in eviction order, so a
+    // group's members can arrive out of timestamp order): decayed sums are
+    // order-independent when the *incoming* sample is scaled by the decay
+    // it would have accumulated since its own timestamp.
+    AddWeighted(x, Factor(last_t_ - t_seconds));
+    return;
+  }
+  DecayTo(t_seconds);
+  AddWeighted(x, 1.0);
+}
+
+double DampedStats::mean() const {
+  if (w_ <= 0.0) {
+    return 0.0;
+  }
+  return mode_ == DampedMode::kNicFixedPoint ? mean_ : ls_ / w_;
+}
+
+double DampedStats::linear_sum() const {
+  return mode_ == DampedMode::kNicFixedPoint ? mean_ * w_ : ls_;
+}
+
+double DampedStats::variance() const {
+  if (w_ <= 0.0) {
+    return 0.0;
+  }
+  if (mode_ == DampedMode::kNicFixedPoint) {
+    const double v = m2_ / w_;
+    return v < 0.0 ? 0.0 : v;
+  }
+  const double m = ls_ / w_;
+  return std::fabs(ss_ / w_ - m * m);
+}
+
+double DampedStats::stddev() const { return std::sqrt(variance()); }
+
+void DampedStats2D::DecayResidual(double t_seconds) {
+  if (!initialized_) {
+    last_t_ = t_seconds;
+    initialized_ = true;
+    return;
+  }
+  const double dt = t_seconds - last_t_;
+  if (dt > 0.0) {
+    sr_ *= std::exp2(-lambda_ * dt);
+  }
+  if (t_seconds > last_t_) {
+    last_t_ = t_seconds;
+  }
+}
+
+void DampedStats2D::AddA(double x, double t_seconds) {
+  DecayResidual(t_seconds);
+  b_.DecayTo(t_seconds);
+  a_.Add(x, t_seconds);
+  sr_ += (x - a_.mean()) * (0.0 - b_.mean());  // B contributes no sample now.
+}
+
+void DampedStats2D::AddB(double x, double t_seconds) {
+  DecayResidual(t_seconds);
+  a_.DecayTo(t_seconds);
+  b_.Add(x, t_seconds);
+  sr_ += (0.0 - a_.mean()) * (x - b_.mean());
+}
+
+double DampedStats2D::Magnitude() const {
+  const double ma = a_.mean();
+  const double mb = b_.mean();
+  return std::sqrt(ma * ma + mb * mb);
+}
+
+double DampedStats2D::Radius() const {
+  const double va = a_.variance();
+  const double vb = b_.variance();
+  return std::sqrt(va * va + vb * vb);
+}
+
+double DampedStats2D::Covariance() const {
+  const double w = a_.weight() + b_.weight();
+  return w > 0.0 ? sr_ / w : 0.0;
+}
+
+double DampedStats2D::CorrelationCoefficient() const {
+  const double denom = a_.stddev() * b_.stddev();
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  const double cc = Covariance() / denom;
+  if (cc > 1.0) {
+    return 1.0;
+  }
+  if (cc < -1.0) {
+    return -1.0;
+  }
+  return cc;
+}
+
+}  // namespace superfe

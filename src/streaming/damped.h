@@ -1,0 +1,121 @@
+// Damped-window incremental statistics (Kitsune's incStat), used by the
+// intrusion-detection applications (Kitsune, HELAD) whose features are
+// computed over exponentially decaying windows.
+//
+// State per stream: weight w, linear sum LS, squared sum SS; all decayed by
+// 2^(-lambda * dt) before each insert. 2D statistics additionally keep a
+// decayed sum of residual products for covariance/correlation.
+//
+// Three arithmetic modes support the Fig 10 accuracy comparison:
+//  - kExactDouble:   IEEE double (the standard feature definition).
+//  - kNicFixedPoint: what FE-NIC runs — 16.16 fixed point with the decay
+//                    exponent quantized to 1/16 steps (no FPU on the NFP).
+//  - kFloat32:       the original Kitsune implementation's single-precision
+//                    arithmetic (its |SS/w - mean^2| variance cancels badly).
+//
+// Table 5 does not list damped variants explicitly; SuperFE supports them as
+// a `decay` parameter on reduce (documented in DESIGN.md §5).
+#ifndef SUPERFE_STREAMING_DAMPED_H_
+#define SUPERFE_STREAMING_DAMPED_H_
+
+#include <cstdint>
+
+namespace superfe {
+
+enum class DampedMode : uint8_t {
+  kExactDouble = 0,
+  kNicFixedPoint = 1,
+  kFloat32 = 2,
+};
+
+// One-dimensional damped statistics.
+class DampedStats {
+ public:
+  // lambda in 1/seconds of the 2^(-lambda*dt) decay (Kitsune uses
+  // lambda in {5, 3, 1, 0.1, 0.01}).
+  explicit DampedStats(double lambda, DampedMode mode = DampedMode::kExactDouble)
+      : lambda_(lambda), mode_(mode) {}
+
+  // Inserts value x observed at time t (seconds).
+  void Add(double x, double t_seconds);
+
+  // Decays state to time t without inserting.
+  void DecayTo(double t_seconds);
+
+  double weight() const { return w_; }
+  double linear_sum() const;
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double lambda() const { return lambda_; }
+  double last_time() const { return last_t_; }
+  DampedMode mode() const { return mode_; }
+
+  // NIC state: w, LS, SS as 32-bit fixed point + last timestamp.
+  static constexpr uint32_t kNicStateBytes = 16;
+
+ private:
+  // Applies the mode's rounding to a freshly computed state value.
+  double Quantize(double v) const;
+  // Decay factor 2^(-lambda dt) under the mode's arithmetic.
+  double Factor(double dt) const;
+  // Inserts a (possibly decayed) sample with the given weight.
+  void AddWeighted(double x, double weight);
+
+  double lambda_;
+  DampedMode mode_;
+  double w_ = 0.0;
+  // kExactDouble / kFloat32 state: decayed linear and squared sums (the
+  // original Kitsune AfterImage representation).
+  double ls_ = 0.0;
+  double ss_ = 0.0;
+  // kNicFixedPoint state: Welford-form mean and decayed central moment
+  // (numerically stable; what FE-NIC runs, §6.1).
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double last_t_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Two-dimensional damped statistics over a pair of streams (e.g. the two
+// directions of a channel). Provides Kitsune's 2D features: magnitude,
+// radius, approximate covariance and correlation coefficient.
+class DampedStats2D {
+ public:
+  explicit DampedStats2D(double lambda, DampedMode mode = DampedMode::kExactDouble)
+      : a_(lambda, mode), b_(lambda, mode), lambda_(lambda), mode_(mode) {}
+
+  // Inserts a value into stream A or B at time t; the residual product uses
+  // the other stream's current mean (Kitsune's incStat2D update).
+  void AddA(double x, double t_seconds);
+  void AddB(double x, double t_seconds);
+
+  const DampedStats& a() const { return a_; }
+  const DampedStats& b() const { return b_; }
+
+  // sqrt(mean_a^2 + mean_b^2)
+  double Magnitude() const;
+  // sqrt(var_a^2 + var_b^2)
+  double Radius() const;
+  // Approximate covariance: SR / (w_a + w_b).
+  double Covariance() const;
+  // Correlation coefficient: cov / (std_a * std_b); 0 when degenerate.
+  double CorrelationCoefficient() const;
+
+  static constexpr uint32_t kNicStateBytes = 2 * DampedStats::kNicStateBytes + 8;
+
+ private:
+  void DecayResidual(double t_seconds);
+
+  DampedStats a_;
+  DampedStats b_;
+  double lambda_;
+  DampedMode mode_;
+  double sr_ = 0.0;  // Decayed sum of residual products.
+  double last_t_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_STREAMING_DAMPED_H_

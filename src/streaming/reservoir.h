@@ -1,0 +1,44 @@
+// Reservoir sampling (Vitter's algorithm R) backing the ft_sample
+// synthesizing function of Table 5.
+#ifndef SUPERFE_STREAMING_RESERVOIR_H_
+#define SUPERFE_STREAMING_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace superfe {
+
+template <typename T>
+class ReservoirSample {
+ public:
+  ReservoirSample(size_t capacity, uint64_t seed) : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  void Add(const T& value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    const uint64_t idx = rng_.UniformU64(seen_);
+    if (idx < capacity_) {
+      sample_[idx] = value;
+    }
+  }
+
+  uint64_t seen() const { return seen_; }
+  const std::vector<T>& sample() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_STREAMING_RESERVOIR_H_

@@ -1,0 +1,71 @@
+#include "streaming/welford.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace superfe {
+
+void WelfordStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double WelfordStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+// Floor of log2 for positive values.
+inline int ILog2(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+// Division-free update: drains `acc` into `target` in power-of-two
+// quotient steps (q * den <= |acc|), leaving the residue in `acc`. This is
+// the §6.2 division elimination: only comparisons, shifts and subtracts.
+void DrainResidue(int64_t& acc, int64_t den, int64_t& target) {
+  while (acc >= den) {
+    // clz-derived shift; can overshoot by one, corrected by the compare.
+    const int shift = ILog2(static_cast<uint64_t>(acc)) - ILog2(static_cast<uint64_t>(den));
+    int64_t q = int64_t{1} << shift;
+    if (q * den > acc) {
+      q >>= 1;
+    }
+    target += q;
+    acc -= q * den;
+  }
+  while (-acc >= den) {
+    int shift = ILog2(static_cast<uint64_t>(-acc)) - ILog2(static_cast<uint64_t>(den));
+    int64_t q = int64_t{1} << shift;
+    if (q * den > -acc) {
+      q >>= 1;
+    }
+    target -= q;
+    acc += q * den;
+  }
+}
+
+}  // namespace
+
+void NicWelfordStats::Add(int64_t x) {
+  ++n_;
+  const int64_t n = static_cast<int64_t>(n_);
+  const int64_t delta = x - mean_;
+  if (n_ <= kExactThreshold) {
+    mean_ += delta / n;
+    ++divisions_;
+    const int64_t delta2 = x - mean_;
+    var_ += (delta * delta2 - var_) / n;
+    ++divisions_;
+    return;
+  }
+  // Division elimination (§6.2): accumulate the residue and apply it in
+  // power-of-two steps; the mean then tracks within one unit of the exact
+  // integer Welford recurrence without any divider use.
+  mean_acc_ += delta;
+  DrainResidue(mean_acc_, n, mean_);
+  const int64_t delta2 = x - mean_;
+  var_acc_ += delta * delta2 - var_;
+  DrainResidue(var_acc_, n, var_);
+}
+
+}  // namespace superfe

@@ -1,0 +1,100 @@
+#include "switchsim/control_plane.h"
+
+#include <sstream>
+
+namespace superfe {
+namespace {
+
+std::string MatchStringFor(const Predicate& pred) {
+  return pred.ToString();
+}
+
+}  // namespace
+
+std::string TableEntry::ToString() const {
+  return table + " [" + match + "] -> " + action + " (prio " + std::to_string(priority) + ")";
+}
+
+Result<FeSwitch*> SwitchControlPlane::InstallPolicy(const CompiledPolicy& compiled,
+                                                    MgpvSink* sink) {
+  return InstallPolicy(compiled, sink, FeSwitch::DefaultConfig(compiled));
+}
+
+Result<FeSwitch*> SwitchControlPlane::InstallPolicy(const CompiledPolicy& compiled,
+                                                    MgpvSink* sink,
+                                                    const MgpvConfig& overrides) {
+  if (fe_switch_ != nullptr) {
+    return Status::ResourceExhausted(
+        "a policy is already installed; Drain() it before installing another");
+  }
+  MgpvConfig config = overrides;
+  config.aging_timeout_ns = aging_timeout_ns_;
+
+  // Admission control against the pipeline's resources.
+  const SwitchResourceUsage usage = EstimateSwitchResources(compiled, config);
+  if (usage.tables > capacity_.tables) {
+    return Status::ResourceExhausted("policy needs " + std::to_string(usage.tables) +
+                                     " tables; pipeline has " +
+                                     std::to_string(capacity_.tables));
+  }
+  if (usage.salus > capacity_.salus) {
+    return Status::ResourceExhausted("policy needs " + std::to_string(usage.salus) +
+                                     " stateful ALUs; pipeline has " +
+                                     std::to_string(capacity_.salus));
+  }
+  if (usage.sram_bytes > capacity_.sram_bytes) {
+    return Status::ResourceExhausted("policy needs " + std::to_string(usage.sram_bytes) +
+                                     " bytes of SRAM; pipeline has " +
+                                     std::to_string(capacity_.sram_bytes));
+  }
+
+  // Materialize the filter: one ternary/range entry per conjunct plus the
+  // default drop-from-FE rule, exactly like the generated P4 table.
+  entries_.clear();
+  const auto& filter = compiled.switch_program.filter;
+  if (filter.conjuncts.empty()) {
+    entries_.push_back(TableEntry{"policy_filter", "ipv4.isValid()", "accept_to_fe", 10});
+  } else {
+    std::string match;
+    for (size_t i = 0; i < filter.conjuncts.size(); ++i) {
+      if (i != 0) {
+        match += " && ";
+      }
+      match += MatchStringFor(filter.conjuncts[i]);
+    }
+    entries_.push_back(TableEntry{"policy_filter", match, "accept_to_fe", 10});
+  }
+  entries_.push_back(TableEntry{"policy_filter", "*", "drop_from_fe", 0});
+
+  usage_ = usage;
+  fe_switch_ = std::make_unique<FeSwitch>(compiled, sink, config);
+  return fe_switch_.get();
+}
+
+Status SwitchControlPlane::SetAgingTimeout(uint64_t timeout_ns) {
+  aging_timeout_ns_ = timeout_ns;
+  return Status::Ok();
+}
+
+void SwitchControlPlane::Drain() {
+  if (fe_switch_ != nullptr) {
+    fe_switch_->Flush();
+    fe_switch_.reset();
+  }
+  entries_.clear();
+  usage_ = SwitchResourceUsage{};
+}
+
+std::string SwitchControlPlane::Dump() const {
+  std::ostringstream out;
+  out << "pipeline: " << (installed() ? "policy installed" : "idle") << "\n";
+  out << "resources: tables " << usage_.tables << "/" << capacity_.tables << ", sALUs "
+      << usage_.salus << "/" << capacity_.salus << ", SRAM " << usage_.sram_bytes << "/"
+      << capacity_.sram_bytes << " bytes\n";
+  for (const auto& entry : entries_) {
+    out << "  " << entry.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace superfe

@@ -1,0 +1,72 @@
+// Switch control plane (§7: "~4K lines of C for the control plane").
+//
+// The data-plane simulator (FeSwitch/MgpvCache) models what the ASIC does
+// per packet; this control plane models what runs on the switch CPU:
+// admission control against Tofino resources, materializing the policy
+// filter into match-action table entries, reconfiguring the aging timeout
+// at runtime, and draining/retiring a policy.
+#ifndef SUPERFE_SWITCHSIM_CONTROL_PLANE_H_
+#define SUPERFE_SWITCHSIM_CONTROL_PLANE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "switchsim/fe_switch.h"
+#include "switchsim/resources.h"
+
+namespace superfe {
+
+// One installed match-action entry (as `bfrt` would show it).
+struct TableEntry {
+  std::string table;
+  std::string match;
+  std::string action;
+  int priority = 0;
+
+  std::string ToString() const;
+};
+
+class SwitchControlPlane {
+ public:
+  explicit SwitchControlPlane(const TofinoCapacity& capacity = {}) : capacity_(capacity) {}
+
+  // Admission control + installation: verifies the compiled policy fits the
+  // remaining switch resources, materializes its filter into table entries,
+  // and brings up an FE-Switch instance bound to `sink`. At most one policy
+  // per pipeline in this model (the paper's prototype likewise runs one
+  // extraction program per switch).
+  Result<FeSwitch*> InstallPolicy(const CompiledPolicy& compiled, MgpvSink* sink);
+  Result<FeSwitch*> InstallPolicy(const CompiledPolicy& compiled, MgpvSink* sink,
+                                  const MgpvConfig& overrides);
+
+  // Runtime reconfiguration: adjusts the aging timeout (the paper tunes T
+  // per traffic pattern, §8.4). Takes effect on the next installed cache;
+  // the running cache cannot be resized on a live ASIC, but the timeout is
+  // a register the control plane owns.
+  Status SetAgingTimeout(uint64_t timeout_ns);
+
+  // Drains the running policy: flushes MGPV, removes table entries, frees
+  // resources. Safe to call when nothing is installed.
+  void Drain();
+
+  bool installed() const { return fe_switch_ != nullptr; }
+  FeSwitch* fe_switch() { return fe_switch_.get(); }
+  const std::vector<TableEntry>& entries() const { return entries_; }
+  const SwitchResourceUsage& usage() const { return usage_; }
+  const TofinoCapacity& capacity() const { return capacity_; }
+
+  // Human-readable state dump (like `bfrt_python` inspection).
+  std::string Dump() const;
+
+ private:
+  TofinoCapacity capacity_;
+  SwitchResourceUsage usage_;
+  std::vector<TableEntry> entries_;
+  std::unique_ptr<FeSwitch> fe_switch_;
+  uint64_t aging_timeout_ns_ = 10'000'000;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_SWITCHSIM_CONTROL_PLANE_H_

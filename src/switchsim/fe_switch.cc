@@ -1,0 +1,58 @@
+#include "switchsim/fe_switch.h"
+
+#include "net/wire.h"
+
+namespace superfe {
+
+MgpvConfig FeSwitch::DefaultConfig(const CompiledPolicy& compiled) {
+  MgpvConfig config;
+  config.cg = compiled.switch_program.cg();
+  config.fg = compiled.switch_program.fg();
+  config.multi_granularity = compiled.switch_program.multi_granularity();
+  config.metadata_bytes_per_cell = compiled.switch_program.MetadataBytesPerPacket();
+  return config;
+}
+
+FeSwitch::FeSwitch(const CompiledPolicy& compiled, MgpvSink* sink)
+    : FeSwitch(compiled, sink, DefaultConfig(compiled)) {}
+
+FeSwitch::FeSwitch(const CompiledPolicy& compiled, MgpvSink* sink,
+                   const MgpvConfig& mgpv_overrides)
+    : program_(compiled.switch_program) {
+  MgpvConfig config = mgpv_overrides;
+  // Policy-derived fields always win over experiment overrides.
+  config.cg = program_.cg();
+  config.fg = program_.fg();
+  config.multi_granularity = program_.multi_granularity();
+  config.metadata_bytes_per_cell = program_.MetadataBytesPerPacket();
+  cache_ = std::make_unique<MgpvCache>(config, sink);
+}
+
+void FeSwitch::OnPacket(const PacketRecord& pkt) {
+  stats_.packets_seen++;
+  if (!program_.filter.Matches(pkt)) {
+    stats_.packets_filtered++;
+    return;  // Still forwarded; just not batched for feature extraction.
+  }
+  stats_.packets_batched++;
+  cache_->Insert(pkt);
+}
+
+void FeSwitch::OnFrame(const uint8_t* data, size_t length, uint64_t timestamp_ns) {
+  auto parsed = ParseFrame(data, length);
+  if (!parsed.ok()) {
+    stats_.packets_seen++;
+    stats_.frames_unparseable++;
+    return;  // Still forwarded; nothing to batch.
+  }
+  PacketRecord pkt = std::move(parsed).value();
+  pkt.timestamp_ns = timestamp_ns;
+  const FiveTuple canonical = pkt.tuple.Canonical();
+  const auto [it, inserted] = forward_orientation_.emplace(canonical, pkt.tuple);
+  pkt.direction = pkt.tuple == it->second ? Direction::kForward : Direction::kBackward;
+  OnPacket(pkt);
+}
+
+void FeSwitch::Flush() { cache_->Flush(); }
+
+}  // namespace superfe

@@ -1,0 +1,62 @@
+// FE-Switch: the switch side of SuperFE (§5). Wires the compiled policy's
+// filter (match-action table) in front of the MGPV batching cache and
+// preserves baseline forwarding semantics (packets are counted as forwarded
+// regardless of feature extraction).
+#ifndef SUPERFE_SWITCHSIM_FE_SWITCH_H_
+#define SUPERFE_SWITCHSIM_FE_SWITCH_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/replay.h"
+#include "policy/compile.h"
+#include "switchsim/mgpv.h"
+
+namespace superfe {
+
+struct FeSwitchStats {
+  uint64_t packets_seen = 0;      // All traffic (still forwarded).
+  uint64_t packets_filtered = 0;  // Dropped by the policy filter.
+  uint64_t packets_batched = 0;   // Entered the MGPV cache.
+  uint64_t frames_unparseable = 0;  // Raw frames the parser rejected.
+};
+
+class FeSwitch : public PacketSink {
+ public:
+  // `mgpv_overrides` lets experiments change cache geometry / aging while
+  // keeping the policy-derived fields (granularities, metadata layout).
+  FeSwitch(const CompiledPolicy& compiled, MgpvSink* sink);
+  FeSwitch(const CompiledPolicy& compiled, MgpvSink* sink, const MgpvConfig& mgpv_overrides);
+
+  // PacketSink: the replayer feeds raw traffic here.
+  void OnPacket(const PacketRecord& pkt) override;
+
+  // Raw-frame entry point: parses an Ethernet frame exactly like the P4
+  // parser (net/wire), stamps it with `timestamp_ns`, infers the flow
+  // direction from first-seen orientation (the ASIC derives it from the
+  // ingress port; a functional model has no ports), and processes it.
+  // Unparseable frames are forwarded but not batched.
+  void OnFrame(const uint8_t* data, size_t length, uint64_t timestamp_ns);
+
+  // Drains the cache at end of run.
+  void Flush();
+
+  const FeSwitchStats& stats() const { return stats_; }
+  const MgpvCache& cache() const { return *cache_; }
+  MgpvCache& mutable_cache() { return *cache_; }
+  const SwitchProgram& program() const { return program_; }
+
+  // The MgpvConfig implied by a compiled policy (prototype defaults).
+  static MgpvConfig DefaultConfig(const CompiledPolicy& compiled);
+
+ private:
+  SwitchProgram program_;
+  FeSwitchStats stats_;
+  std::unique_ptr<MgpvCache> cache_;
+  // First-seen orientation per canonical flow, for the raw-frame path.
+  std::unordered_map<FiveTuple, FiveTuple, FiveTupleHash> forward_orientation_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_SWITCHSIM_FE_SWITCH_H_

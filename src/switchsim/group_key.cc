@@ -1,0 +1,94 @@
+#include "switchsim/group_key.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace superfe {
+namespace {
+
+void PutU32(GroupKey& key, size_t off, uint32_t v) {
+  key.bytes[off] = static_cast<uint8_t>(v >> 24);
+  key.bytes[off + 1] = static_cast<uint8_t>(v >> 16);
+  key.bytes[off + 2] = static_cast<uint8_t>(v >> 8);
+  key.bytes[off + 3] = static_cast<uint8_t>(v);
+}
+
+GroupKey HostKey(uint32_t src_ip) {
+  GroupKey key;
+  key.granularity = Granularity::kHost;
+  key.length = 4;
+  PutU32(key, 0, src_ip);
+  return key;
+}
+
+GroupKey ChannelKey(uint32_t a, uint32_t b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  GroupKey key;
+  key.granularity = Granularity::kChannel;
+  key.length = 8;
+  PutU32(key, 0, a);
+  PutU32(key, 4, b);
+  return key;
+}
+
+GroupKey TupleKey(const FiveTuple& tuple, Granularity granularity) {
+  GroupKey key;
+  key.granularity = granularity;
+  key.length = 13;
+  const auto bytes = tuple.ToBytes();
+  std::copy(bytes.begin(), bytes.end(), key.bytes.begin());
+  return key;
+}
+
+}  // namespace
+
+FiveTuple GroupKey::InitiatorTuple(const PacketRecord& pkt) {
+  return pkt.direction == Direction::kForward ? pkt.tuple : pkt.tuple.Reversed();
+}
+
+GroupKey GroupKey::ForPacket(const PacketRecord& pkt, Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kHost:
+      return HostKey(pkt.tuple.src_ip);
+    case Granularity::kChannel:
+      return ChannelKey(pkt.tuple.src_ip, pkt.tuple.dst_ip);
+    case Granularity::kSocket:
+    case Granularity::kFlow:
+      return TupleKey(InitiatorTuple(pkt), granularity);
+  }
+  return {};
+}
+
+GroupKey GroupKey::FromFgTuple(const FiveTuple& fg, Direction dir, Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kHost:
+      return HostKey(dir == Direction::kForward ? fg.src_ip : fg.dst_ip);
+    case Granularity::kChannel:
+      return ChannelKey(fg.src_ip, fg.dst_ip);
+    case Granularity::kSocket:
+    case Granularity::kFlow:
+      return TupleKey(fg, granularity);
+  }
+  return {};
+}
+
+uint32_t GroupKey::Hash() const {
+  return Crc32(bytes.data(), length, static_cast<uint32_t>(granularity) * 0x1003fu);
+}
+
+std::string GroupKey::ToString() const {
+  std::string out = GranularityName(granularity);
+  out += ":";
+  for (int i = 0; i < length; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02x", bytes[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace superfe

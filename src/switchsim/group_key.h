@@ -1,0 +1,57 @@
+// Group keys for the SuperFE granularities, in the byte layout the switch
+// hash units consume.
+//
+// The finest-granularity (FG) key is stored in *initiator orientation*: the
+// five-tuple as sent by the flow initiator. Every coarser key is derivable
+// from the FG key plus the packet's direction bit, which is what lets MGPV
+// store each packet's metadata once and re-split on the NIC (§5.1).
+#ifndef SUPERFE_SWITCHSIM_GROUP_KEY_H_
+#define SUPERFE_SWITCHSIM_GROUP_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "net/packet.h"
+#include "policy/ast.h"
+
+namespace superfe {
+
+struct GroupKey {
+  Granularity granularity = Granularity::kFlow;
+  uint8_t length = 0;               // Valid bytes.
+  std::array<uint8_t, 13> bytes{};  // Max = five-tuple.
+
+  bool operator==(const GroupKey& other) const {
+    return granularity == other.granularity && length == other.length &&
+           std::memcmp(bytes.data(), other.bytes.data(), length) == 0;
+  }
+  bool operator!=(const GroupKey& other) const { return !(*this == other); }
+
+  // The key of `granularity` for this packet (host = the packet's source IP;
+  // channel = canonical IP pair; socket/flow = initiator-oriented
+  // five-tuple).
+  static GroupKey ForPacket(const PacketRecord& pkt, Granularity granularity);
+
+  // The initiator-oriented five-tuple of the packet (the FG key stored in
+  // the synchronized table).
+  static FiveTuple InitiatorTuple(const PacketRecord& pkt);
+
+  // Derives a coarser key from an FG five-tuple plus the packet direction.
+  static GroupKey FromFgTuple(const FiveTuple& fg, Direction dir, Granularity granularity);
+
+  // 32-bit CRC hash, as computed by the Tofino hash engine; the same value
+  // is shipped to the NIC (hash-reuse optimization, §6.2).
+  uint32_t Hash() const;
+
+  std::string ToString() const;
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& key) const { return key.Hash(); }
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_SWITCHSIM_GROUP_KEY_H_

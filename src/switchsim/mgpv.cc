@@ -1,0 +1,236 @@
+#include "switchsim/mgpv.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace superfe {
+
+const char* EvictReasonName(EvictReason reason) {
+  switch (reason) {
+    case EvictReason::kCollision:
+      return "collision";
+    case EvictReason::kShortFull:
+      return "short_full";
+    case EvictReason::kLongFull:
+      return "long_full";
+    case EvictReason::kAging:
+      return "aging";
+    case EvictReason::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+uint64_t MgpvConfig::MemoryFootprintBytes() const {
+  const uint32_t cg_key_bytes = cg == Granularity::kHost      ? 4
+                                : cg == Granularity::kChannel ? 8
+                                                              : 13;
+  // Per short entry: key + hash (4) + last-access timestamp (4) + long
+  // pointer (2) + cell count (1) + the short cells themselves.
+  const uint64_t per_entry =
+      cg_key_bytes + 4 + 4 + 2 + 1 + static_cast<uint64_t>(short_size) * metadata_bytes_per_cell;
+  uint64_t total = static_cast<uint64_t>(short_buffers) * per_entry;
+  // Long buffer pool + the allocation stack (2-byte indices + top pointer).
+  total += static_cast<uint64_t>(long_buffers) * long_size * metadata_bytes_per_cell;
+  total += static_cast<uint64_t>(long_buffers) * 2 + 4;
+  if (multi_granularity) {
+    // FG key table: five-tuple keys.
+    total += static_cast<uint64_t>(fg_table_size) * 13;
+  }
+  return total;
+}
+
+MgpvCache::MgpvCache(const MgpvConfig& config, MgpvSink* sink)
+    : config_(config), sink_(sink) {
+  assert(sink != nullptr);
+  assert(config.short_buffers > 0 && config.short_size > 0);
+  entries_.resize(config_.short_buffers);
+  long_buffers_.resize(config_.long_buffers);
+  free_long_.reserve(config_.long_buffers);
+  // Stack is initialized full; popping yields the highest index first.
+  for (uint32_t i = 0; i < config_.long_buffers; ++i) {
+    free_long_.push_back(i);
+  }
+  fg_table_.resize(config_.fg_table_size);
+}
+
+void MgpvCache::EvictCells(Entry& entry, EvictReason reason) {
+  const size_t long_cells =
+      entry.long_index >= 0 ? long_buffers_[entry.long_index].size() : 0;
+  if (entry.short_cells.empty() && long_cells == 0) {
+    // Nothing batched (possible right after a previous eviction); still
+    // release the long buffer if owned.
+    if (entry.long_index >= 0) {
+      free_long_.push_back(static_cast<uint32_t>(entry.long_index));
+      entry.long_index = -1;
+    }
+    return;
+  }
+
+  MgpvReport report;
+  report.cg_key = entry.key;
+  report.hash = entry.hash;
+  report.reason = reason;
+  report.cells.reserve(entry.short_cells.size() + long_cells);
+  // Chronological order: the short buffer filled before the long buffer.
+  for (const auto& cell : entry.short_cells) {
+    report.cells.push_back(cell);
+  }
+  if (entry.long_index >= 0) {
+    auto& long_buf = long_buffers_[entry.long_index];
+    for (const auto& cell : long_buf) {
+      report.cells.push_back(cell);
+    }
+    long_buf.clear();
+    free_long_.push_back(static_cast<uint32_t>(entry.long_index));
+    entry.long_index = -1;
+  }
+  entry.short_cells.clear();
+
+  stats_.reports_out++;
+  stats_.cells_out += report.cells.size();
+  stats_.bytes_out += report.WireBytes(config_.metadata_bytes_per_cell);
+  stats_.evictions[static_cast<int>(reason)]++;
+  sink_->OnMgpv(report);
+}
+
+uint16_t MgpvCache::FgIndexFor(const FiveTuple& fg_tuple) {
+  const auto bytes = fg_tuple.ToBytes();
+  const uint32_t hash = Crc32(bytes.data(), bytes.size(), 0xf60f60u);
+  const uint16_t index = static_cast<uint16_t>(hash % config_.fg_table_size);
+  FgSlot& slot = fg_table_[index];
+  if (!slot.valid || !(slot.key == fg_tuple)) {
+    if (slot.valid) {
+      stats_.fg_collisions++;
+    }
+    slot.valid = true;
+    slot.key = fg_tuple;
+    FgSyncMessage sync;
+    sync.index = index;
+    sync.key = fg_tuple;
+    stats_.fg_syncs++;
+    stats_.bytes_out += FgSyncMessage::kWireBytes;
+    sink_->OnFgSync(sync);
+  }
+  return index;
+}
+
+void MgpvCache::AgeScan() {
+  if (config_.aging_timeout_ns == 0) {
+    return;
+  }
+  for (uint32_t i = 0; i < config_.aging_scan_per_packet; ++i) {
+    Entry& entry = entries_[scan_cursor_];
+    scan_cursor_ = (scan_cursor_ + 1) % config_.short_buffers;
+    if (entry.valid && now_ns_ > entry.last_access_ns &&
+        now_ns_ - entry.last_access_ns > config_.aging_timeout_ns) {
+      EvictCells(entry, EvictReason::kAging);
+      entry.valid = false;
+    }
+  }
+}
+
+void MgpvCache::Insert(const PacketRecord& pkt) {
+  now_ns_ = std::max(now_ns_, pkt.timestamp_ns);
+  stats_.packets_in++;
+  stats_.bytes_in += pkt.wire_bytes;
+
+  MgpvCell cell;
+  cell.size = static_cast<uint16_t>(std::min<uint32_t>(pkt.wire_bytes, 0xffff));
+  cell.tstamp = static_cast<uint32_t>(pkt.timestamp_ns);
+  cell.direction = pkt.direction;
+  cell.full_timestamp_ns = pkt.timestamp_ns;
+  cell.fg_tuple = GroupKey::InitiatorTuple(pkt);
+  if (config_.multi_granularity) {
+    cell.fg_index = FgIndexFor(cell.fg_tuple);
+  }
+
+  const GroupKey key = GroupKey::ForPacket(pkt, config_.cg);
+  const uint32_t hash = key.Hash();
+  Entry& entry = entries_[hash % config_.short_buffers];
+
+  if (!entry.valid) {
+    entry.valid = true;
+    entry.key = key;
+    entry.hash = hash;
+    entry.long_index = -1;
+    entry.short_cells.clear();
+  } else if (entry.key != key) {
+    // Hash collision with a different group: evict the older entry first
+    // (the collision-eviction policy approximates LRU, §5.2).
+    EvictCells(entry, EvictReason::kCollision);
+    entry.key = key;
+    entry.hash = hash;
+  }
+  entry.last_access_ns = pkt.timestamp_ns;
+
+  // Place the cell: short buffer first, then the long buffer.
+  if (entry.short_cells.size() < config_.short_size) {
+    entry.short_cells.push_back(cell);
+    if (entry.short_cells.size() == config_.short_size && entry.long_index < 0) {
+      // Short buffer just filled: likely a long flow; try to grab a long
+      // buffer from the stack.
+      if (!free_long_.empty()) {
+        entry.long_index = static_cast<int32_t>(free_long_.back());
+        free_long_.pop_back();
+        stats_.long_allocs++;
+      } else {
+        stats_.long_alloc_failures++;
+        EvictCells(entry, EvictReason::kShortFull);
+      }
+    }
+  } else if (entry.long_index >= 0) {
+    auto& long_buf = long_buffers_[entry.long_index];
+    long_buf.push_back(cell);
+    if (long_buf.size() >= config_.long_size) {
+      // Long buffer filled: short + long are evicted together so both can
+      // be reused (§5.2).
+      EvictCells(entry, EvictReason::kLongFull);
+    }
+  } else {
+    // Short is full and no long buffer could be obtained earlier: the short
+    // buffer was already evicted, so it has room again. (Reached only via
+    // the eviction above resetting short_cells; defensive fallback.)
+    entry.short_cells.push_back(cell);
+  }
+
+  AgeScan();
+}
+
+void MgpvCache::Flush() {
+  for (auto& entry : entries_) {
+    if (entry.valid) {
+      EvictCells(entry, EvictReason::kFlush);
+      entry.valid = false;
+    }
+  }
+}
+
+double MgpvCache::Occupancy() const {
+  uint64_t valid = 0;
+  for (const auto& entry : entries_) {
+    if (entry.valid) {
+      ++valid;
+    }
+  }
+  return static_cast<double>(valid) / static_cast<double>(entries_.size());
+}
+
+double MgpvCache::BufferEfficiency(uint64_t window_ns) const {
+  uint64_t valid = 0;
+  uint64_t active = 0;
+  for (const auto& entry : entries_) {
+    if (!entry.valid) {
+      continue;
+    }
+    ++valid;
+    if (now_ns_ - entry.last_access_ns <= window_ns) {
+      ++active;
+    }
+  }
+  return valid == 0 ? 1.0 : static_cast<double>(active) / static_cast<double>(valid);
+}
+
+}  // namespace superfe

@@ -1,0 +1,143 @@
+// The multi-granularity key-vector cache (MGPV, §5): the core FE-Switch
+// data structure that batches per-packet feature metadata per coarsest-
+// granularity group before shipping it to the SmartNIC.
+//
+// Structure (Fig 7): a hash-indexed array of short buffers (default 4 cells
+// x 16384 entries), a stack-allocated pool of long buffers (20 cells x
+// 4096), and a synchronized FG-group-key hash table (16384 slots). Eviction
+// happens on hash collision, buffer overflow, or aging (§5.2).
+//
+// Configured with a single-granularity chain this degenerates to \*Flow's
+// GPV, which is the Fig 13 baseline.
+#ifndef SUPERFE_SWITCHSIM_MGPV_H_
+#define SUPERFE_SWITCHSIM_MGPV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "switchsim/evict.h"
+#include "switchsim/group_key.h"
+
+namespace superfe {
+
+struct MgpvConfig {
+  // Prototype defaults from §7.
+  uint32_t short_buffers = 16384;
+  uint32_t short_size = 4;
+  uint32_t long_buffers = 4096;
+  uint32_t long_size = 20;
+  uint32_t fg_table_size = 16384;
+
+  // Aging (§5.2): entries idle for more than this are recycled by the
+  // recirculation scan; 0 disables aging. The default matches the paper's
+  // bound on batching delay, which "does not exceed O(10) milliseconds"
+  // (§8.4).
+  uint64_t aging_timeout_ns = 10'000'000;  // 10 ms.
+  // Entries examined by the recirculating "internal packets" per inserted
+  // packet (models the recirculation-port scan frequency).
+  uint32_t aging_scan_per_packet = 4;
+
+  // From the compiled policy.
+  Granularity cg = Granularity::kFlow;
+  Granularity fg = Granularity::kFlow;
+  bool multi_granularity = false;
+  uint32_t metadata_bytes_per_cell = 7;
+
+  // Total switch SRAM footprint of this cache instance (Fig 13 metric).
+  uint64_t MemoryFootprintBytes() const;
+};
+
+struct MgpvStats {
+  uint64_t packets_in = 0;
+  uint64_t bytes_in = 0;
+
+  uint64_t reports_out = 0;
+  uint64_t cells_out = 0;
+  uint64_t bytes_out = 0;  // Reports + FG sync messages.
+  uint64_t fg_syncs = 0;
+  uint64_t fg_collisions = 0;
+
+  uint64_t evictions[5] = {0, 0, 0, 0, 0};  // Indexed by EvictReason.
+
+  uint64_t long_allocs = 0;
+  uint64_t long_alloc_failures = 0;
+
+  // Fraction of original packet *rate* still crossing to the NIC
+  // (reports / packets). Fig 12's "receiving rate" metric.
+  double MessageRatio() const {
+    return packets_in == 0 ? 0.0 : static_cast<double>(reports_out) /
+                                       static_cast<double>(packets_in);
+  }
+  // Fraction of original *bytes* crossing to the NIC. Fig 12's "receiving
+  // throughput" metric; 1 - this is the paper's ">80% reduction".
+  double ByteRatio() const {
+    return bytes_in == 0 ? 0.0 : static_cast<double>(bytes_out) /
+                                     static_cast<double>(bytes_in);
+  }
+};
+
+class MgpvCache {
+ public:
+  MgpvCache(const MgpvConfig& config, MgpvSink* sink);
+
+  // Inserts one (already filtered) packet; may trigger evictions into the
+  // sink and advances the aging scan.
+  void Insert(const PacketRecord& pkt);
+
+  // Drains all cached metadata (end of run).
+  void Flush();
+
+  const MgpvStats& stats() const { return stats_; }
+  const MgpvConfig& config() const { return config_; }
+
+  // Occupied entries / total entries.
+  double Occupancy() const;
+
+  // Fraction of occupied entries accessed within `window_ns` of the current
+  // time — Fig 14's "buffer efficiency" (active flows in MGPV buffers).
+  double BufferEfficiency(uint64_t window_ns) const;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    GroupKey key;
+    uint32_t hash = 0;
+    uint64_t last_access_ns = 0;
+    int32_t long_index = -1;  // -1 = no long buffer owned.
+    std::vector<MgpvCell> short_cells;
+  };
+
+  struct FgSlot {
+    bool valid = false;
+    FiveTuple key;
+  };
+
+  // Emits the entry's cells (short then long, i.e. chronological order) and
+  // releases its long buffer. The entry's buffers are cleared; validity is
+  // managed by the caller.
+  void EvictCells(Entry& entry, EvictReason reason);
+
+  // Looks up / installs the FG key, emitting a sync message on writes.
+  uint16_t FgIndexFor(const FiveTuple& fg_tuple);
+
+  // Advances the recirculation aging scan by config_.aging_scan_per_packet
+  // entries.
+  void AgeScan();
+
+  MgpvConfig config_;
+  MgpvSink* sink_;
+  MgpvStats stats_;
+
+  std::vector<Entry> entries_;
+  std::vector<std::vector<MgpvCell>> long_buffers_;
+  std::vector<uint32_t> free_long_;  // Stack of free long-buffer indices.
+  std::vector<FgSlot> fg_table_;
+
+  uint64_t now_ns_ = 0;
+  uint32_t scan_cursor_ = 0;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_SWITCHSIM_MGPV_H_

@@ -1,0 +1,25 @@
+// P4-16 code generation for FE-Switch (§7: the policy engine "extracts
+// operators groupby and filter to configure the program of FE-Switch").
+//
+// Emits a complete Tofino-style P4-16 program implementing the compiled
+// policy's switch side: header parsing, the policy filter as a match-action
+// table, and the MGPV cache (short buffers, stack-allocated long buffers,
+// FG-key table, aging via recirculation) as register arrays with the same
+// geometry the simulator uses. The output is reference source for a real
+// deployment; this repository executes the simulator instead.
+#ifndef SUPERFE_SWITCHSIM_P4GEN_H_
+#define SUPERFE_SWITCHSIM_P4GEN_H_
+
+#include <string>
+
+#include "policy/compile.h"
+#include "switchsim/mgpv.h"
+
+namespace superfe {
+
+// Generates the P4-16 source for the compiled policy's FE-Switch program.
+std::string GenerateP4(const CompiledPolicy& compiled, const MgpvConfig& config);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_SWITCHSIM_P4GEN_H_

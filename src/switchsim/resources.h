@@ -1,0 +1,49 @@
+// Tofino resource estimation for a compiled policy (Table 4, switch
+// columns): match-action tables, stateful ALUs, SRAM.
+//
+// We model a Tofino-1-class pipeline: 12 stages, 16 logical tables and 4
+// stateful ALUs per stage, and an SRAM budget sized so the P4-16 prototype's
+// reported utilization is reproduced. Structural terms (what consumes what)
+// follow the MGPV design; the base constants are calibrated against the
+// prototype's Table 4 numbers and documented inline.
+#ifndef SUPERFE_SWITCHSIM_RESOURCES_H_
+#define SUPERFE_SWITCHSIM_RESOURCES_H_
+
+#include <cstdint>
+
+#include "policy/compile.h"
+#include "switchsim/mgpv.h"
+
+namespace superfe {
+
+struct TofinoCapacity {
+  uint32_t stages = 12;
+  uint32_t tables = 192;  // 16 logical tables per stage.
+  uint32_t salus = 48;    // 4 stateful ALUs per stage.
+  uint64_t sram_bytes = 14ull << 20;  // Usable SRAM for register/table data.
+};
+
+struct SwitchResourceUsage {
+  uint32_t tables = 0;
+  uint32_t salus = 0;
+  uint64_t sram_bytes = 0;
+
+  double TablesFraction(const TofinoCapacity& cap) const {
+    return static_cast<double>(tables) / cap.tables;
+  }
+  double SalusFraction(const TofinoCapacity& cap) const {
+    return static_cast<double>(salus) / cap.salus;
+  }
+  double SramFraction(const TofinoCapacity& cap) const {
+    return static_cast<double>(sram_bytes) / static_cast<double>(cap.sram_bytes);
+  }
+};
+
+// Estimates switch resources for the compiled policy with the given cache
+// geometry.
+SwitchResourceUsage EstimateSwitchResources(const CompiledPolicy& compiled,
+                                            const MgpvConfig& config);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_SWITCHSIM_RESOURCES_H_

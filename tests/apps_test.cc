@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/policies.h"
+#include "core/runtime.h"
+#include "net/attack_gen.h"
+#include "net/trace_gen.h"
+#include "policy/compile.h"
+
+namespace superfe {
+namespace {
+
+TEST(AppPoliciesTest, AllTenPresent) {
+  const auto apps = AllAppPolicies();
+  ASSERT_EQ(apps.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& app : apps) {
+    names.insert(app.name);
+  }
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_TRUE(names.count("Kitsune"));
+  EXPECT_TRUE(names.count("CUMUL"));
+}
+
+TEST(AppPoliciesTest, LookupByName) {
+  auto app = AppPolicyByName("NPOD");
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app->paper_dimension, 37u);
+  EXPECT_FALSE(AppPolicyByName("NoSuchApp").ok());
+}
+
+TEST(AppPoliciesTest, LocIsPositiveAndConcise) {
+  for (const auto& app : AllAppPolicies()) {
+    const int loc = app.policy.LinesOfCode();
+    EXPECT_GT(loc, 3) << app.name;
+    EXPECT_LT(loc, 120) << app.name;  // Concise (Table 3's point).
+  }
+}
+
+TEST(AppPoliciesTest, WfpPoliciesAreSmallest) {
+  // The paper's Table 3: AWF/DF/TF are the most concise (9 LoC).
+  auto awf = AppPolicyByName("AWF");
+  auto mptd = AppPolicyByName("MPTD");
+  ASSERT_TRUE(awf.ok() && mptd.ok());
+  EXPECT_LT(awf->policy.LinesOfCode(), mptd->policy.LinesOfCode());
+}
+
+// Every app policy must compile and run end-to-end over real traffic.
+class AppEndToEndTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppEndToEndTest, CompilesAndRuns) {
+  const AppPolicy app = AllAppPolicies()[GetParam()];
+  RuntimeConfig config;
+  auto runtime = SuperFeRuntime::Create(app.policy, config);
+  ASSERT_TRUE(runtime.ok()) << app.name << ": " << runtime.status().ToString();
+
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 5000, 12 + GetParam());
+  CollectingFeatureSink sink;
+  const RunReport report = (*runtime)->Run(trace, &sink);
+
+  EXPECT_GT(sink.vectors().size(), 0u) << app.name;
+  const uint32_t dim = Compile(app.policy)->nic_program.FeatureDimension();
+  for (const auto& v : sink.vectors()) {
+    ASSERT_EQ(v.values.size(), dim) << app.name;
+    for (double x : v.values) {
+      EXPECT_TRUE(std::isfinite(x)) << app.name;
+    }
+  }
+  EXPECT_GT(report.sustainable_gbps, 0.0) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppEndToEndTest, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           std::string name = AllAppPolicies()[info.param].name;
+                           for (auto& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(AppPoliciesTest, KitsuneVectorDimIs115) {
+  auto compiled = Compile(KitsunePolicy());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->nic_program.FeatureDimension(), 115u);
+  EXPECT_EQ(compiled->switch_program.chain.size(), 3u);
+  EXPECT_TRUE(compiled->nic_program.collect.per_packet);
+}
+
+TEST(AppPoliciesTest, DirectionSequenceValuesAreSigns) {
+  auto runtime = SuperFeRuntime::Create(TfPolicy(), RuntimeConfig{});
+  ASSERT_TRUE(runtime.ok());
+  const LabeledFlowSet sessions = GenerateWebsiteSessions(2, 2, 14);
+  Trace trace;
+  for (const auto& flow : sessions.flows) {
+    for (const auto& pkt : flow) {
+      trace.Add(pkt);
+    }
+  }
+  trace.SortByTime();
+  CollectingFeatureSink sink;
+  (*runtime)->Run(trace, &sink);
+  ASSERT_GT(sink.vectors().size(), 0u);
+  for (const auto& v : sink.vectors()) {
+    for (double x : v.values) {
+      EXPECT_TRUE(x == 1.0 || x == -1.0 || x == 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace superfe

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "apps/policies.h"
+#include "nicsim/microc_gen.h"
+#include "nicsim/placement.h"
+#include "policy/parser.h"
+#include "switchsim/fe_switch.h"
+#include "switchsim/p4gen.h"
+
+namespace superfe {
+namespace {
+
+CompiledPolicy CompileSource(const std::string& source) {
+  auto policy = ParsePolicy("gen", source);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  auto compiled = Compile(*policy);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled).value();
+}
+
+PlacementResult PlacementFor(const CompiledPolicy& compiled) {
+  PlacementProblem problem;
+  problem.states = compiled.nic_program.states;
+  problem.key_bytes = compiled.switch_program.FgKeyBytes();
+  return std::move(SolvePlacement(problem)).value();
+}
+
+TEST(P4GenTest, ContainsParserAndFilter) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)");
+  const std::string p4 = GenerateP4(compiled, FeSwitch::DefaultConfig(compiled));
+  EXPECT_NE(p4.find("parser FeParser"), std::string::npos);
+  EXPECT_NE(p4.find("table policy_filter"), std::string::npos);
+  EXPECT_NE(p4.find("hdr.ipv4.protocol"), std::string::npos);  // tcp.exist predicate.
+  EXPECT_NE(p4.find("#include <tna.p4>"), std::string::npos);
+}
+
+TEST(P4GenTest, RegistersMatchCacheGeometry) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)");
+  MgpvConfig config = FeSwitch::DefaultConfig(compiled);
+  config.short_buffers = 1234;
+  config.long_buffers = 77;
+  config.long_size = 9;
+  const std::string p4 = GenerateP4(compiled, config);
+  EXPECT_NE(p4.find("bit<32>>(1234)"), std::string::npos);   // Short entries.
+  EXPECT_NE(p4.find("bit<32>>(693)"), std::string::npos);    // 77 * 9 long cells.
+  EXPECT_NE(p4.find("long_free_stack"), std::string::npos);
+}
+
+TEST(P4GenTest, MultiGranularityEmitsFgTable) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(host, socket)
+  .reduce(size, [f_mean])
+  .collect(pkt)
+)");
+  const std::string p4 = GenerateP4(compiled, FeSwitch::DefaultConfig(compiled));
+  EXPECT_NE(p4.find("fg_key_word_0"), std::string::npos);
+  EXPECT_NE(p4.find("CG = host"), std::string::npos);
+  EXPECT_NE(p4.find("FG = socket"), std::string::npos);
+  // Host CG hashes only the source address.
+  EXPECT_NE(p4.find("cg_hash.get({hdr.ipv4.src_addr})"), std::string::npos);
+}
+
+TEST(P4GenTest, SingleGranularityHasNoFgTable) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)");
+  const std::string p4 = GenerateP4(compiled, FeSwitch::DefaultConfig(compiled));
+  EXPECT_EQ(p4.find("fg_key_word"), std::string::npos);
+}
+
+TEST(P4GenTest, MetadataFieldsGetRegisters) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(size, [f_mean])
+  .reduce(ipt, [f_mean])
+  .collect(flow)
+)");
+  const std::string p4 = GenerateP4(compiled, FeSwitch::DefaultConfig(compiled));
+  EXPECT_NE(p4.find("short_size_0"), std::string::npos);
+  EXPECT_NE(p4.find("short_tstamp_0"), std::string::npos);
+  EXPECT_NE(p4.find("short_size_3"), std::string::npos);  // 4 slots: 0..3.
+}
+
+TEST(MicroCGenTest, EmitsUpdateRoutinesAndTables) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(size, [f_mean, f_var])
+  .reduce(ipt, [ft_hist{1024, 16}])
+  .collect(flow)
+)");
+  const std::string microc = GenerateMicroC(compiled, PlacementFor(compiled));
+  EXPECT_NE(microc.find("update_flow_size_f_mean"), std::string::npos);
+  EXPECT_NE(microc.find("update_flow_ipt_ft_hist"), std::string::npos);
+  EXPECT_NE(microc.find("drain_residue"), std::string::npos);  // Division elimination.
+  EXPECT_NE(microc.find("table_flow"), std::string::npos);
+  EXPECT_NE(microc.find("mgpv_receive"), std::string::npos);
+  // Histogram indexing is a shift, not a divide.
+  EXPECT_NE(microc.find("WIDTH_SHIFT_"), std::string::npos);
+  EXPECT_EQ(microc.find(" / "), std::string::npos);
+}
+
+TEST(MicroCGenTest, DampedStatsUseFixedPointWelford) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(host)
+  .reduce(size, [f_mean{decay=5}])
+  .collect(host)
+)");
+  const std::string microc = GenerateMicroC(compiled, PlacementFor(compiled));
+  EXPECT_NE(microc.find("exp2_lut"), std::string::npos);
+  EXPECT_NE(microc.find("m2_fp"), std::string::npos);
+  EXPECT_NE(microc.find("shift_div"), std::string::npos);
+}
+
+TEST(MicroCGenTest, PerPacketCollectEmitsVector) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(host, socket)
+  .reduce(size, [f_mean], host)
+  .reduce(size, [f_mag], socket)
+  .collect(pkt)
+)");
+  const std::string microc = GenerateMicroC(compiled, PlacementFor(compiled));
+  EXPECT_NE(microc.find("emit_feature_vector"), std::string::npos);
+  EXPECT_NE(microc.find("table_host"), std::string::npos);
+  EXPECT_NE(microc.find("table_socket"), std::string::npos);
+  EXPECT_NE(microc.find("twod_update_a"), std::string::npos);  // Bidirectional stats.
+}
+
+TEST(MicroCGenTest, CardUsesSwitchHash) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(host)
+  .reduce(size, [f_card])
+  .collect(host)
+)");
+  const std::string microc = GenerateMicroC(compiled, PlacementFor(compiled));
+  EXPECT_NE(microc.find("mgpv_hash"), std::string::npos);  // Hash-reuse optimization.
+  EXPECT_NE(microc.find("hll"), std::string::npos);
+}
+
+TEST(CodegenTest, AllAppPoliciesGenerate) {
+  for (const auto& app : AllAppPolicies()) {
+    auto compiled = Compile(app.policy);
+    ASSERT_TRUE(compiled.ok()) << app.name;
+    const std::string p4 = GenerateP4(*compiled, FeSwitch::DefaultConfig(*compiled));
+    const std::string microc = GenerateMicroC(*compiled, PlacementFor(*compiled));
+    EXPECT_GT(p4.size(), 2000u) << app.name;
+    EXPECT_GT(microc.size(), 1000u) << app.name;
+    EXPECT_NE(p4.find(app.name), std::string::npos) << app.name;
+    EXPECT_NE(microc.find(app.name), std::string::npos) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace superfe

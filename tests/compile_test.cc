@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "apps/policies.h"
+#include "policy/compile.h"
+#include "policy/parser.h"
+
+namespace superfe {
+namespace {
+
+Policy Parse(const std::string& src) {
+  auto policy = ParsePolicy("t", src);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  return std::move(policy).value();
+}
+
+TEST(CompileTest, PartitionsFilterAndGroupByToSwitch) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->switch_program.filter.conjuncts.size(), 1u);
+  EXPECT_EQ(compiled->switch_program.chain.size(), 1u);
+  EXPECT_EQ(compiled->switch_program.cg(), Granularity::kFlow);
+  EXPECT_EQ(compiled->nic_program.maps.size(), 1u);
+  EXPECT_EQ(compiled->nic_program.reduces.size(), 1u);
+}
+
+TEST(CompileTest, MetadataLayoutOnlyWhatIsUsed) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->switch_program.fields.size(), 1u);
+  EXPECT_EQ(compiled->switch_program.fields[0], MetaField::kSize);
+  EXPECT_EQ(compiled->switch_program.MetadataBytesPerPacket(), 2u);
+}
+
+TEST(CompileTest, IptPullsInTimestamp) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(ipt, [f_mean])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  bool has_tstamp = false;
+  for (MetaField f : compiled->switch_program.fields) {
+    has_tstamp |= f == MetaField::kTimestamp;
+  }
+  EXPECT_TRUE(has_tstamp);
+}
+
+TEST(CompileTest, BidirectionalReducePullsInDirection) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(channel)
+  .reduce(size, [f_mag])
+  .collect(channel)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  bool has_dir = false;
+  for (MetaField f : compiled->switch_program.fields) {
+    has_dir |= f == MetaField::kDirection;
+  }
+  EXPECT_TRUE(has_dir);
+}
+
+TEST(CompileTest, MultiGranularityAddsFgIndex) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(host, socket)
+  .reduce(size, [f_mean])
+  .collect(pkt)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->switch_program.multi_granularity());
+  EXPECT_EQ(compiled->switch_program.cg(), Granularity::kHost);
+  EXPECT_EQ(compiled->switch_program.fg(), Granularity::kSocket);
+  // size (2) + direction? no + fg index (2).
+  EXPECT_GE(compiled->switch_program.MetadataBytesPerPacket(), 4u);
+}
+
+TEST(CompileTest, FeatureDimensionScalar) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean, f_var, f_min, f_max])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->nic_program.FeatureDimension(), 4u);
+}
+
+TEST(CompileTest, FeatureDimensionHistogram) {
+  auto ok = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [ft_hist{100, 16}])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->nic_program.FeatureDimension(), 16u);
+}
+
+TEST(CompileTest, ReduceBeforeDefiningMapFails) {
+  auto policy = ParsePolicy("bad", R"(
+pktstream
+  .groupby(flow)
+  .reduce(ipt2, [f_sum])
+  .map(ipt2, tstamp, f_ipt)
+  .collect(flow)
+)");
+  EXPECT_FALSE(policy.ok());
+}
+
+TEST(CompileTest, DimensionMultipliesAcrossGranularities) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(host, channel, socket)
+  .reduce(size, [f_mean, f_var])
+  .collect(pkt)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->nic_program.FeatureDimension(), 6u);  // 2 x 3 granularities.
+}
+
+TEST(CompileTest, RestrictedReduceOnlyCountsOnce) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(host, channel)
+  .reduce(size, [f_mean], host)
+  .reduce(size, [f_var], channel)
+  .collect(pkt)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->nic_program.FeatureDimension(), 2u);
+  ASSERT_EQ(compiled->nic_program.layout.size(), 2u);
+  EXPECT_EQ(compiled->nic_program.layout[0].granularity, Granularity::kHost);
+  EXPECT_EQ(compiled->nic_program.layout[1].granularity, Granularity::kChannel);
+}
+
+TEST(CompileTest, OnlyFeaturesBeforeCollectAreCaptured) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->nic_program.layout.size(), 1u);
+}
+
+TEST(CompileTest, SynthChainCapturedInSlot) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .map(dirsize, size, f_direction)
+  .reduce(dirsize, [f_array{500}])
+  .synthesize(f_marker(dirsize.f_array))
+  .synthesize(ft_sample(dirsize.f_array, 100))
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->nic_program.layout.size(), 1u);
+  const auto& slot = compiled->nic_program.layout[0];
+  ASSERT_EQ(slot.synths.size(), 2u);
+  EXPECT_EQ(slot.synths[0].fn, SynthFn::kMarker);
+  EXPECT_EQ(slot.synths[1].fn, SynthFn::kSample);
+  EXPECT_EQ(slot.Width(), 100u);
+  EXPECT_EQ(compiled->nic_program.FeatureDimension(), 100u);
+}
+
+TEST(CompileTest, StatesExpandedPerGranularity) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(host, channel)
+  .reduce(size, [f_mean])
+  .collect(pkt)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  // One mean state per granularity instance.
+  EXPECT_EQ(compiled->nic_program.states.size(), 2u);
+  EXPECT_GT(compiled->nic_program.StateBytesPerGroup(), 0u);
+}
+
+TEST(CompileTest, CostsCountDivisions) {
+  auto compiled = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean, f_var])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GT(compiled->nic_program.DivisionsPerPacket(), 0u);
+  EXPECT_GT(compiled->nic_program.AluOpsPerPacket(), 0u);
+  EXPECT_GT(compiled->nic_program.MemWordsPerPacket(), 0u);
+}
+
+TEST(CompileTest, CgKeyBytesByGranularity) {
+  auto host = Compile(Parse(R"(
+pktstream
+  .groupby(host)
+  .reduce(size, [f_sum])
+  .collect(host)
+)"));
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host->switch_program.CgKeyBytes(), 4u);
+
+  auto flow = Compile(Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)"));
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(flow->switch_program.CgKeyBytes(), 13u);
+}
+
+// ---- Table 3: every app policy compiles to its published dimension ----
+
+class AppDimensionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppDimensionTest, MatchesTable3Dimension) {
+  const AppPolicy app = AllAppPolicies()[GetParam()];
+  auto compiled = Compile(app.policy);
+  ASSERT_TRUE(compiled.ok()) << app.name << ": " << compiled.status().ToString();
+  EXPECT_EQ(compiled->nic_program.FeatureDimension(), app.paper_dimension) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppDimensionTest,
+                         ::testing::Range(0, 10), [](const auto& info) {
+                           std::string name = AllAppPolicies()[info.param].name;
+                           for (auto& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace superfe

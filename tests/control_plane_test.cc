@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "net/trace_gen.h"
+#include "policy/parser.h"
+#include "switchsim/control_plane.h"
+
+namespace superfe {
+namespace {
+
+class NullMgpvSink : public MgpvSink {
+ public:
+  void OnMgpv(const MgpvReport&) override { ++reports; }
+  void OnFgSync(const FgSyncMessage&) override {}
+  int reports = 0;
+};
+
+CompiledPolicy CompileSource(const std::string& source) {
+  auto policy = ParsePolicy("cp", source);
+  EXPECT_TRUE(policy.ok());
+  auto compiled = Compile(*policy);
+  EXPECT_TRUE(compiled.ok());
+  return std::move(compiled).value();
+}
+
+const char* kPolicy = R"(
+pktstream
+  .filter(tcp.exist && dst_port == 443)
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)";
+
+TEST(ControlPlaneTest, InstallCreatesEntriesAndSwitch) {
+  SwitchControlPlane control;
+  NullMgpvSink sink;
+  auto fe = control.InstallPolicy(CompileSource(kPolicy), &sink);
+  ASSERT_TRUE(fe.ok()) << fe.status().ToString();
+  EXPECT_TRUE(control.installed());
+  // Filter entry + default rule.
+  ASSERT_EQ(control.entries().size(), 2u);
+  EXPECT_NE(control.entries()[0].match.find("proto == 6"), std::string::npos);
+  EXPECT_NE(control.entries()[0].match.find("dst_port == 443"), std::string::npos);
+  EXPECT_EQ(control.entries()[1].action, "drop_from_fe");
+  EXPECT_GT(control.usage().salus, 0u);
+  EXPECT_NE(control.Dump().find("policy installed"), std::string::npos);
+}
+
+TEST(ControlPlaneTest, DoubleInstallRejected) {
+  SwitchControlPlane control;
+  NullMgpvSink sink;
+  ASSERT_TRUE(control.InstallPolicy(CompileSource(kPolicy), &sink).ok());
+  auto second = control.InstallPolicy(CompileSource(kPolicy), &sink);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ControlPlaneTest, AdmissionControlRejectsOversizedPolicy) {
+  TofinoCapacity tiny;
+  tiny.salus = 4;  // Far below any MGPV program.
+  SwitchControlPlane control(tiny);
+  NullMgpvSink sink;
+  auto fe = control.InstallPolicy(CompileSource(kPolicy), &sink);
+  EXPECT_FALSE(fe.ok());
+  EXPECT_EQ(fe.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(control.installed());
+}
+
+TEST(ControlPlaneTest, DrainFlushesAndFrees) {
+  SwitchControlPlane control;
+  NullMgpvSink sink;
+  auto fe = control.InstallPolicy(CompileSource(kPolicy), &sink);
+  ASSERT_TRUE(fe.ok());
+
+  // Batch some packets, then drain: the flush must emit them.
+  PacketRecord pkt;
+  pkt.tuple = {MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), 1000, 443, kProtoTcp};
+  pkt.wire_bytes = 100;
+  (*fe)->OnPacket(pkt);
+  EXPECT_EQ(sink.reports, 0);
+  control.Drain();
+  EXPECT_EQ(sink.reports, 1);
+  EXPECT_FALSE(control.installed());
+  EXPECT_TRUE(control.entries().empty());
+
+  // A new policy installs cleanly afterwards.
+  EXPECT_TRUE(control.InstallPolicy(CompileSource(kPolicy), &sink).ok());
+}
+
+TEST(ControlPlaneTest, AgingTimeoutAppliesToNextInstall) {
+  SwitchControlPlane control;
+  NullMgpvSink sink;
+  ASSERT_TRUE(control.SetAgingTimeout(77000000).ok());
+  auto fe = control.InstallPolicy(CompileSource(kPolicy), &sink);
+  ASSERT_TRUE(fe.ok());
+  EXPECT_EQ((*fe)->cache().config().aging_timeout_ns, 77000000u);
+}
+
+TEST(ControlPlaneTest, EmptyFilterInstallsCatchAll) {
+  SwitchControlPlane control;
+  NullMgpvSink sink;
+  auto fe = control.InstallPolicy(CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)"),
+                                  &sink);
+  ASSERT_TRUE(fe.ok());
+  EXPECT_EQ(control.entries()[0].match, "ipv4.isValid()");
+}
+
+}  // namespace
+}  // namespace superfe

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "core/feature_vector.h"
+#include "nicsim/fe_nic.h"
+#include "policy/compile.h"
+#include "policy/parser.h"
+#include "switchsim/fe_switch.h"
+
+namespace superfe {
+namespace {
+
+CompiledPolicy CompileSource(const std::string& source) {
+  auto policy = ParsePolicy("t", source);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  auto compiled = Compile(*policy);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled).value();
+}
+
+PacketRecord Pkt(uint32_t src, uint16_t sport, uint64_t ts, uint32_t bytes = 100,
+                 Direction dir = Direction::kForward) {
+  PacketRecord pkt;
+  pkt.tuple = {src, MakeIp(172, 16, 0, 1), sport, 80, kProtoTcp};
+  if (dir == Direction::kBackward) {
+    pkt.tuple = pkt.tuple.Reversed();
+  }
+  pkt.direction = dir;
+  pkt.timestamp_ns = ts;
+  pkt.wire_bytes = bytes;
+  return pkt;
+}
+
+// Full switch -> NIC pipeline harness.
+struct Pipeline {
+  explicit Pipeline(const CompiledPolicy& compiled, FeNicConfig config = {}) {
+    nic = std::move(FeNic::Create(compiled, config, &sink)).value();
+    fe_switch = std::make_unique<FeSwitch>(compiled, nic.get());
+  }
+  void Run(const std::vector<PacketRecord>& packets) {
+    for (const auto& pkt : packets) {
+      fe_switch->OnPacket(pkt);
+    }
+    fe_switch->Flush();
+    nic->Flush();
+  }
+
+  CollectingFeatureSink sink;
+  std::unique_ptr<FeNic> nic;
+  std::unique_ptr<FeSwitch> fe_switch;
+};
+
+TEST(FeNicTest, PerFlowCollectEmitsOneVectorPerFlow) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum])
+  .reduce(size, [f_mean])
+  .collect(flow)
+)");
+  Pipeline pipeline(compiled);
+  pipeline.Run({Pkt(1, 1000, 0, 100), Pkt(1, 1000, 10, 200), Pkt(2, 2000, 20, 300)});
+
+  ASSERT_EQ(pipeline.sink.vectors().size(), 2u);
+  // Find the flow with two packets.
+  for (const auto& v : pipeline.sink.vectors()) {
+    ASSERT_EQ(v.values.size(), 2u);
+    if (v.values[0] == 2.0) {
+      EXPECT_DOUBLE_EQ(v.values[1], 150.0);
+    } else {
+      EXPECT_DOUBLE_EQ(v.values[0], 1.0);
+      EXPECT_DOUBLE_EQ(v.values[1], 300.0);
+    }
+  }
+}
+
+TEST(FeNicTest, PerPacketCollectEmitsPerCell) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum])
+  .collect(pkt)
+)");
+  Pipeline pipeline(compiled);
+  pipeline.Run({Pkt(1, 1000, 0), Pkt(1, 1000, 10), Pkt(1, 1000, 20)});
+  ASSERT_EQ(pipeline.sink.vectors().size(), 3u);
+  // Running count snapshots: 1, 2, 3.
+  EXPECT_DOUBLE_EQ(pipeline.sink.vectors()[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(pipeline.sink.vectors()[1].values[0], 2.0);
+  EXPECT_DOUBLE_EQ(pipeline.sink.vectors()[2].values[0], 3.0);
+}
+
+TEST(FeNicTest, MultiGranularityVectorSpansChain) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(host, socket)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum], host)
+  .reduce(one, [f_sum], socket)
+  .collect(pkt)
+)");
+  Pipeline pipeline(compiled);
+  // Two sockets from the same host.
+  pipeline.Run({Pkt(1, 1000, 0), Pkt(1, 2000, 10), Pkt(1, 1000, 20)});
+  ASSERT_EQ(pipeline.sink.vectors().size(), 3u);
+  // Last packet: host has seen 3, its socket 2.
+  const auto& last = pipeline.sink.vectors().back();
+  ASSERT_EQ(last.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(last.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(last.values[1], 2.0);
+}
+
+TEST(FeNicTest, BidirectionalPacketsShareGroups) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(socket)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum])
+  .collect(socket)
+)");
+  Pipeline pipeline(compiled);
+  pipeline.Run({Pkt(1, 1000, 0, 100, Direction::kForward),
+                Pkt(1, 1000, 10, 100, Direction::kBackward),
+                Pkt(1, 1000, 20, 100, Direction::kForward)});
+  // One socket group despite the direction flip.
+  ASSERT_EQ(pipeline.sink.vectors().size(), 1u);
+  EXPECT_DOUBLE_EQ(pipeline.sink.vectors()[0].values[0], 3.0);
+}
+
+TEST(FeNicTest, StatsCountCellsAndReports) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)");
+  Pipeline pipeline(compiled);
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 100; ++i) {
+    packets.push_back(Pkt(i % 5, 1000, i * 100));
+  }
+  pipeline.Run(packets);
+  EXPECT_EQ(pipeline.nic->stats().cells, 100u);
+  EXPECT_GT(pipeline.nic->stats().reports, 0u);
+  EXPECT_LE(pipeline.nic->stats().reports, 100u);
+  EXPECT_EQ(pipeline.nic->stats().vectors_emitted, 5u);
+}
+
+TEST(FeNicTest, PerfModelAccountsWork) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean, f_var])
+  .collect(flow)
+)");
+  Pipeline pipeline(compiled);
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 1000; ++i) {
+    packets.push_back(Pkt(i % 7, 1000, i * 100));
+  }
+  pipeline.Run(packets);
+  const auto& perf = pipeline.nic->perf();
+  EXPECT_EQ(perf.cells(), 1000u);
+  EXPECT_GT(perf.compute_cycles(), 0u);
+  EXPECT_GT(perf.memory_cycles(), 0u);
+  EXPECT_GT(perf.ThroughputPps(60), 0.0);
+}
+
+TEST(FeNicTest, ThroughputScalesNearLinearly) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)");
+  Pipeline pipeline(compiled);
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 500; ++i) {
+    packets.push_back(Pkt(i % 7, 1000, i * 100));
+  }
+  pipeline.Run(packets);
+  const auto& perf = pipeline.nic->perf();
+  const double t1 = perf.ThroughputPps(1);
+  const double t60 = perf.ThroughputPps(60);
+  const double t120 = perf.ThroughputPps(120);
+  EXPECT_GT(t60, t1 * 50);    // Near-linear to 60 cores.
+  EXPECT_GT(t120, t60 * 1.8);
+  EXPECT_LT(t120, t1 * 120.5);  // Never super-linear.
+}
+
+TEST(FeNicTest, OptimizationsReduceCycles) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean, f_var])
+  .collect(flow)
+)");
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 1000; ++i) {
+    packets.push_back(Pkt(i % 7, 1000, i * 100));
+  }
+
+  FeNicConfig no_opts;
+  no_opts.optimizations = NicOptimizations::None();
+  Pipeline slow(compiled, no_opts);
+  slow.Run(packets);
+
+  FeNicConfig all_opts;
+  all_opts.optimizations = NicOptimizations::All();
+  Pipeline fast(compiled, all_opts);
+  fast.Run(packets);
+
+  // The Fig 17 claim: all optimizations together gain severalfold.
+  EXPECT_GT(fast.nic->perf().ThroughputPps(60), 3.0 * slow.nic->perf().ThroughputPps(60));
+}
+
+TEST(FeNicTest, DivisionEliminationDominates) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean, f_var])
+  .collect(flow)
+)");
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 500; ++i) {
+    packets.push_back(Pkt(i % 3, 1000, i * 100));
+  }
+
+  auto run_with = [&](NicOptimizations opts) {
+    FeNicConfig config;
+    config.optimizations = opts;
+    Pipeline pipeline(compiled, config);
+    pipeline.Run(packets);
+    return pipeline.nic->perf().ThroughputPps(60);
+  };
+
+  NicOptimizations only_hash = NicOptimizations::None();
+  only_hash.reuse_switch_hash = true;
+  NicOptimizations only_div = NicOptimizations::None();
+  only_div.eliminate_division = true;
+
+  const double base = run_with(NicOptimizations::None());
+  const double hash_gain = run_with(only_hash) / base;
+  const double div_gain = run_with(only_div) / base;
+  EXPECT_GT(div_gain, hash_gain);  // §8.5: division elimination dominates.
+  EXPECT_GT(div_gain, 1.5);
+}
+
+TEST(FeNicTest, PlacementProducedForStates) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(flow)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(size, [f_mean, f_var])
+  .reduce(ipt, [ft_hist{1000, 32}])
+  .collect(flow)
+)");
+  Pipeline pipeline(compiled);
+  const auto& placement = pipeline.nic->placement();
+  EXPECT_EQ(placement.assignment.size(), compiled.nic_program.states.size());
+  uint64_t total = 0;
+  for (uint64_t b : placement.level_bytes) {
+    total += b;
+  }
+  EXPECT_EQ(total, compiled.nic_program.StateBytesPerGroup());
+}
+
+TEST(FeNicTest, GroupCountsTrackDistinctGroups) {
+  const CompiledPolicy compiled = CompileSource(R"(
+pktstream
+  .groupby(host, socket)
+  .reduce(size, [f_sum])
+  .collect(pkt)
+)");
+  Pipeline pipeline(compiled);
+  // 2 hosts, 3 sockets.
+  std::vector<PacketRecord> packets = {Pkt(1, 1000, 0), Pkt(1, 2000, 1), Pkt(2, 3000, 2)};
+  for (const auto& pkt : packets) {
+    pipeline.fe_switch->OnPacket(pkt);
+  }
+  pipeline.fe_switch->Flush();
+  const auto counts = pipeline.nic->GroupCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);  // Hosts.
+  EXPECT_EQ(counts[1], 3u);  // Sockets.
+}
+
+}  // namespace
+}  // namespace superfe

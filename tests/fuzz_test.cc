@@ -1,0 +1,162 @@
+// Robustness "fuzz-lite" tests: randomized mutations and garbage inputs
+// must produce clean errors, never crashes or hangs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/policies.h"
+#include "common/rng.h"
+#include "net/pcap.h"
+#include "policy/compile.h"
+#include "policy/parser.h"
+
+namespace superfe {
+namespace {
+
+const char* kSeedPolicy = R"(
+pktstream
+  .filter(tcp.exist && dst_port == 443)
+  .groupby(host, channel, socket)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(one, [f_sum{decay=5}], host)
+  .reduce(size, [f_mean, f_var, ft_hist{100, 16}])
+  .reduce(ipt, [ft_percent{0.9}], channel)
+  .synthesize(f_norm(size.f_mean))
+  .collect(pkt)
+)";
+
+TEST(ParserFuzzTest, SingleCharacterMutationsNeverCrash) {
+  const std::string seed = kSeedPolicy;
+  Rng rng(0xf022);
+  int accepted = 0;
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string mutated = seed;
+    const int mutations = 1 + static_cast<int>(rng.UniformU64(3));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.UniformU64(mutated.size());
+      const char replacement = static_cast<char>(32 + rng.UniformU64(95));
+      mutated[pos] = replacement;
+    }
+    auto policy = ParsePolicy("fuzz", mutated);
+    if (policy.ok()) {
+      ++accepted;
+      // Whatever parsed must also compile or fail cleanly.
+      auto compiled = Compile(*policy);
+      (void)compiled;
+    }
+  }
+  // Some mutations (comments, whitespace, digits) survive; most do not.
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 500);
+}
+
+TEST(ParserFuzzTest, TruncationsNeverCrash) {
+  const std::string seed = kSeedPolicy;
+  for (size_t len = 0; len < seed.size(); len += 7) {
+    auto policy = ParsePolicy("trunc", seed.substr(0, len));
+    (void)policy;
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(0xf023);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string garbage(rng.UniformU64(400), ' ');
+    for (auto& c : garbage) {
+      c = static_cast<char>(rng.UniformU64(256));
+    }
+    auto policy = ParsePolicy("garbage", garbage);
+    EXPECT_FALSE(policy.ok());
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedBracesRejected) {
+  std::string source = "pktstream.groupby(flow).reduce(size, [f_mean";
+  for (int i = 0; i < 200; ++i) {
+    source += "{1";
+  }
+  auto policy = ParsePolicy("nested", source);
+  EXPECT_FALSE(policy.ok());
+}
+
+TEST(PcapFuzzTest, GarbageFilesRejected) {
+  Rng rng(0xf024);
+  const std::string path = ::testing::TempDir() + "/superfe_fuzz.pcap";
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::ofstream out(path, std::ios::binary);
+    const size_t len = rng.UniformU64(512);
+    for (size_t i = 0; i < len; ++i) {
+      out.put(static_cast<char>(rng.UniformU64(256)));
+    }
+    out.close();
+    auto trace = ReadPcap(path);
+    (void)trace;  // ok() or clean error; must not crash.
+  }
+  std::remove(path.c_str());
+  SUCCEED();
+}
+
+TEST(PcapFuzzTest, TruncatedValidFileRejectedCleanly) {
+  // Write a valid pcap then truncate at every 64-byte boundary.
+  Trace trace;
+  PacketRecord pkt;
+  pkt.tuple = {MakeIp(1, 2, 3, 4), MakeIp(5, 6, 7, 8), 10, 20, kProtoTcp};
+  pkt.wire_bytes = 100;
+  for (int i = 0; i < 5; ++i) {
+    pkt.timestamp_ns = i * 1000;
+    trace.Add(pkt);
+  }
+  const std::string path = ::testing::TempDir() + "/superfe_trunc.pcap";
+  ASSERT_TRUE(WritePcap(path, trace).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t len = 0; len < full.size(); len += 64) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(full.data(), static_cast<std::streamsize>(len));
+    out.close();
+    auto loaded = ReadPcap(path);
+    (void)loaded;
+  }
+  std::remove(path.c_str());
+  SUCCEED();
+}
+
+// Round trip: every app policy pretty-prints to a form that re-parses and
+// re-compiles to the identical feature dimension.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, ToStringReparsesEquivalently) {
+  const AppPolicy app = AllAppPolicies()[GetParam()];
+  const std::string printed = app.policy.ToString();
+  auto reparsed = ParsePolicy(app.name + "-rt", printed);
+  ASSERT_TRUE(reparsed.ok()) << app.name << ": " << reparsed.status().ToString() << "\n"
+                             << printed;
+  auto original = Compile(app.policy);
+  auto round_trip = Compile(*reparsed);
+  ASSERT_TRUE(original.ok() && round_trip.ok()) << app.name;
+  EXPECT_EQ(round_trip->nic_program.FeatureDimension(),
+            original->nic_program.FeatureDimension())
+      << app.name;
+  EXPECT_EQ(round_trip->switch_program.chain, original->switch_program.chain) << app.name;
+  EXPECT_EQ(round_trip->switch_program.MetadataBytesPerPacket(),
+            original->switch_program.MetadataBytesPerPacket())
+      << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, RoundTripTest, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           std::string name = AllAppPolicies()[info.param].name;
+                           for (auto& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace superfe

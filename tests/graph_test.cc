@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy/granularity_graph.h"
+
+namespace superfe {
+namespace {
+
+// Every node must appear in exactly one chain; consecutive chain members
+// must be connected in the transitive refinement order.
+void CheckCover(const GranularityGraph& graph, const std::vector<std::vector<int>>& chains) {
+  std::set<int> seen;
+  for (const auto& chain : chains) {
+    EXPECT_FALSE(chain.empty());
+    for (int node : chain) {
+      EXPECT_TRUE(seen.insert(node).second) << "node " << node << " covered twice";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), graph.node_count());
+}
+
+TEST(GranularityGraphTest, ChainStaysOneChain) {
+  // The Kitsune dependency chain: host -> channel -> socket.
+  GranularityGraph graph;
+  const int host = graph.AddNode("host");
+  const int channel = graph.AddNode("channel");
+  const int socket = graph.AddNode("socket");
+  ASSERT_TRUE(graph.AddEdge(host, channel).ok());
+  ASSERT_TRUE(graph.AddEdge(channel, socket).ok());
+
+  auto chains = graph.SplitIntoMinimumChains();
+  ASSERT_TRUE(chains.ok());
+  ASSERT_EQ(chains->size(), 1u);
+  EXPECT_EQ((*chains)[0], (std::vector<int>{host, channel, socket}));
+}
+
+TEST(GranularityGraphTest, DiamondNeedsTwoChains) {
+  //      host
+  //     /    \.
+  //  subnet  proto-class
+  //     \    /
+  //     socket
+  GranularityGraph graph;
+  const int host = graph.AddNode("host");
+  const int subnet = graph.AddNode("subnet-pair");
+  const int proto = graph.AddNode("proto-class");
+  const int socket = graph.AddNode("socket");
+  ASSERT_TRUE(graph.AddEdge(host, subnet).ok());
+  ASSERT_TRUE(graph.AddEdge(host, proto).ok());
+  ASSERT_TRUE(graph.AddEdge(subnet, socket).ok());
+  ASSERT_TRUE(graph.AddEdge(proto, socket).ok());
+
+  auto chains = graph.SplitIntoMinimumChains();
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 2u);  // Dilworth: max antichain {subnet, proto}.
+  CheckCover(graph, *chains);
+}
+
+TEST(GranularityGraphTest, AntichainNeedsOneChainEach) {
+  GranularityGraph graph;
+  for (int i = 0; i < 5; ++i) {
+    graph.AddNode(std::string("g") + std::to_string(i));
+  }
+  auto chains = graph.SplitIntoMinimumChains();
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 5u);
+  CheckCover(graph, *chains);
+}
+
+TEST(GranularityGraphTest, TransitiveSkipsAllowedInChains) {
+  // host -> channel -> socket plus a direct host -> socket edge; still one
+  // chain.
+  GranularityGraph graph;
+  const int host = graph.AddNode("host");
+  const int channel = graph.AddNode("channel");
+  const int socket = graph.AddNode("socket");
+  ASSERT_TRUE(graph.AddEdge(host, channel).ok());
+  ASSERT_TRUE(graph.AddEdge(channel, socket).ok());
+  ASSERT_TRUE(graph.AddEdge(host, socket).ok());
+  auto chains = graph.SplitIntoMinimumChains();
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 1u);
+}
+
+TEST(GranularityGraphTest, ForestSplitsPerLeafPath) {
+  // One coarse root refining into three independent fine granularities:
+  // chains = 3 (root joins one of them).
+  GranularityGraph graph;
+  const int root = graph.AddNode("host");
+  for (int i = 0; i < 3; ++i) {
+    const int leaf = graph.AddNode("leaf" + std::to_string(i));
+    ASSERT_TRUE(graph.AddEdge(root, leaf).ok());
+  }
+  auto chains = graph.SplitIntoMinimumChains();
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 3u);
+  CheckCover(graph, *chains);
+}
+
+TEST(GranularityGraphTest, CycleRejected) {
+  GranularityGraph graph;
+  const int a = graph.AddNode("a");
+  const int b = graph.AddNode("b");
+  ASSERT_TRUE(graph.AddEdge(a, b).ok());
+  ASSERT_TRUE(graph.AddEdge(b, a).ok());
+  EXPECT_FALSE(graph.IsDag());
+  EXPECT_FALSE(graph.SplitIntoMinimumChains().ok());
+}
+
+TEST(GranularityGraphTest, SelfEdgeRejected) {
+  GranularityGraph graph;
+  const int a = graph.AddNode("a");
+  EXPECT_FALSE(graph.AddEdge(a, a).ok());
+  EXPECT_FALSE(graph.AddEdge(a, 7).ok());
+}
+
+TEST(GranularityGraphTest, LargerRandomDagIsCovered) {
+  // Layered DAG: 3 layers x 4 nodes, edges only forward; minimum chains = 4.
+  GranularityGraph graph;
+  int nodes[3][4];
+  for (int layer = 0; layer < 3; ++layer) {
+    for (int i = 0; i < 4; ++i) {
+      nodes[layer][i] =
+          graph.AddNode(std::string("n") + std::to_string(layer) + std::to_string(i));
+    }
+  }
+  for (int layer = 0; layer + 1 < 3; ++layer) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        ASSERT_TRUE(graph.AddEdge(nodes[layer][i], nodes[layer + 1][j]).ok());
+      }
+    }
+  }
+  auto chains = graph.SplitIntoMinimumChains();
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 4u);
+  CheckCover(graph, *chains);
+  for (const auto& chain : *chains) {
+    EXPECT_EQ(chain.size(), 3u);  // One node per layer.
+  }
+}
+
+}  // namespace
+}  // namespace superfe

@@ -1,0 +1,263 @@
+// Cross-module integration tests: full pipeline invariants that no single
+// module test covers — conservation of packets through switch+NIC,
+// consistency under cache-geometry changes, replay amplification, failure
+// injection (tiny caches, pathological traffic).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/policies.h"
+#include "core/runtime.h"
+#include "core/software_extractor.h"
+#include "net/attack_gen.h"
+#include "net/trace_gen.h"
+#include "policy/parser.h"
+
+namespace superfe {
+namespace {
+
+Policy Parse(const std::string& source) {
+  auto policy = ParsePolicy("t", source);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  return std::move(policy).value();
+}
+
+const char* kCountPolicy = R"(
+pktstream
+  .groupby(flow)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum])
+  .collect(flow)
+)";
+
+// The per-flow packet counts summed over all emitted vectors must equal the
+// number of packets fed in — MGPV batching must not lose or duplicate cells
+// regardless of geometry.
+class GeometryConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometryConservationTest, PacketCountsConserved) {
+  struct Geometry {
+    uint32_t short_buffers, short_size, long_buffers, long_size;
+    uint64_t aging_ns;
+  };
+  const Geometry kGeometries[] = {
+      {16384, 4, 4096, 20, 10000000},  // Prototype defaults.
+      {64, 2, 4, 4, 0},                // Tiny cache, no aging: constant churn.
+      {1, 1, 0, 1, 0},                 // Degenerate single entry.
+      {256, 8, 16, 40, 1000000},       // Aggressive aging.
+  };
+  const Geometry& geometry = kGeometries[GetParam()];
+
+  RuntimeConfig config;
+  config.mgpv.short_buffers = geometry.short_buffers;
+  config.mgpv.short_size = geometry.short_size;
+  config.mgpv.long_buffers = geometry.long_buffers;
+  config.mgpv.long_size = geometry.long_size;
+  config.mgpv.aging_timeout_ns = geometry.aging_ns;
+  auto runtime = SuperFeRuntime::Create(Parse(kCountPolicy), config);
+  ASSERT_TRUE(runtime.ok());
+
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 20000, 77);
+  CollectingFeatureSink sink;
+  const RunReport report = (*runtime)->Run(trace, &sink);
+
+  EXPECT_EQ(report.nic.cells, trace.size());
+  double total = 0.0;
+  for (const auto& v : sink.vectors()) {
+    ASSERT_EQ(v.values.size(), 1u);
+    total += v.values[0];
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(trace.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeometryConservationTest, ::testing::Range(0, 4));
+
+TEST(IntegrationTest, SumsIdenticalAcrossGeometries) {
+  // Per-flow sums (order-insensitive features) must be bit-identical no
+  // matter how the cache slices the stream into reports.
+  const Policy policy = Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_sum, f_max, f_min])
+  .collect(flow)
+)");
+  const Trace trace = GenerateTrace(CampusProfile(), 15000, 5);
+
+  auto run_with = [&](uint32_t short_buffers, uint32_t short_size) {
+    RuntimeConfig config;
+    config.mgpv.short_buffers = short_buffers;
+    config.mgpv.short_size = short_size;
+    config.nic.exec.nic_arithmetic = false;
+    auto runtime = SuperFeRuntime::Create(policy, config);
+    CollectingFeatureSink sink;
+    (*runtime)->Run(trace, &sink);
+    std::map<std::string, std::vector<double>> by_key;
+    for (const auto& v : sink.vectors()) {
+      by_key[std::string(reinterpret_cast<const char*>(v.group.bytes.data()),
+                         v.group.length)] = v.values;
+    }
+    return by_key;
+  };
+
+  const auto big = run_with(16384, 4);
+  const auto tiny = run_with(32, 1);
+  ASSERT_EQ(big.size(), tiny.size());
+  for (const auto& [key, values] : big) {
+    const auto it = tiny.find(key);
+    ASSERT_NE(it, tiny.end());
+    ASSERT_EQ(values.size(), it->second.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(values[i], it->second[i]);
+    }
+  }
+}
+
+TEST(IntegrationTest, AmplificationMultipliesFlows) {
+  auto runtime = SuperFeRuntime::Create(Parse(kCountPolicy), RuntimeConfig{});
+  ASSERT_TRUE(runtime.ok());
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 5000, 9);
+  CollectingFeatureSink base_sink;
+  (*runtime)->Run(trace, &base_sink);
+
+  RuntimeConfig amp_config;
+  amp_config.replay.amplification = 3;
+  auto amp_runtime = SuperFeRuntime::Create(Parse(kCountPolicy), amp_config);
+  CollectingFeatureSink amp_sink;
+  const RunReport amp_report = (*amp_runtime)->Run(trace, &amp_sink);
+
+  EXPECT_EQ(amp_report.offered.packets, trace.size() * 3);
+  EXPECT_EQ(amp_sink.vectors().size(), base_sink.vectors().size() * 3);
+}
+
+TEST(IntegrationTest, UdpOnlyPolicySeesNoTcp) {
+  auto runtime = SuperFeRuntime::Create(Parse(R"(
+pktstream
+  .filter(udp.exist)
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)"),
+                                        RuntimeConfig{});
+  ASSERT_TRUE(runtime.ok());
+  // All-TCP trace -> zero vectors.
+  Trace trace;
+  Rng rng(3);
+  FiveTuple tuple{MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), 1000, 80, kProtoTcp};
+  for (const auto& pkt : GenerateFlow(tuple, 50, 0, 100.0, {{500, 1.0}}, 0.6, rng)) {
+    trace.Add(pkt);
+  }
+  CollectingFeatureSink sink;
+  const RunReport report = (*runtime)->Run(trace, &sink);
+  EXPECT_EQ(report.switch_stats.packets_filtered, trace.size());
+  EXPECT_TRUE(sink.vectors().empty());
+}
+
+TEST(IntegrationTest, AttackTraceThroughKitsunePipeline) {
+  AttackConfig attack;
+  attack.type = AttackType::kOsScan;
+  attack.attack_packets = 3000;
+  const LabeledTrace lt = GenerateAttackTrace(attack, EnterpriseProfile(), 10000, 21);
+
+  auto runtime = SuperFeRuntime::Create(KitsunePolicy(), RuntimeConfig{});
+  ASSERT_TRUE(runtime.ok());
+  CollectingFeatureSink sink;
+  (*runtime)->Run(lt.trace, &sink);
+  // Per-packet collection: one 115-dim vector per packet.
+  EXPECT_EQ(sink.vectors().size(), lt.trace.size());
+  for (const auto& v : sink.vectors()) {
+    ASSERT_EQ(v.values.size(), 115u);
+  }
+}
+
+TEST(IntegrationTest, RerunningRuntimeIsClean) {
+  // Flush must fully reset state: running the same trace twice produces
+  // identical vector multisets.
+  auto runtime = SuperFeRuntime::Create(Parse(kCountPolicy), RuntimeConfig{});
+  ASSERT_TRUE(runtime.ok());
+  const Trace trace = GenerateTrace(CampusProfile(), 8000, 17);
+
+  auto run_once = [&]() {
+    CollectingFeatureSink sink;
+    (*runtime)->Run(trace, &sink);
+    std::multiset<double> counts;
+    for (const auto& v : sink.vectors()) {
+      counts.insert(v.values[0]);
+    }
+    return counts;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+}
+
+TEST(IntegrationTest, SoftwareAndPipelineAgreeOnHistogram) {
+  const Policy policy = Parse(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [ft_hist{100, 16}])
+  .collect(flow)
+)");
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 10000, 33);
+
+  RuntimeConfig config;
+  config.nic.exec.nic_arithmetic = false;
+  auto runtime = SuperFeRuntime::Create(policy, config);
+  CollectingFeatureSink pipeline_sink;
+  (*runtime)->Run(trace, &pipeline_sink);
+
+  auto compiled = Compile(policy);
+  auto software = SoftwareExtractor::Create(*compiled);
+  CollectingFeatureSink software_sink;
+  (*software)->Run(trace, &software_sink, SoftwareDeployment{});
+
+  auto total_of = [](const CollectingFeatureSink& sink) {
+    double total = 0.0;
+    for (const auto& v : sink.vectors()) {
+      for (double x : v.values) {
+        total += x;
+      }
+    }
+    return total;
+  };
+  // Histogram counts are conserved: both paths bucket every packet once.
+  EXPECT_DOUBLE_EQ(total_of(pipeline_sink), total_of(software_sink));
+  EXPECT_DOUBLE_EQ(total_of(pipeline_sink), static_cast<double>(trace.size()));
+}
+
+TEST(IntegrationTest, PathologicalSingleFlowHeavyTraffic) {
+  // One elephant flow: exercises the long-buffer path continuously.
+  auto runtime = SuperFeRuntime::Create(Parse(kCountPolicy), RuntimeConfig{});
+  Trace trace;
+  Rng rng(41);
+  FiveTuple tuple{MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), 1000, 80, kProtoTcp};
+  for (const auto& pkt : GenerateFlow(tuple, 50000, 0, 10.0, {{1514, 1.0}}, 0.6, rng)) {
+    trace.Add(pkt);
+  }
+  CollectingFeatureSink sink;
+  const RunReport report = (*runtime)->Run(trace, &sink);
+  ASSERT_EQ(sink.vectors().size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.vectors()[0].values[0], 50000.0);
+  // Long buffers were actually used.
+  EXPECT_GT(report.mgpv.long_allocs, 0u);
+}
+
+TEST(IntegrationTest, ManyTinyFlowsChurnTheCache) {
+  // 1-packet flows: every entry is a new group; collision eviction churns.
+  auto runtime = SuperFeRuntime::Create(Parse(kCountPolicy), RuntimeConfig{});
+  Trace trace;
+  for (uint32_t i = 0; i < 50000; ++i) {
+    PacketRecord pkt;
+    pkt.tuple = {MakeIp(10, 0, 0, 0) + i, MakeIp(172, 16, 0, 1), 1000, 80, kProtoTcp};
+    pkt.timestamp_ns = i * 1000;
+    pkt.wire_bytes = 64;
+    trace.Add(pkt);
+  }
+  CollectingFeatureSink sink;
+  const RunReport report = (*runtime)->Run(trace, &sink);
+  EXPECT_EQ(sink.vectors().size(), 50000u);
+  EXPECT_EQ(report.nic.cells, 50000u);
+}
+
+}  // namespace
+}  // namespace superfe

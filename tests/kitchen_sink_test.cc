@@ -1,0 +1,224 @@
+// Kitchen-sink integration test: one policy per Table 5 function, each run
+// end to end through the full switch+NIC pipeline against a hand-computed
+// expectation on a deterministic flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/runtime.h"
+#include "policy/parser.h"
+
+namespace superfe {
+namespace {
+
+// Deterministic single flow: sizes 100, 200, ..., 1000; 1 ms gaps; strictly
+// alternating directions starting forward.
+Trace DeterministicFlow() {
+  Trace trace;
+  FiveTuple tuple{MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), 1000, 80, kProtoTcp};
+  for (int i = 0; i < 10; ++i) {
+    PacketRecord pkt;
+    pkt.direction = i % 2 == 0 ? Direction::kForward : Direction::kBackward;
+    pkt.tuple = pkt.direction == Direction::kForward ? tuple : tuple.Reversed();
+    pkt.timestamp_ns = static_cast<uint64_t>(i) * 1000000;
+    pkt.wire_bytes = static_cast<uint32_t>((i + 1) * 100);
+    trace.Add(pkt);
+  }
+  return trace;
+}
+
+std::vector<double> SizesOf(const Trace& trace) {
+  std::vector<double> xs;
+  for (const auto& pkt : trace.packets()) {
+    xs.push_back(pkt.wire_bytes);
+  }
+  return xs;
+}
+
+// Runs `source` over the deterministic flow with exact arithmetic and
+// returns the single emitted vector.
+std::vector<double> RunPolicy(const std::string& source) {
+  auto policy = ParsePolicy("sink", source);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  RuntimeConfig config;
+  config.nic.exec.nic_arithmetic = false;
+  auto runtime = SuperFeRuntime::Create(*policy, config);
+  EXPECT_TRUE(runtime.ok()) << runtime.status().ToString();
+  CollectingFeatureSink sink;
+  (*runtime)->Run(DeterministicFlow(), &sink);
+  EXPECT_EQ(sink.vectors().size(), 1u);
+  return sink.vectors().empty() ? std::vector<double>{} : sink.vectors()[0].values;
+}
+
+std::string FlowReduce(const std::string& reduce_list, const std::string& maps = "") {
+  return "pktstream\n  .groupby(flow)\n" + maps + "  .reduce(" + reduce_list +
+         ")\n  .collect(flow)\n";
+}
+
+TEST(KitchenSinkTest, SumMeanVarStdMinMax) {
+  const auto out = RunPolicy(FlowReduce("size, [f_sum, f_mean, f_var, f_std, f_min, f_max]"));
+  ASSERT_EQ(out.size(), 6u);
+  const auto sizes = SizesOf(DeterministicFlow());
+  EXPECT_DOUBLE_EQ(out[0], 5500.0);
+  EXPECT_DOUBLE_EQ(out[1], Mean(sizes));
+  EXPECT_NEAR(out[2], Variance(sizes), 1e-6);
+  EXPECT_NEAR(out[3], StdDev(sizes), 1e-9);
+  EXPECT_DOUBLE_EQ(out[4], 100.0);
+  EXPECT_DOUBLE_EQ(out[5], 1000.0);
+}
+
+TEST(KitchenSinkTest, SkewAndKurtosis) {
+  const auto out = RunPolicy(FlowReduce("size, [f_skew, f_kur]"));
+  ASSERT_EQ(out.size(), 2u);
+  const auto sizes = SizesOf(DeterministicFlow());
+  EXPECT_NEAR(out[0], Skewness(sizes), 1e-9);
+  EXPECT_NEAR(out[1], Kurtosis(sizes), 1e-9);
+}
+
+TEST(KitchenSinkTest, BidirectionalMagnitudeRadius) {
+  const auto out = RunPolicy(FlowReduce("size, [f_mag, f_radius, f_cov, f_pcc]"));
+  ASSERT_EQ(out.size(), 4u);
+  // Forward sizes: 100,300,...,900 (mean 500); backward: 200,...,1000 (600).
+  const std::vector<double> fwd = {100, 300, 500, 700, 900};
+  const std::vector<double> bwd = {200, 400, 600, 800, 1000};
+  EXPECT_NEAR(out[0], std::sqrt(Mean(fwd) * Mean(fwd) + Mean(bwd) * Mean(bwd)), 1e-6);
+  const double vf = Variance(fwd);
+  const double vb = Variance(bwd);
+  EXPECT_NEAR(out[1], std::sqrt(vf * vf + vb * vb), 1e-6);
+  // Covariance/PCC are Kitsune-approximation values; check bounds only.
+  EXPECT_TRUE(std::isfinite(out[2]));
+  EXPECT_GE(out[3], -1.0);
+  EXPECT_LE(out[3], 1.0);
+}
+
+TEST(KitchenSinkTest, Cardinality) {
+  // Distinct sizes: 10 values -> HLL estimate near 10.
+  const auto out = RunPolicy(FlowReduce("size, [f_card]"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 10.0, 3.0);
+}
+
+TEST(KitchenSinkTest, ArrayPacking) {
+  const auto out = RunPolicy(FlowReduce("size, [f_array{10}]"));
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], (i + 1) * 100.0);
+  }
+}
+
+TEST(KitchenSinkTest, HistogramPdfCdf) {
+  const auto out =
+      RunPolicy(FlowReduce("size, [ft_hist{250, 4}, f_pdf{250, 4}, f_cdf{250, 4}]"));
+  ASSERT_EQ(out.size(), 12u);
+  // Sizes 100..1000 with 250-wide bins: [0,250)={100,200},
+  // [250,500)={300,400}, [500,750)={500,600,700}, last (clamped)={800..1000}.
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 3.0);
+  EXPECT_DOUBLE_EQ(out[4], 0.2);                 // PDF.
+  EXPECT_DOUBLE_EQ(out[11], 1.0);                // CDF tail.
+}
+
+TEST(KitchenSinkTest, Percentile) {
+  const auto out = RunPolicy(FlowReduce("size, [ft_percent{0.5}]"));
+  ASSERT_EQ(out.size(), 1u);
+  // Log-scale estimate of the median (550): its bucket is [512, 1024).
+  EXPECT_GE(out[0], 256.0);
+  EXPECT_LE(out[0], 1024.0);
+}
+
+TEST(KitchenSinkTest, MapOneAndDirection) {
+  const auto out = RunPolicy(FlowReduce("dir, [f_sum]",
+                                        "  .map(one, _, f_one)\n"
+                                        "  .map(dir, one, f_direction)\n"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // 5 forward - 5 backward.
+}
+
+TEST(KitchenSinkTest, MapIptAndSpeed) {
+  const auto out = RunPolicy(FlowReduce("ipt, [f_max]",
+                                        "  .map(ipt, tstamp, f_ipt)\n"));
+  ASSERT_EQ(out.size(), 1u);
+  // Per-direction gaps: 2 ms between same-direction packets.
+  EXPECT_DOUBLE_EQ(out[0], 2000000.0);
+
+  const auto speed = RunPolicy(FlowReduce("speed, [f_max]",
+                                          "  .map(speed, size, f_speed)\n"));
+  ASSERT_EQ(speed.size(), 1u);
+  EXPECT_GT(speed[0], 0.0);
+}
+
+TEST(KitchenSinkTest, MapBurst) {
+  const auto out = RunPolicy(FlowReduce("burst, [f_max]",
+                                        "  .map(burst, _, f_burst)\n"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);  // Strict alternation: runs of length 1.
+}
+
+TEST(KitchenSinkTest, SynthesizeNormAndSample) {
+  const auto out = RunPolicy(
+      "pktstream\n  .groupby(flow)\n  .reduce(size, [f_array{10}])\n"
+      "  .synthesize(f_norm(size.f_array))\n  .synthesize(ft_sample(size.f_array, 5))\n"
+      "  .collect(flow)\n");
+  ASSERT_EQ(out.size(), 5u);
+  // Normalized to max 1000 then resampled over 10 points at 5 positions.
+  EXPECT_DOUBLE_EQ(out[0], 0.1);
+  EXPECT_DOUBLE_EQ(out[4], 1.0);
+}
+
+TEST(KitchenSinkTest, SynthesizeMarker) {
+  const auto out = RunPolicy(
+      "pktstream\n  .groupby(flow)\n  .map(dirsize, size, f_direction)\n"
+      "  .reduce(dirsize, [f_array{16}])\n  .synthesize(f_marker(dirsize.f_array))\n"
+      "  .synthesize(ft_sample(dirsize.f_array, 4))\n  .collect(flow)\n");
+  ASSERT_EQ(out.size(), 4u);
+  // Alternating signs: a marker at every packet; final cumulative = -500
+  // (100-200+300-400+...-1000).
+  EXPECT_DOUBLE_EQ(out[3], -500.0);
+}
+
+TEST(KitchenSinkTest, DampedWeight) {
+  const auto out = RunPolicy(FlowReduce("one, [f_sum{decay=1}]",
+                                        "  .map(one, _, f_one)\n"));
+  ASSERT_EQ(out.size(), 1u);
+  // 10 samples, 1 ms apart, lambda=1: near-zero decay over 9 ms.
+  EXPECT_NEAR(out[0], 10.0, 0.05);
+  EXPECT_LT(out[0], 10.0);
+}
+
+TEST(KitchenSinkTest, FlowsPerHostCardinality) {
+  // The Section 4.1 example: "the number of TCP flows that each IP address
+  // establishes" — f_card over the FG-key hash at the host granularity.
+  auto policy = ParsePolicy("fph", R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(host, socket)
+  .reduce(fgkey, [f_card], host)
+  .collect(host)
+)");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  auto runtime = SuperFeRuntime::Create(*policy, RuntimeConfig{});
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+
+  // One client opens 30 distinct TCP connections to one server.
+  Trace trace;
+  for (int i = 0; i < 30; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      PacketRecord pkt;
+      pkt.tuple = {MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2),
+                   static_cast<uint16_t>(20000 + i), 80, kProtoTcp};
+      pkt.timestamp_ns = static_cast<uint64_t>(i) * 100000 + k * 10;
+      pkt.wire_bytes = 100;
+      trace.Add(pkt);
+    }
+  }
+  CollectingFeatureSink sink;
+  (*runtime)->Run(trace, &sink);
+  ASSERT_EQ(sink.vectors().size(), 1u);  // One host group.
+  EXPECT_NEAR(sink.vectors()[0].values[0], 30.0, 6.0);  // HLL estimate of 30 flows.
+}
+
+}  // namespace
+}  // namespace superfe

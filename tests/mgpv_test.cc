@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "net/trace_gen.h"
+#include "switchsim/fe_switch.h"
+#include "switchsim/mgpv.h"
+#include "switchsim/resources.h"
+#include "policy/parser.h"
+#include "policy/compile.h"
+
+namespace superfe {
+namespace {
+
+class RecordingSink : public MgpvSink {
+ public:
+  void OnMgpv(const MgpvReport& report) override { reports.push_back(report); }
+  void OnFgSync(const FgSyncMessage& sync) override { syncs.push_back(sync); }
+
+  std::vector<MgpvReport> reports;
+  std::vector<FgSyncMessage> syncs;
+
+  size_t TotalCells() const {
+    size_t n = 0;
+    for (const auto& r : reports) {
+      n += r.cells.size();
+    }
+    return n;
+  }
+};
+
+MgpvConfig SmallConfig() {
+  MgpvConfig config;
+  config.short_buffers = 64;
+  config.short_size = 4;
+  config.long_buffers = 8;
+  config.long_size = 20;
+  config.fg_table_size = 64;
+  config.aging_timeout_ns = 0;  // Off unless a test enables it.
+  config.cg = Granularity::kFlow;
+  config.fg = Granularity::kFlow;
+  config.metadata_bytes_per_cell = 7;
+  return config;
+}
+
+PacketRecord Pkt(uint32_t src, uint16_t sport, uint64_t ts, uint32_t bytes = 100) {
+  PacketRecord pkt;
+  pkt.tuple = {src, MakeIp(172, 16, 0, 1), sport, 80, kProtoTcp};
+  pkt.timestamp_ns = ts;
+  pkt.wire_bytes = bytes;
+  pkt.direction = Direction::kForward;
+  return pkt;
+}
+
+TEST(MgpvTest, NoEvictionUntilFlush) {
+  RecordingSink sink;
+  MgpvCache cache(SmallConfig(), &sink);
+  for (int i = 0; i < 3; ++i) {
+    cache.Insert(Pkt(1, 1000, i * 1000));
+  }
+  EXPECT_TRUE(sink.reports.empty());
+  cache.Flush();
+  ASSERT_EQ(sink.reports.size(), 1u);
+  EXPECT_EQ(sink.reports[0].cells.size(), 3u);
+  EXPECT_EQ(sink.reports[0].reason, EvictReason::kFlush);
+}
+
+TEST(MgpvTest, AllCellsAccountedFor) {
+  RecordingSink sink;
+  MgpvCache cache(SmallConfig(), &sink);
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 20000, 1);
+  for (const auto& pkt : trace.packets()) {
+    cache.Insert(pkt);
+  }
+  cache.Flush();
+  EXPECT_EQ(sink.TotalCells(), trace.size());
+  EXPECT_EQ(cache.stats().packets_in, trace.size());
+  EXPECT_EQ(cache.stats().cells_out, trace.size());
+}
+
+TEST(MgpvTest, LongFlowGetsLongBuffer) {
+  RecordingSink sink;
+  MgpvCache cache(SmallConfig(), &sink);
+  // 4 (short) + 20 (long) = 24 packets exactly fill short+long -> one
+  // eviction with all 24 cells.
+  for (int i = 0; i < 24; ++i) {
+    cache.Insert(Pkt(1, 1000, i * 1000));
+  }
+  ASSERT_EQ(sink.reports.size(), 1u);
+  EXPECT_EQ(sink.reports[0].cells.size(), 24u);
+  EXPECT_EQ(sink.reports[0].reason, EvictReason::kLongFull);
+  EXPECT_EQ(cache.stats().long_allocs, 1u);
+}
+
+TEST(MgpvTest, CellsStayChronological) {
+  RecordingSink sink;
+  MgpvCache cache(SmallConfig(), &sink);
+  for (int i = 0; i < 24; ++i) {
+    cache.Insert(Pkt(1, 1000, i * 1000));
+  }
+  ASSERT_EQ(sink.reports.size(), 1u);
+  const auto& cells = sink.reports[0].cells;
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_GT(cells[i].full_timestamp_ns, cells[i - 1].full_timestamp_ns);
+  }
+}
+
+TEST(MgpvTest, ShortFullEvictionWhenStackExhausted) {
+  MgpvConfig config = SmallConfig();
+  config.long_buffers = 1;  // Only one long buffer available.
+  RecordingSink sink;
+  MgpvCache cache(config, &sink);
+
+  // Two flows that do NOT collide (distinct hash slots almost surely with
+  // 64 slots; use many sources and accept the property statistically).
+  // Flow A grabs the long buffer.
+  for (int i = 0; i < 5; ++i) {
+    cache.Insert(Pkt(1, 1000, i));
+  }
+  EXPECT_EQ(cache.stats().long_allocs, 1u);
+
+  // Fill flows until some other flow fills its short buffer and fails to
+  // get a long buffer.
+  for (uint32_t src = 2; src < 30; ++src) {
+    for (int i = 0; i < 4; ++i) {
+      cache.Insert(Pkt(src, 1000, 1000 + src * 10 + i));
+    }
+  }
+  EXPECT_GT(cache.stats().long_alloc_failures, 0u);
+  EXPECT_GT(cache.stats().evictions[static_cast<int>(EvictReason::kShortFull)], 0u);
+}
+
+TEST(MgpvTest, CollisionEvictsOldGroup) {
+  MgpvConfig config = SmallConfig();
+  config.short_buffers = 1;  // Everything collides.
+  RecordingSink sink;
+  MgpvCache cache(config, &sink);
+  cache.Insert(Pkt(1, 1000, 0));
+  cache.Insert(Pkt(2, 2000, 1));  // Different flow -> collision.
+  ASSERT_EQ(sink.reports.size(), 1u);
+  EXPECT_EQ(sink.reports[0].reason, EvictReason::kCollision);
+  EXPECT_EQ(sink.reports[0].cells.size(), 1u);
+}
+
+TEST(MgpvTest, AgingEvictsIdleEntries) {
+  MgpvConfig config = SmallConfig();
+  config.aging_timeout_ns = 1000000;  // 1 ms.
+  config.aging_scan_per_packet = 64;  // Full scan per packet.
+  RecordingSink sink;
+  MgpvCache cache(config, &sink);
+
+  cache.Insert(Pkt(1, 1000, 0));
+  // A packet from another flow 10 ms later triggers the scan.
+  cache.Insert(Pkt(2, 2000, 10000000));
+  ASSERT_GE(sink.reports.size(), 1u);
+  EXPECT_EQ(sink.reports[0].reason, EvictReason::kAging);
+}
+
+TEST(MgpvTest, AgingDisabledKeepsEntries) {
+  MgpvConfig config = SmallConfig();
+  config.aging_timeout_ns = 0;
+  RecordingSink sink;
+  MgpvCache cache(config, &sink);
+  cache.Insert(Pkt(1, 1000, 0));
+  cache.Insert(Pkt(2, 2000, 1000000000));
+  EXPECT_TRUE(sink.reports.empty());
+}
+
+TEST(MgpvTest, FgSyncEmittedOncePerKey) {
+  MgpvConfig config = SmallConfig();
+  config.cg = Granularity::kHost;
+  config.fg = Granularity::kSocket;
+  config.multi_granularity = true;
+  RecordingSink sink;
+  MgpvCache cache(config, &sink);
+
+  // Same socket, multiple packets: one sync.
+  for (int i = 0; i < 5; ++i) {
+    cache.Insert(Pkt(1, 1000, i));
+  }
+  EXPECT_EQ(sink.syncs.size(), 1u);
+  // New socket from the same host: second sync.
+  cache.Insert(Pkt(1, 1001, 10));
+  EXPECT_EQ(sink.syncs.size(), 2u);
+}
+
+TEST(MgpvTest, FgIndexSharedAcrossCells) {
+  MgpvConfig config = SmallConfig();
+  config.cg = Granularity::kHost;
+  config.fg = Granularity::kSocket;
+  config.multi_granularity = true;
+  RecordingSink sink;
+  MgpvCache cache(config, &sink);
+  for (int i = 0; i < 3; ++i) {
+    cache.Insert(Pkt(1, 1000, i));
+  }
+  cache.Flush();
+  ASSERT_EQ(sink.reports.size(), 1u);
+  const auto& cells = sink.reports[0].cells;
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].fg_index, cells[1].fg_index);
+  EXPECT_EQ(cells[1].fg_index, cells[2].fg_index);
+}
+
+TEST(MgpvTest, AggregationReducesMessages) {
+  RecordingSink sink;
+  MgpvConfig config;  // Full prototype geometry.
+  config.cg = Granularity::kFlow;
+  config.fg = Granularity::kFlow;
+  config.metadata_bytes_per_cell = 7;
+  MgpvCache cache(config, &sink);
+  const Trace trace = GenerateTrace(MawiIxpProfile(), 100000, 2);
+  for (const auto& pkt : trace.packets()) {
+    cache.Insert(pkt);
+  }
+  cache.Flush();
+  // The headline Fig 12 property: >80% reduction in rate and bytes.
+  EXPECT_LT(cache.stats().MessageRatio(), 0.2);
+  EXPECT_LT(cache.stats().ByteRatio(), 0.2);
+}
+
+TEST(MgpvTest, BufferEfficiencyAndOccupancy) {
+  RecordingSink sink;
+  MgpvCache cache(SmallConfig(), &sink);
+  EXPECT_EQ(cache.Occupancy(), 0.0);
+  cache.Insert(Pkt(1, 1000, 0));
+  EXPECT_GT(cache.Occupancy(), 0.0);
+  EXPECT_EQ(cache.BufferEfficiency(1000000), 1.0);
+  // Advance time without touching flow 1.
+  cache.Insert(Pkt(2, 2000, 100000000));
+  EXPECT_LT(cache.BufferEfficiency(1000000), 1.0);
+}
+
+TEST(MgpvTest, MemoryFootprintScalesWithGeometry) {
+  MgpvConfig small = SmallConfig();
+  MgpvConfig big = SmallConfig();
+  big.short_buffers *= 4;
+  EXPECT_GT(big.MemoryFootprintBytes(), small.MemoryFootprintBytes());
+  MgpvConfig multi = SmallConfig();
+  multi.multi_granularity = true;
+  EXPECT_GT(multi.MemoryFootprintBytes(), small.MemoryFootprintBytes());
+}
+
+TEST(FeSwitchTest, FilterDropsNonMatching) {
+  auto policy = ParsePolicy("t", R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .reduce(size, [f_sum])
+  .collect(flow)
+)");
+  ASSERT_TRUE(policy.ok());
+  auto compiled = Compile(*policy);
+  ASSERT_TRUE(compiled.ok());
+
+  RecordingSink sink;
+  FeSwitch fe(*compiled, &sink);
+  PacketRecord tcp = Pkt(1, 1000, 0);
+  PacketRecord udp = Pkt(2, 2000, 1);
+  udp.tuple.protocol = kProtoUdp;
+  fe.OnPacket(tcp);
+  fe.OnPacket(udp);
+  EXPECT_EQ(fe.stats().packets_seen, 2u);
+  EXPECT_EQ(fe.stats().packets_filtered, 1u);
+  EXPECT_EQ(fe.stats().packets_batched, 1u);
+}
+
+TEST(FeSwitchTest, ConfigDerivedFromPolicy) {
+  auto policy = ParsePolicy("t", R"(
+pktstream
+  .groupby(host, socket)
+  .reduce(size, [f_mean])
+  .collect(pkt)
+)");
+  ASSERT_TRUE(policy.ok());
+  auto compiled = Compile(*policy);
+  ASSERT_TRUE(compiled.ok());
+  const MgpvConfig config = FeSwitch::DefaultConfig(*compiled);
+  EXPECT_EQ(config.cg, Granularity::kHost);
+  EXPECT_EQ(config.fg, Granularity::kSocket);
+  EXPECT_TRUE(config.multi_granularity);
+}
+
+TEST(ResourcesTest, UtilizationInPlausibleBands) {
+  auto policy = ParsePolicy("t", R"(
+pktstream
+  .filter(tcp.exist)
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(direction, one, f_direction)
+  .reduce(direction, [f_array{5000}])
+  .collect(flow)
+)");
+  ASSERT_TRUE(policy.ok());
+  auto compiled = Compile(*policy);
+  ASSERT_TRUE(compiled.ok());
+  const MgpvConfig config = FeSwitch::DefaultConfig(*compiled);
+  const SwitchResourceUsage usage = EstimateSwitchResources(*compiled, config);
+  const TofinoCapacity cap;
+  // Table 4 bands: tables ~25-35%, sALUs ~60-85%, SRAM ~10-30%.
+  EXPECT_GT(usage.TablesFraction(cap), 0.15);
+  EXPECT_LT(usage.TablesFraction(cap), 0.45);
+  EXPECT_GT(usage.SalusFraction(cap), 0.5);
+  EXPECT_LT(usage.SalusFraction(cap), 0.95);
+  EXPECT_GT(usage.SramFraction(cap), 0.03);
+  EXPECT_LT(usage.SramFraction(cap), 0.45);
+}
+
+TEST(ResourcesTest, MoreGranularitiesUseMoreResources) {
+  auto one = Compile(*ParsePolicy("one", R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)"));
+  auto three = Compile(*ParsePolicy("three", R"(
+pktstream
+  .groupby(host, channel, socket)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(size, [f_mean])
+  .reduce(ipt, [f_mean])
+  .collect(pkt)
+)"));
+  ASSERT_TRUE(one.ok() && three.ok());
+  const auto u1 = EstimateSwitchResources(*one, FeSwitch::DefaultConfig(*one));
+  const auto u3 = EstimateSwitchResources(*three, FeSwitch::DefaultConfig(*three));
+  EXPECT_GT(u3.salus, u1.salus);
+  EXPECT_GT(u3.tables, u1.tables);
+  EXPECT_GT(u3.sram_bytes, u1.sram_bytes);
+}
+
+}  // namespace
+}  // namespace superfe

@@ -1,0 +1,216 @@
+// Coverage for small shared utilities and naming/diagnostic helpers.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nicsim/cost_model.h"
+#include "policy/functions.h"
+#include "policy/value.h"
+#include "switchsim/group_key.h"
+#include "switchsim/mgpv.h"
+
+namespace superfe {
+namespace {
+
+TEST(ValueTest, ScalarBasics) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_FALSE(v.is_array());
+  EXPECT_DOUBLE_EQ(v.AsScalar(), 3.5);
+  EXPECT_EQ(v.Flatten(), std::vector<double>{3.5});
+  EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, IntPromotesToScalar) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_DOUBLE_EQ(v.AsScalar(), 42.0);
+}
+
+TEST(ValueTest, ArrayBasics) {
+  Value v(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(v.is_array());
+  EXPECT_EQ(v.AsArray().size(), 3u);
+  EXPECT_EQ(v.AsScalar(), 0.0);  // Scalar view of an array is zero.
+  EXPECT_EQ(v.ToString(), "[1, 2, 3]");
+}
+
+TEST(ValueTest, LongArrayTruncatesInToString) {
+  std::vector<double> xs(32, 1.0);
+  Value v(xs);
+  const std::string s = v.ToString();
+  EXPECT_NE(s.find("(32 total)"), std::string::npos);
+}
+
+TEST(ValueTest, DefaultIsZeroScalar) {
+  Value v;
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_EQ(v.AsScalar(), 0.0);
+}
+
+TEST(LoggingTest, LevelGateRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Statements below the gate must not be emitted (smoke: must not crash).
+  SFE_DLOG() << "hidden debug";
+  SFE_ILOG() << "hidden info";
+  SetLogLevel(before);
+}
+
+TEST(NamesTest, EvictReasonNames) {
+  EXPECT_STREQ(EvictReasonName(EvictReason::kCollision), "collision");
+  EXPECT_STREQ(EvictReasonName(EvictReason::kShortFull), "short_full");
+  EXPECT_STREQ(EvictReasonName(EvictReason::kLongFull), "long_full");
+  EXPECT_STREQ(EvictReasonName(EvictReason::kAging), "aging");
+  EXPECT_STREQ(EvictReasonName(EvictReason::kFlush), "flush");
+}
+
+TEST(NamesTest, MemLevelNames) {
+  EXPECT_STREQ(MemLevelName(MemLevel::kCls), "CLS");
+  EXPECT_STREQ(MemLevelName(MemLevel::kEmem), "EMEM");
+}
+
+TEST(NamesTest, GranularityNamesAndOrder) {
+  EXPECT_STREQ(GranularityName(Granularity::kHost), "host");
+  EXPECT_STREQ(GranularityName(Granularity::kFlow), "flow");
+  EXPECT_TRUE(IsCoarserOrEqual(Granularity::kHost, Granularity::kSocket));
+  EXPECT_TRUE(IsCoarserOrEqual(Granularity::kChannel, Granularity::kChannel));
+  EXPECT_FALSE(IsCoarserOrEqual(Granularity::kSocket, Granularity::kHost));
+  // socket and flow are equally fine.
+  EXPECT_TRUE(IsCoarserOrEqual(Granularity::kSocket, Granularity::kFlow));
+  EXPECT_TRUE(IsCoarserOrEqual(Granularity::kFlow, Granularity::kSocket));
+}
+
+TEST(GroupKeyTest, ToStringIsHex) {
+  PacketRecord pkt;
+  pkt.tuple.src_ip = MakeIp(1, 2, 3, 4);
+  const GroupKey key = GroupKey::ForPacket(pkt, Granularity::kHost);
+  EXPECT_EQ(key.ToString(), "host:01020304");
+}
+
+TEST(GroupKeyTest, FromFgTupleDerivesEveryGranularity) {
+  const FiveTuple fg{MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), 1000, 80, kProtoTcp};
+  // Forward packet: host = initiator source.
+  const GroupKey fwd_host = GroupKey::FromFgTuple(fg, Direction::kForward, Granularity::kHost);
+  EXPECT_EQ(fwd_host.length, 4);
+  // Backward packet: host = responder.
+  const GroupKey bwd_host = GroupKey::FromFgTuple(fg, Direction::kBackward, Granularity::kHost);
+  EXPECT_NE(fwd_host, bwd_host);
+  // Channel is direction-invariant.
+  EXPECT_EQ(GroupKey::FromFgTuple(fg, Direction::kForward, Granularity::kChannel),
+            GroupKey::FromFgTuple(fg, Direction::kBackward, Granularity::kChannel));
+  // Socket/flow carry the full tuple.
+  EXPECT_EQ(GroupKey::FromFgTuple(fg, Direction::kForward, Granularity::kSocket).length, 13);
+}
+
+TEST(GroupKeyTest, HashDependsOnGranularity) {
+  PacketRecord pkt;
+  pkt.tuple = {MakeIp(9, 9, 9, 9), MakeIp(8, 8, 8, 8), 1, 2, kProtoUdp};
+  const GroupKey socket = GroupKey::ForPacket(pkt, Granularity::kSocket);
+  const GroupKey flow = GroupKey::ForPacket(pkt, Granularity::kFlow);
+  // Same bytes, different granularity seed: distinct hashes.
+  EXPECT_NE(socket.Hash(), flow.Hash());
+}
+
+TEST(GroupKeyTest, InitiatorTupleUndoesDirection) {
+  PacketRecord fwd;
+  fwd.tuple = {1, 2, 3, 4, kProtoTcp};
+  fwd.direction = Direction::kForward;
+  PacketRecord bwd;
+  bwd.tuple = fwd.tuple.Reversed();
+  bwd.direction = Direction::kBackward;
+  EXPECT_EQ(GroupKey::InitiatorTuple(fwd), GroupKey::InitiatorTuple(bwd));
+}
+
+TEST(FunctionsTest, OutputWidths) {
+  ReduceSpec hist{ReduceFn::kHist};
+  hist.param1 = 32;
+  EXPECT_EQ(OutputWidth(hist), 32u);
+  ReduceSpec arr{ReduceFn::kArray};
+  arr.array_limit = 777;
+  EXPECT_EQ(OutputWidth(arr), 777u);
+  ReduceSpec arr_default{ReduceFn::kArray};
+  EXPECT_EQ(OutputWidth(arr_default), 5000u);
+  EXPECT_EQ(OutputWidth(ReduceSpec{ReduceFn::kMean}), 1u);
+}
+
+TEST(FunctionsTest, DecayAddsStateAndOps) {
+  ReduceSpec plain{ReduceFn::kMean};
+  ReduceSpec damped{ReduceFn::kMean};
+  damped.decay_lambda = 1.0;
+  const ReduceCost plain_cost = CostOfReduce(plain);
+  const ReduceCost damped_cost = CostOfReduce(damped);
+  EXPECT_GT(damped_cost.state_bytes, plain_cost.state_bytes);
+  EXPECT_GT(damped_cost.alu_ops, plain_cost.alu_ops);
+}
+
+TEST(FunctionsTest, HistogramStateScalesWithBins) {
+  ReduceSpec small{ReduceFn::kHist};
+  small.param0 = 10;
+  small.param1 = 8;
+  ReduceSpec big = small;
+  big.param1 = 64;
+  EXPECT_EQ(CostOfReduce(big).state_bytes, 8 * CostOfReduce(small).state_bytes);
+}
+
+TEST(FunctionsTest, MapCosts) {
+  EXPECT_EQ(CostOfMap(MapFn::kOne).state_bytes, 0u);
+  EXPECT_GT(CostOfMap(MapFn::kIpt).state_bytes, 0u);
+  EXPECT_GT(CostOfMap(MapFn::kSpeed).divisions, 0u);
+  EXPECT_EQ(CostOfMap(MapFn::kDirection).divisions, 0u);
+}
+
+TEST(CostModelTest, DivisionEliminationChangesCost) {
+  NfpArch arch;
+  CellWork work;
+  work.alu_ops = 10;
+  work.divisions = 2;
+  work.mem_accesses = 1;
+  work.mem_latency_cycles = 100;
+  work.hashes = 1;
+
+  NicPerfModel with(arch, NicOptimizations::All());
+  with.AccountCell(work);
+  NicPerfModel without(arch, NicOptimizations::None());
+  without.AccountCell(work);
+  EXPECT_GT(without.EffectiveCycles(), with.EffectiveCycles() + 2000);
+}
+
+TEST(CostModelTest, ThreadingHidesMemoryLatency) {
+  NfpArch arch;
+  CellWork work;
+  work.alu_ops = 5;
+  work.mem_accesses = 4;
+  work.mem_latency_cycles = 4000;  // Memory-bound cell.
+  work.hashes = 0;
+
+  NicOptimizations threaded = NicOptimizations::None();
+  threaded.multithreading = true;
+  NicPerfModel with(arch, threaded);
+  with.AccountCell(work);
+  NicPerfModel without(arch, NicOptimizations::None());
+  without.AccountCell(work);
+  EXPECT_LT(with.EffectiveCycles(), without.EffectiveCycles());
+}
+
+TEST(CostModelTest, ThroughputZeroWithoutWork) {
+  NfpArch arch;
+  NicPerfModel model(arch, NicOptimizations::All());
+  EXPECT_EQ(model.ThroughputPps(60), 0.0);
+}
+
+TEST(MgpvConfigTest, FootprintComponents) {
+  MgpvConfig config;
+  config.short_buffers = 100;
+  config.short_size = 4;
+  config.long_buffers = 10;
+  config.long_size = 20;
+  config.metadata_bytes_per_cell = 7;
+  config.cg = Granularity::kHost;
+  const uint64_t single = config.MemoryFootprintBytes();
+  config.metadata_bytes_per_cell = 14;
+  EXPECT_GT(config.MemoryFootprintBytes(), single);
+}
+
+}  // namespace
+}  // namespace superfe

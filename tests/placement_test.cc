@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "nicsim/placement.h"
+
+namespace superfe {
+namespace {
+
+StateItem State(const std::string& name, uint32_t bytes, uint32_t accesses) {
+  return StateItem{name, bytes, accesses};
+}
+
+TEST(PlacementTest, EmptyProblem) {
+  PlacementProblem problem;
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->objective, 0u);
+}
+
+TEST(PlacementTest, SingleStateGoesToFastestLevel) {
+  PlacementProblem problem;
+  problem.table_width = {1, 1, 1, 1};
+  problem.groups_per_granularity = 1024;
+  problem.states = {State("s", 8, 3)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignment.size(), 1u);
+  EXPECT_EQ(result->assignment[0], MemLevel::kCls);
+  EXPECT_EQ(result->objective, 3u * problem.arch.memory(MemLevel::kCls).latency_cycles);
+}
+
+TEST(PlacementTest, HotStateWinsFastMemory) {
+  PlacementProblem problem;
+  // Bus budget CLS with width 4 and 13B key: 64/4 - 13 = 3 bytes. Make the
+  // budget meaningful with width 1 and few enough groups that capacity does
+  // not interfere.
+  problem.table_width = {1, 1, 1, 1};
+  problem.groups_per_granularity = 1024;
+  problem.key_bytes = 4;
+  // Two states compete; only one fits into CLS's per-entry budget after
+  // adding the second (60 bytes available).
+  problem.states = {State("hot", 40, 10), State("cold", 40, 1)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment[0], MemLevel::kCls);
+  EXPECT_NE(result->assignment[1], MemLevel::kCls);
+}
+
+TEST(PlacementTest, RespectsBusConstraint) {
+  PlacementProblem problem;
+  problem.table_width = {4, 4, 2, 1};
+  problem.key_bytes = 13;
+  // Width 4 with a 13-byte key leaves 3 state bytes per CLS/CTM entry.
+  problem.states = {State("a", 4, 5)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  // 4 bytes cannot fit CLS/CTM (3-byte budgets); IMEM width 2 -> 32-13=19.
+  EXPECT_EQ(result->assignment[0], MemLevel::kImem);
+}
+
+TEST(PlacementTest, OverflowLandsInEmem) {
+  PlacementProblem problem;
+  problem.table_width = {1, 1, 1, 1};
+  problem.key_bytes = 13;
+  // 51-byte budget per level (bus), but this state is far larger: only EMEM
+  // (multi-beat) accepts it.
+  problem.states = {State("huge", 500, 2)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment[0], MemLevel::kEmem);
+}
+
+TEST(PlacementTest, CapacityConstraintHonored) {
+  PlacementProblem problem;
+  problem.table_width = {1, 1, 1, 1};
+  problem.key_bytes = 0;
+  problem.groups_per_granularity = 1 << 20;  // A million groups.
+  // CLS total = 320 KB -> budget < 1 byte per group; even a 4-byte state
+  // must skip CLS/CTM.
+  problem.states = {State("s", 4, 1)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->assignment[0], MemLevel::kCls);
+  EXPECT_NE(result->assignment[0], MemLevel::kCtm);
+}
+
+TEST(PlacementTest, ObjectiveIsOptimalOnSmallInstance) {
+  PlacementProblem problem;
+  problem.table_width = {1, 1, 1, 1};
+  problem.key_bytes = 0;
+  // Budgets: each non-EMEM level holds 64 state bytes.
+  problem.states = {State("a", 40, 9), State("b", 40, 8), State("c", 40, 7),
+                    State("d", 40, 1)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->optimal);
+  // Optimal: a->CLS(30), b->CTM(60), c->IMEM(150), d->EMEM(250).
+  const auto& arch = problem.arch;
+  const uint64_t expected = 9u * arch.memory(MemLevel::kCls).latency_cycles +
+                            8u * arch.memory(MemLevel::kCtm).latency_cycles +
+                            7u * arch.memory(MemLevel::kImem).latency_cycles +
+                            1u * arch.memory(MemLevel::kEmem).latency_cycles;
+  EXPECT_EQ(result->objective, expected);
+}
+
+TEST(PlacementTest, LatencyPerPacketCountsOccupiedLevels) {
+  PlacementProblem problem;
+  problem.table_width = {1, 1, 1, 1};
+  problem.key_bytes = 0;
+  problem.states = {State("a", 8, 2), State("b", 8, 2)};
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  const uint64_t latency = result->LatencyPerPacket(problem.arch, problem.states);
+  EXPECT_GT(latency, 0u);
+  // Both fit in CLS: exactly one CLS access per packet.
+  EXPECT_EQ(latency, problem.arch.memory(MemLevel::kCls).latency_cycles);
+}
+
+TEST(PlacementTest, MemoryUtilizationFraction) {
+  PlacementProblem problem;
+  problem.states = {State("a", 16, 1)};
+  problem.groups_per_granularity = 4096;
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  const double util = result->MemoryUtilization(problem);
+  EXPECT_GT(util, 0.0);
+  EXPECT_LT(util, 1.0);
+}
+
+TEST(PlacementTest, ManyStatesStillSolvable) {
+  PlacementProblem problem;
+  problem.table_width = {1, 1, 1, 1};
+  for (int i = 0; i < 40; ++i) {
+    problem.states.push_back(
+        State(std::string("s") + std::to_string(i), 8 + (i % 5) * 4, 1 + i % 7));
+  }
+  auto result = SolvePlacement(problem);
+  ASSERT_TRUE(result.ok());
+  // Every state must be placed somewhere.
+  for (MemLevel level : result->assignment) {
+    EXPECT_GE(static_cast<int>(level), 0);
+    EXPECT_LT(static_cast<int>(level), kNumMemLevels);
+  }
+}
+
+}  // namespace
+}  // namespace superfe

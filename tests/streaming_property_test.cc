@@ -1,0 +1,224 @@
+// Property-style tests of the streaming algorithms: invariants that must
+// hold across randomized inputs (order independence of decayed sums,
+// division-free drain exactness, quantization error bounds, histogram
+// conservation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "streaming/damped.h"
+#include "streaming/histogram.h"
+#include "streaming/hyperloglog.h"
+#include "streaming/moments.h"
+#include "streaming/welford.h"
+
+namespace superfe {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededTest, DampedSumsAreOrderIndependent) {
+  // MGPV delivers a group's two directions as interleaved bursts; the
+  // late-sample scaling must make the damped state independent of arrival
+  // order (same multiset of (value, timestamp) pairs).
+  Rng rng(GetParam());
+  std::vector<std::pair<double, double>> samples;  // (value, t).
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.UniformDouble(0.0001, 0.01);
+    samples.emplace_back(rng.UniformDouble(64, 1500), t);
+  }
+
+  DampedStats in_order(1.0);
+  for (const auto& [x, ts] : samples) {
+    in_order.Add(x, ts);
+  }
+
+  // Burst-shuffled: odd-index samples delayed to the end (two interleaved
+  // streams arriving as two bursts).
+  DampedStats shuffled(1.0);
+  for (size_t i = 0; i < samples.size(); i += 2) {
+    shuffled.Add(samples[i].first, samples[i].second);
+  }
+  for (size_t i = 1; i < samples.size(); i += 2) {
+    shuffled.Add(samples[i].first, samples[i].second);
+  }
+
+  EXPECT_NEAR(shuffled.weight(), in_order.weight(), in_order.weight() * 1e-9);
+  EXPECT_NEAR(shuffled.mean(), in_order.mean(), std::fabs(in_order.mean()) * 1e-9);
+  EXPECT_NEAR(shuffled.variance(), in_order.variance(),
+              std::max(in_order.variance() * 1e-6, 1e-9));
+}
+
+TEST_P(SeededTest, NicWelfordTracksExactWithinUnits) {
+  // The residue-drain division elimination must keep the integer mean
+  // within a few units of the exact recurrence at all times.
+  Rng rng(GetParam() ^ 0x11);
+  NicWelfordStats nic;
+  WelfordStats exact;
+  for (int i = 0; i < 30000; ++i) {
+    const int64_t x = 64 + static_cast<int64_t>(rng.UniformU64(1450));
+    nic.Add(x);
+    exact.Add(static_cast<double>(x));
+    if (i > 100 && i % 1000 == 0) {
+      EXPECT_NEAR(nic.mean(), exact.mean(), 3.0) << "at sample " << i;
+    }
+  }
+  EXPECT_LT(RelativeError(nic.variance(), exact.variance()), 0.05);
+}
+
+TEST_P(SeededTest, FixedPointDampedWithinFourPercent) {
+  Rng rng(GetParam() ^ 0x22);
+  const double lambda = std::exp(rng.UniformDouble(std::log(0.01), std::log(5.0)));
+  DampedStats exact(lambda, DampedMode::kExactDouble);
+  DampedStats fixed(lambda, DampedMode::kNicFixedPoint);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.UniformDouble(64, 1500);
+    t += rng.UniformDouble(0.0001, 0.02);
+    exact.Add(x, t);
+    fixed.Add(x, t);
+  }
+  EXPECT_LT(RelativeError(fixed.mean(), exact.mean()), 0.04) << "lambda " << lambda;
+  EXPECT_LT(RelativeError(fixed.weight(), exact.weight()), 0.04) << "lambda " << lambda;
+  EXPECT_LT(RelativeError(fixed.stddev(), exact.stddev(), /*eps=*/1.0), 0.06)
+      << "lambda " << lambda;
+}
+
+TEST_P(SeededTest, HistogramConservesMass) {
+  Rng rng(GetParam() ^ 0x33);
+  FixedHistogram hist(rng.UniformDouble(1, 100), 1 + static_cast<int>(rng.UniformU64(64)));
+  const int n = 1000 + static_cast<int>(rng.UniformU64(5000));
+  for (int i = 0; i < n; ++i) {
+    hist.Add(rng.UniformDouble(-100, 10000));
+  }
+  uint64_t total = 0;
+  for (int b = 0; b < hist.bins(); ++b) {
+    total += hist.count(b);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(n));
+  EXPECT_EQ(hist.total(), static_cast<uint64_t>(n));
+}
+
+TEST_P(SeededTest, QuantileMonotoneInQ) {
+  Rng rng(GetParam() ^ 0x44);
+  FixedHistogram hist(10.0, 64);
+  for (int i = 0; i < 3000; ++i) {
+    hist.Add(rng.LogNormal(4.0, 1.0));
+  }
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    const double v = hist.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_P(SeededTest, HllMergeCommutes) {
+  Rng rng(GetParam() ^ 0x55);
+  HyperLogLog a(10);
+  HyperLogLog b(10);
+  for (int i = 0; i < 2000; ++i) {
+    (rng.Bernoulli(0.5) ? a : b).AddU64(rng.NextU64());
+  }
+  HyperLogLog ab = a;
+  ab.Merge(b);
+  HyperLogLog ba = b;
+  ba.Merge(a);
+  EXPECT_DOUBLE_EQ(ab.Estimate(), ba.Estimate());
+}
+
+TEST_P(SeededTest, HllInsertOrderIrrelevant) {
+  Rng rng(GetParam() ^ 0x66);
+  std::vector<uint64_t> values(1000);
+  for (auto& v : values) {
+    v = rng.NextU64();
+  }
+  HyperLogLog forward(8);
+  for (uint64_t v : values) {
+    forward.AddU64(v);
+  }
+  HyperLogLog reverse(8);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    reverse.AddU64(*it);
+  }
+  EXPECT_DOUBLE_EQ(forward.Estimate(), reverse.Estimate());
+}
+
+TEST_P(SeededTest, MomentsShiftInvarianceOfVariance) {
+  Rng rng(GetParam() ^ 0x77);
+  StreamingMoments base;
+  StreamingMoments shifted;
+  const double shift = 1e6;
+  std::vector<double> xs(2000);
+  for (auto& x : xs) {
+    x = rng.UniformDouble(0, 100);
+  }
+  for (double x : xs) {
+    base.Add(x);
+    shifted.Add(x + shift);
+  }
+  EXPECT_NEAR(shifted.variance(), base.variance(), base.variance() * 1e-6);
+  EXPECT_NEAR(shifted.skewness(), base.skewness(), 0.01);
+}
+
+TEST_P(SeededTest, CovarianceSymmetry) {
+  Rng rng(GetParam() ^ 0x88);
+  StreamingCovariance xy;
+  StreamingCovariance yx;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble(0, 10);
+    const double y = rng.UniformDouble(0, 10) + x;
+    xy.Add(x, y);
+    yx.Add(y, x);
+  }
+  EXPECT_NEAR(xy.covariance(), yx.covariance(), 1e-9);
+  EXPECT_NEAR(xy.correlation(), yx.correlation(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(DampedModeTest, ExactDoubleLsSsEqualsWelfordForm) {
+  // The two internal representations are mathematically identical; in
+  // double precision they must agree tightly on benign value ranges.
+  DampedStats ls_ss(0.5, DampedMode::kExactDouble);
+  DampedStats welford(0.5, DampedMode::kNicFixedPoint);  // Welford form (+quantization).
+  Rng rng(99);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.UniformDouble(100, 1000);
+    t += 0.003;
+    ls_ss.Add(x, t);
+    welford.Add(x, t);
+  }
+  EXPECT_LT(RelativeError(welford.mean(), ls_ss.mean()), 0.01);
+  EXPECT_LT(RelativeError(welford.variance(), ls_ss.variance()), 0.03);
+}
+
+TEST(DampedModeTest, Float32CancellationOnLargeOffsets) {
+  // The AfterImage LS/SS representation in float32 loses the variance of a
+  // small-spread stream riding on a large mean; the Welford form does not.
+  DampedStats exact(0.1, DampedMode::kExactDouble);
+  DampedStats f32(0.1, DampedMode::kFloat32);
+  DampedStats nic(0.1, DampedMode::kNicFixedPoint);
+  Rng rng(7);
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = 3.0e6 + rng.UniformDouble(-20, 20);  // Inter-arrival ns scale.
+    t += 0.001;
+    exact.Add(x, t);
+    f32.Add(x, t);
+    nic.Add(x, t);
+  }
+  const double err_f32 = RelativeError(f32.variance(), exact.variance());
+  const double err_nic = RelativeError(nic.variance(), exact.variance());
+  EXPECT_GT(err_f32, 0.5);   // Catastrophic cancellation.
+  EXPECT_LT(err_nic, 0.05);  // Welford form survives.
+}
+
+}  // namespace
+}  // namespace superfe

@@ -1,0 +1,143 @@
+// superfe_compile: compile a SuperFE policy file, report the partition and
+// resource estimates, and optionally emit the generated P4-16 / Micro-C
+// reference sources (the paper's policy-enforcement engine, §7).
+//
+//   superfe_compile POLICY.sfe [--p4 OUT.p4] [--microc OUT.c] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "nicsim/microc_gen.h"
+#include "nicsim/placement.h"
+#include "policy/parser.h"
+#include "switchsim/fe_switch.h"
+#include "switchsim/p4gen.h"
+#include "switchsim/resources.h"
+
+using namespace superfe;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: superfe_compile POLICY.sfe [--p4 OUT.p4] [--microc OUT.c] [--verbose]\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string policy_path;
+  std::string p4_path;
+  std::string microc_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--p4") == 0 && i + 1 < argc) {
+      p4_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--microc") == 0 && i + 1 < argc) {
+      microc_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (policy_path.empty()) {
+      policy_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream in(policy_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", policy_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto policy = ParsePolicy(policy_path, buffer.str());
+  if (!policy.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  auto compiled = Compile(*policy);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+
+  const SwitchProgram& sw = compiled->switch_program;
+  const NicProgram& nic = compiled->nic_program;
+  std::printf("policy:            %s (%d LoC)\n", policy->name.c_str(), policy->LinesOfCode());
+  std::printf("granularity chain:");
+  for (Granularity g : sw.chain) {
+    std::printf(" %s", GranularityName(g));
+  }
+  std::printf("\nfilter:            %s\n", sw.filter.ToString().c_str());
+  std::printf("metadata/packet:   %u bytes\n", sw.MetadataBytesPerPacket());
+  std::printf("feature dimension: %u\n", nic.FeatureDimension());
+  std::printf("NIC state/group:   %u bytes across %zu items\n", nic.StateBytesPerGroup(),
+              nic.states.size());
+  std::printf("per-packet cost:   %u ALU ops, %u divider uses, %u state words\n",
+              nic.AluOpsPerPacket(), nic.DivisionsPerPacket(), nic.MemWordsPerPacket());
+
+  const MgpvConfig config = FeSwitch::DefaultConfig(*compiled);
+  const SwitchResourceUsage usage = EstimateSwitchResources(*compiled, config);
+  const TofinoCapacity capacity;
+  std::printf("switch resources:  tables %.1f%%, sALUs %.1f%%, SRAM %.1f%%\n",
+              usage.TablesFraction(capacity) * 100.0, usage.SalusFraction(capacity) * 100.0,
+              usage.SramFraction(capacity) * 100.0);
+
+  PlacementProblem problem;
+  problem.states = nic.states;
+  problem.key_bytes = sw.FgKeyBytes();
+  auto placement = SolvePlacement(problem);
+  if (placement.ok()) {
+    std::printf("NIC placement (%s):\n", placement->optimal ? "ILP optimal" : "greedy");
+    if (verbose) {
+      AsciiTable table({"state", "bytes", "accesses/pkt", "memory"});
+      for (size_t i = 0; i < problem.states.size(); ++i) {
+        table.AddRow({problem.states[i].name, std::to_string(problem.states[i].bytes),
+                      std::to_string(problem.states[i].accesses_per_packet),
+                      MemLevelName(placement->assignment[i])});
+      }
+      table.Print();
+    } else {
+      for (int m = 0; m < kNumMemLevels; ++m) {
+        if (placement->level_bytes[m] > 0) {
+          std::printf("  %-5s %llu bytes/group\n", MemLevelName(static_cast<MemLevel>(m)),
+                      (unsigned long long)placement->level_bytes[m]);
+        }
+      }
+    }
+  }
+
+  if (!p4_path.empty() && !WriteFile(p4_path, GenerateP4(*compiled, config))) {
+    return 1;
+  }
+  if (!microc_path.empty() && placement.ok() &&
+      !WriteFile(microc_path, GenerateMicroC(*compiled, *placement))) {
+    return 1;
+  }
+  if (!p4_path.empty()) {
+    std::printf("wrote P4-16 program:  %s\n", p4_path.c_str());
+  }
+  if (!microc_path.empty()) {
+    std::printf("wrote Micro-C program: %s\n", microc_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// superfe_tracegen: generate the synthetic workload/attack traces used by
+// the evaluation and write them as pcap files for use with external tools.
+//
+//   superfe_tracegen --profile mawi|enterprise|campus [--packets N] [--seed S]
+//                    [--attack os_scan|ssdp_flood|syn_dos|mirai]
+//                    [--attack-packets N] --out FILE.pcap [--labels FILE.csv]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "net/attack_gen.h"
+#include "net/pcap.h"
+#include "net/trace_gen.h"
+
+using namespace superfe;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: superfe_tracegen --profile NAME [--packets N] [--seed S]\n"
+               "                        [--attack NAME] [--attack-packets N]\n"
+               "                        --out FILE.pcap [--labels FILE.csv]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile_name = "enterprise";
+  std::string attack_name;
+  std::string out_path;
+  std::string labels_path;
+  size_t packets = 100000;
+  size_t attack_packets = 20000;
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--attack") == 0 && i + 1 < argc) {
+      attack_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--attack-packets") == 0 && i + 1 < argc) {
+      attack_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--labels") == 0 && i + 1 < argc) {
+      labels_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (out_path.empty()) {
+    return Usage();
+  }
+
+  TraceProfile profile = EnterpriseProfile();
+  if (profile_name == "mawi") {
+    profile = MawiIxpProfile();
+  } else if (profile_name == "campus") {
+    profile = CampusProfile();
+  } else if (profile_name != "enterprise") {
+    std::fprintf(stderr, "unknown profile '%s'\n", profile_name.c_str());
+    return 1;
+  }
+
+  Trace trace;
+  std::vector<uint8_t> labels;
+  if (attack_name.empty()) {
+    trace = GenerateTrace(profile, packets, seed);
+  } else {
+    AttackConfig config;
+    if (attack_name == "os_scan") {
+      config.type = AttackType::kOsScan;
+    } else if (attack_name == "ssdp_flood") {
+      config.type = AttackType::kSsdpFlood;
+    } else if (attack_name == "syn_dos") {
+      config.type = AttackType::kSynDos;
+    } else if (attack_name == "mirai") {
+      config.type = AttackType::kMiraiScan;
+    } else {
+      std::fprintf(stderr, "unknown attack '%s'\n", attack_name.c_str());
+      return 1;
+    }
+    config.attack_packets = attack_packets;
+    LabeledTrace labeled = GenerateAttackTrace(config, profile, packets, seed);
+    trace = std::move(labeled.trace);
+    labels = std::move(labeled.labels);
+  }
+
+  const Status status = WritePcap(out_path, trace);
+  if (!status.ok()) {
+    std::fprintf(stderr, "pcap error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!labels_path.empty() && !labels.empty()) {
+    std::ofstream label_file(labels_path);
+    label_file << "packet_index,label\n";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      label_file << i << "," << static_cast<int>(labels[i]) << "\n";
+    }
+  }
+
+  const TraceStats stats = trace.ComputeStats();
+  std::printf("wrote %s: %s\n", out_path.c_str(), stats.ToString().c_str());
+  return 0;
+}
