@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_buffers"
+  "../bench/bench_ablation_buffers.pdb"
+  "CMakeFiles/bench_ablation_buffers.dir/bench_ablation_buffers.cc.o"
+  "CMakeFiles/bench_ablation_buffers.dir/bench_ablation_buffers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

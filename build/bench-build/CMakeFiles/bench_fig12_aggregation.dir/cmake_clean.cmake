@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_aggregation"
+  "../bench/bench_fig12_aggregation.pdb"
+  "CMakeFiles/bench_fig12_aggregation.dir/bench_fig12_aggregation.cc.o"
+  "CMakeFiles/bench_fig12_aggregation.dir/bench_fig12_aggregation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_mgpv_gpv"
+  "../bench/bench_fig13_mgpv_gpv.pdb"
+  "CMakeFiles/bench_fig13_mgpv_gpv.dir/bench_fig13_mgpv_gpv.cc.o"
+  "CMakeFiles/bench_fig13_mgpv_gpv.dir/bench_fig13_mgpv_gpv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mgpv_gpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_aging"
+  "../bench/bench_fig14_aging.pdb"
+  "CMakeFiles/bench_fig14_aging.dir/bench_fig14_aging.cc.o"
+  "CMakeFiles/bench_fig14_aging.dir/bench_fig14_aging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

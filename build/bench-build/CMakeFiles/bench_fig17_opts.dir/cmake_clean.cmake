@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_opts"
+  "../bench/bench_fig17_opts.pdb"
+  "CMakeFiles/bench_fig17_opts.dir/bench_fig17_opts.cc.o"
+  "CMakeFiles/bench_fig17_opts.dir/bench_fig17_opts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

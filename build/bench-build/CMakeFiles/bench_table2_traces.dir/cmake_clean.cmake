@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_traces"
+  "../bench/bench_table2_traces.pdb"
+  "CMakeFiles/bench_table2_traces.dir/bench_table2_traces.cc.o"
+  "CMakeFiles/bench_table2_traces.dir/bench_table2_traces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

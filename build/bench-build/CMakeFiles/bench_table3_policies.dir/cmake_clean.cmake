@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_policies"
+  "../bench/bench_table3_policies.pdb"
+  "CMakeFiles/bench_table3_policies.dir/bench_table3_policies.cc.o"
+  "CMakeFiles/bench_table3_policies.dir/bench_table3_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_functions"
+  "../bench/bench_table5_functions.pdb"
+  "CMakeFiles/bench_table5_functions.dir/bench_table5_functions.cc.o"
+  "CMakeFiles/bench_table5_functions.dir/bench_table5_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_detection.dir/botnet_detection.cpp.o"
+  "CMakeFiles/botnet_detection.dir/botnet_detection.cpp.o.d"
+  "botnet_detection"
+  "botnet_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for website_fingerprinting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_apps.dir/kitsune_study.cc.o"
+  "CMakeFiles/superfe_apps.dir/kitsune_study.cc.o.d"
+  "CMakeFiles/superfe_apps.dir/policies.cc.o"
+  "CMakeFiles/superfe_apps.dir/policies.cc.o.d"
+  "libsuperfe_apps.a"
+  "libsuperfe_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

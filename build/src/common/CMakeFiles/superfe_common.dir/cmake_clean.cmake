@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_common.dir/hash.cc.o"
+  "CMakeFiles/superfe_common.dir/hash.cc.o.d"
+  "CMakeFiles/superfe_common.dir/logging.cc.o"
+  "CMakeFiles/superfe_common.dir/logging.cc.o.d"
+  "CMakeFiles/superfe_common.dir/rng.cc.o"
+  "CMakeFiles/superfe_common.dir/rng.cc.o.d"
+  "CMakeFiles/superfe_common.dir/stats.cc.o"
+  "CMakeFiles/superfe_common.dir/stats.cc.o.d"
+  "CMakeFiles/superfe_common.dir/status.cc.o"
+  "CMakeFiles/superfe_common.dir/status.cc.o.d"
+  "CMakeFiles/superfe_common.dir/table.cc.o"
+  "CMakeFiles/superfe_common.dir/table.cc.o.d"
+  "libsuperfe_common.a"
+  "libsuperfe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_core.dir/runtime.cc.o"
+  "CMakeFiles/superfe_core.dir/runtime.cc.o.d"
+  "CMakeFiles/superfe_core.dir/software_extractor.cc.o"
+  "CMakeFiles/superfe_core.dir/software_extractor.cc.o.d"
+  "libsuperfe_core.a"
+  "libsuperfe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autoencoder.cc" "src/ml/CMakeFiles/superfe_ml.dir/autoencoder.cc.o" "gcc" "src/ml/CMakeFiles/superfe_ml.dir/autoencoder.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/superfe_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/superfe_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/kitnet.cc" "src/ml/CMakeFiles/superfe_ml.dir/kitnet.cc.o" "gcc" "src/ml/CMakeFiles/superfe_ml.dir/kitnet.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/superfe_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/superfe_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/superfe_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/superfe_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/superfe_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/superfe_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

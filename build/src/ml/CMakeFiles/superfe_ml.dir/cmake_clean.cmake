@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_ml.dir/autoencoder.cc.o"
+  "CMakeFiles/superfe_ml.dir/autoencoder.cc.o.d"
+  "CMakeFiles/superfe_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/superfe_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/superfe_ml.dir/kitnet.cc.o"
+  "CMakeFiles/superfe_ml.dir/kitnet.cc.o.d"
+  "CMakeFiles/superfe_ml.dir/knn.cc.o"
+  "CMakeFiles/superfe_ml.dir/knn.cc.o.d"
+  "CMakeFiles/superfe_ml.dir/metrics.cc.o"
+  "CMakeFiles/superfe_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/superfe_ml.dir/random_forest.cc.o"
+  "CMakeFiles/superfe_ml.dir/random_forest.cc.o.d"
+  "libsuperfe_ml.a"
+  "libsuperfe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

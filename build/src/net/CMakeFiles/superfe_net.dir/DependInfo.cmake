@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/attack_gen.cc" "src/net/CMakeFiles/superfe_net.dir/attack_gen.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/attack_gen.cc.o.d"
+  "/root/repo/src/net/five_tuple.cc" "src/net/CMakeFiles/superfe_net.dir/five_tuple.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/five_tuple.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/superfe_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/superfe_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/replay.cc" "src/net/CMakeFiles/superfe_net.dir/replay.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/replay.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/superfe_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/trace.cc.o.d"
+  "/root/repo/src/net/trace_gen.cc" "src/net/CMakeFiles/superfe_net.dir/trace_gen.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/trace_gen.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/superfe_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/superfe_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

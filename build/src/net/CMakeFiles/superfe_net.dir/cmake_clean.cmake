@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_net.dir/attack_gen.cc.o"
+  "CMakeFiles/superfe_net.dir/attack_gen.cc.o.d"
+  "CMakeFiles/superfe_net.dir/five_tuple.cc.o"
+  "CMakeFiles/superfe_net.dir/five_tuple.cc.o.d"
+  "CMakeFiles/superfe_net.dir/packet.cc.o"
+  "CMakeFiles/superfe_net.dir/packet.cc.o.d"
+  "CMakeFiles/superfe_net.dir/pcap.cc.o"
+  "CMakeFiles/superfe_net.dir/pcap.cc.o.d"
+  "CMakeFiles/superfe_net.dir/replay.cc.o"
+  "CMakeFiles/superfe_net.dir/replay.cc.o.d"
+  "CMakeFiles/superfe_net.dir/trace.cc.o"
+  "CMakeFiles/superfe_net.dir/trace.cc.o.d"
+  "CMakeFiles/superfe_net.dir/trace_gen.cc.o"
+  "CMakeFiles/superfe_net.dir/trace_gen.cc.o.d"
+  "CMakeFiles/superfe_net.dir/wire.cc.o"
+  "CMakeFiles/superfe_net.dir/wire.cc.o.d"
+  "libsuperfe_net.a"
+  "libsuperfe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nicsim/cost_model.cc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/cost_model.cc.o" "gcc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/cost_model.cc.o.d"
+  "/root/repo/src/nicsim/exec.cc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/exec.cc.o" "gcc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/exec.cc.o.d"
+  "/root/repo/src/nicsim/fe_nic.cc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/fe_nic.cc.o" "gcc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/fe_nic.cc.o.d"
+  "/root/repo/src/nicsim/microc_gen.cc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/microc_gen.cc.o" "gcc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/microc_gen.cc.o.d"
+  "/root/repo/src/nicsim/nic_cluster.cc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/nic_cluster.cc.o" "gcc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/nic_cluster.cc.o.d"
+  "/root/repo/src/nicsim/placement.cc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/placement.cc.o" "gcc" "src/nicsim/CMakeFiles/superfe_nicsim.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/superfe_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/superfe_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/superfe_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/superfe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_nicsim.dir/cost_model.cc.o"
+  "CMakeFiles/superfe_nicsim.dir/cost_model.cc.o.d"
+  "CMakeFiles/superfe_nicsim.dir/exec.cc.o"
+  "CMakeFiles/superfe_nicsim.dir/exec.cc.o.d"
+  "CMakeFiles/superfe_nicsim.dir/fe_nic.cc.o"
+  "CMakeFiles/superfe_nicsim.dir/fe_nic.cc.o.d"
+  "CMakeFiles/superfe_nicsim.dir/microc_gen.cc.o"
+  "CMakeFiles/superfe_nicsim.dir/microc_gen.cc.o.d"
+  "CMakeFiles/superfe_nicsim.dir/nic_cluster.cc.o"
+  "CMakeFiles/superfe_nicsim.dir/nic_cluster.cc.o.d"
+  "CMakeFiles/superfe_nicsim.dir/placement.cc.o"
+  "CMakeFiles/superfe_nicsim.dir/placement.cc.o.d"
+  "libsuperfe_nicsim.a"
+  "libsuperfe_nicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_nicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

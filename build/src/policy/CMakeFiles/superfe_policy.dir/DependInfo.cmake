@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/ast.cc" "src/policy/CMakeFiles/superfe_policy.dir/ast.cc.o" "gcc" "src/policy/CMakeFiles/superfe_policy.dir/ast.cc.o.d"
+  "/root/repo/src/policy/builder.cc" "src/policy/CMakeFiles/superfe_policy.dir/builder.cc.o" "gcc" "src/policy/CMakeFiles/superfe_policy.dir/builder.cc.o.d"
+  "/root/repo/src/policy/compile.cc" "src/policy/CMakeFiles/superfe_policy.dir/compile.cc.o" "gcc" "src/policy/CMakeFiles/superfe_policy.dir/compile.cc.o.d"
+  "/root/repo/src/policy/functions.cc" "src/policy/CMakeFiles/superfe_policy.dir/functions.cc.o" "gcc" "src/policy/CMakeFiles/superfe_policy.dir/functions.cc.o.d"
+  "/root/repo/src/policy/granularity_graph.cc" "src/policy/CMakeFiles/superfe_policy.dir/granularity_graph.cc.o" "gcc" "src/policy/CMakeFiles/superfe_policy.dir/granularity_graph.cc.o.d"
+  "/root/repo/src/policy/parser.cc" "src/policy/CMakeFiles/superfe_policy.dir/parser.cc.o" "gcc" "src/policy/CMakeFiles/superfe_policy.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/superfe_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

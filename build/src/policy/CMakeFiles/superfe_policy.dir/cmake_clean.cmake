@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_policy.dir/ast.cc.o"
+  "CMakeFiles/superfe_policy.dir/ast.cc.o.d"
+  "CMakeFiles/superfe_policy.dir/builder.cc.o"
+  "CMakeFiles/superfe_policy.dir/builder.cc.o.d"
+  "CMakeFiles/superfe_policy.dir/compile.cc.o"
+  "CMakeFiles/superfe_policy.dir/compile.cc.o.d"
+  "CMakeFiles/superfe_policy.dir/functions.cc.o"
+  "CMakeFiles/superfe_policy.dir/functions.cc.o.d"
+  "CMakeFiles/superfe_policy.dir/granularity_graph.cc.o"
+  "CMakeFiles/superfe_policy.dir/granularity_graph.cc.o.d"
+  "CMakeFiles/superfe_policy.dir/parser.cc.o"
+  "CMakeFiles/superfe_policy.dir/parser.cc.o.d"
+  "libsuperfe_policy.a"
+  "libsuperfe_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streaming/damped.cc" "src/streaming/CMakeFiles/superfe_streaming.dir/damped.cc.o" "gcc" "src/streaming/CMakeFiles/superfe_streaming.dir/damped.cc.o.d"
+  "/root/repo/src/streaming/histogram.cc" "src/streaming/CMakeFiles/superfe_streaming.dir/histogram.cc.o" "gcc" "src/streaming/CMakeFiles/superfe_streaming.dir/histogram.cc.o.d"
+  "/root/repo/src/streaming/hyperloglog.cc" "src/streaming/CMakeFiles/superfe_streaming.dir/hyperloglog.cc.o" "gcc" "src/streaming/CMakeFiles/superfe_streaming.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/streaming/moments.cc" "src/streaming/CMakeFiles/superfe_streaming.dir/moments.cc.o" "gcc" "src/streaming/CMakeFiles/superfe_streaming.dir/moments.cc.o.d"
+  "/root/repo/src/streaming/naive.cc" "src/streaming/CMakeFiles/superfe_streaming.dir/naive.cc.o" "gcc" "src/streaming/CMakeFiles/superfe_streaming.dir/naive.cc.o.d"
+  "/root/repo/src/streaming/welford.cc" "src/streaming/CMakeFiles/superfe_streaming.dir/welford.cc.o" "gcc" "src/streaming/CMakeFiles/superfe_streaming.dir/welford.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_streaming.dir/damped.cc.o"
+  "CMakeFiles/superfe_streaming.dir/damped.cc.o.d"
+  "CMakeFiles/superfe_streaming.dir/histogram.cc.o"
+  "CMakeFiles/superfe_streaming.dir/histogram.cc.o.d"
+  "CMakeFiles/superfe_streaming.dir/hyperloglog.cc.o"
+  "CMakeFiles/superfe_streaming.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/superfe_streaming.dir/moments.cc.o"
+  "CMakeFiles/superfe_streaming.dir/moments.cc.o.d"
+  "CMakeFiles/superfe_streaming.dir/naive.cc.o"
+  "CMakeFiles/superfe_streaming.dir/naive.cc.o.d"
+  "CMakeFiles/superfe_streaming.dir/welford.cc.o"
+  "CMakeFiles/superfe_streaming.dir/welford.cc.o.d"
+  "libsuperfe_streaming.a"
+  "libsuperfe_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsuperfe_streaming.a"
+)

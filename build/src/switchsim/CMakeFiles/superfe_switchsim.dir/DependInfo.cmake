@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/control_plane.cc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/control_plane.cc.o" "gcc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/control_plane.cc.o.d"
+  "/root/repo/src/switchsim/fe_switch.cc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/fe_switch.cc.o" "gcc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/fe_switch.cc.o.d"
+  "/root/repo/src/switchsim/group_key.cc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/group_key.cc.o" "gcc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/group_key.cc.o.d"
+  "/root/repo/src/switchsim/mgpv.cc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/mgpv.cc.o" "gcc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/mgpv.cc.o.d"
+  "/root/repo/src/switchsim/p4gen.cc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/p4gen.cc.o" "gcc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/p4gen.cc.o.d"
+  "/root/repo/src/switchsim/resources.cc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/resources.cc.o" "gcc" "src/switchsim/CMakeFiles/superfe_switchsim.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/superfe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/superfe_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

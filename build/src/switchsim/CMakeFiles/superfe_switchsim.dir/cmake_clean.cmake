@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_switchsim.dir/control_plane.cc.o"
+  "CMakeFiles/superfe_switchsim.dir/control_plane.cc.o.d"
+  "CMakeFiles/superfe_switchsim.dir/fe_switch.cc.o"
+  "CMakeFiles/superfe_switchsim.dir/fe_switch.cc.o.d"
+  "CMakeFiles/superfe_switchsim.dir/group_key.cc.o"
+  "CMakeFiles/superfe_switchsim.dir/group_key.cc.o.d"
+  "CMakeFiles/superfe_switchsim.dir/mgpv.cc.o"
+  "CMakeFiles/superfe_switchsim.dir/mgpv.cc.o.d"
+  "CMakeFiles/superfe_switchsim.dir/p4gen.cc.o"
+  "CMakeFiles/superfe_switchsim.dir/p4gen.cc.o.d"
+  "CMakeFiles/superfe_switchsim.dir/resources.cc.o"
+  "CMakeFiles/superfe_switchsim.dir/resources.cc.o.d"
+  "libsuperfe_switchsim.a"
+  "libsuperfe_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

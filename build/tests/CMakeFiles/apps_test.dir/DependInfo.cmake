@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/superfe_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/superfe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/superfe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nicsim/CMakeFiles/superfe_nicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/superfe_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/superfe_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/superfe_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/superfe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/superfe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

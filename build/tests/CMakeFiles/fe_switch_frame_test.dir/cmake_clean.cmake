@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_switch_frame_test.dir/fe_switch_frame_test.cc.o"
+  "CMakeFiles/fe_switch_frame_test.dir/fe_switch_frame_test.cc.o.d"
+  "fe_switch_frame_test"
+  "fe_switch_frame_test.pdb"
+  "fe_switch_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_switch_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

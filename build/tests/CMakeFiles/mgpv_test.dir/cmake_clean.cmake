@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgpv_test.dir/mgpv_test.cc.o"
+  "CMakeFiles/mgpv_test.dir/mgpv_test.cc.o.d"
+  "mgpv_test"
+  "mgpv_test.pdb"
+  "mgpv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgpv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

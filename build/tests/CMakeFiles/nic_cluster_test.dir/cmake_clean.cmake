@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_cluster_test.dir/nic_cluster_test.cc.o"
+  "CMakeFiles/nic_cluster_test.dir/nic_cluster_test.cc.o.d"
+  "nic_cluster_test"
+  "nic_cluster_test.pdb"
+  "nic_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

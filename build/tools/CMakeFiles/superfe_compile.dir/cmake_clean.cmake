@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_compile.dir/superfe_compile.cc.o"
+  "CMakeFiles/superfe_compile.dir/superfe_compile.cc.o.d"
+  "superfe_compile"
+  "superfe_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_run.dir/superfe_run.cc.o"
+  "CMakeFiles/superfe_run.dir/superfe_run.cc.o.d"
+  "superfe_run"
+  "superfe_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfe_tracegen.dir/superfe_tracegen.cc.o"
+  "CMakeFiles/superfe_tracegen.dir/superfe_tracegen.cc.o.d"
+  "superfe_tracegen"
+  "superfe_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfe_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
