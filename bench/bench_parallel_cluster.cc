@@ -1,0 +1,185 @@
+// Parallel NIC-cluster pipeline: serial vs N-worker wall-clock on one
+// recorded MGPV stream, with a hard correctness gate — the parallel feature
+// multiset must be identical to the serial reference for the same seed.
+//
+// Emits BENCH_parallel_cluster.json (machine-readable) next to the usual
+// ascii table. Acceptance: >= 1.5x speedup at 4 workers, multiset match.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/table.h"
+#include "nicsim/mgpv_recorder.h"
+#include "nicsim/nic_cluster.h"
+#include "net/trace_gen.h"
+#include "policy/parser.h"
+#include "switchsim/fe_switch.h"
+
+namespace superfe {
+namespace {
+
+// Feature-heavy flow policy: enough per-cell streaming work that the
+// pipeline (not the queues) dominates, as on the real NFP cores.
+const char* kPolicy = R"(
+pktstream
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(one, [f_sum])
+  .reduce(size, [f_sum, f_min, f_max, f_mean, f_std])
+  .reduce(ipt, [f_mean, f_max, f_std])
+  .collect(flow)
+)";
+
+using VectorKey = std::tuple<int, std::string, uint64_t, std::vector<double>>;
+
+std::vector<VectorKey> SortedMultiset(const std::vector<FeatureVector>& vectors) {
+  std::vector<VectorKey> keys;
+  keys.reserve(vectors.size());
+  for (const auto& v : vectors) {
+    keys.emplace_back(static_cast<int>(v.group.granularity),
+                      std::string(v.group.bytes.begin(), v.group.bytes.begin() + v.group.length),
+                      v.timestamp_ns, v.values);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+struct RunResult {
+  double ms = 0.0;
+  uint64_t backpressure_waits = 0;
+  std::vector<VectorKey> multiset;
+};
+
+RunResult RunOnce(const CompiledPolicy& compiled, const MgpvRecorder& stream, size_t members,
+                  bool parallel) {
+  CollectingFeatureSink sink;
+  NicClusterOptions options;
+  options.parallel = parallel;
+  auto cluster =
+      std::move(NicCluster::Create(compiled, FeNicConfig{}, members, &sink, options)).value();
+
+  const auto start = std::chrono::steady_clock::now();
+  stream.DeliverTo(*cluster);
+  cluster->Flush();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.ms = std::chrono::duration<double, std::milli>(end - start).count();
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    result.backpressure_waits += cluster->worker_stats(i).backpressure_waits;
+  }
+  result.multiset = SortedMultiset(sink.vectors());
+  return result;
+}
+
+// Best-of-N wall clock; the multiset of the last repetition is kept (they
+// are identical across reps by construction).
+RunResult RunTimed(const CompiledPolicy& compiled, const MgpvRecorder& stream, size_t members,
+                   bool parallel, int reps) {
+  RunResult best;
+  for (int r = 0; r < reps; ++r) {
+    RunResult run = RunOnce(compiled, stream, members, parallel);
+    if (r == 0 || run.ms < best.ms) {
+      best.ms = run.ms;
+      best.backpressure_waits = run.backpressure_waits;
+    }
+    best.multiset = std::move(run.multiset);
+  }
+  return best;
+}
+
+void Run() {
+  std::printf("== Parallel FE-NIC cluster: serial vs worker-thread wall-clock ==\n\n");
+
+  auto policy = ParsePolicy("parallel_bench", kPolicy);
+  auto compiled = Compile(*policy);
+
+  const Trace trace = GenerateTrace(MawiIxpProfile(), 400000, 0xbea7);
+  MgpvRecorder stream;
+  {
+    FeSwitch fe(*compiled, &stream);
+    for (const auto& pkt : trace.packets()) {
+      fe.OnPacket(pkt);
+    }
+    fe.Flush();
+  }
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("Trace: %zu packets -> %zu MGPV messages (%llu cells), host CPUs: %u\n\n",
+              trace.size(), stream.messages().size(),
+              static_cast<unsigned long long>(stream.cells()), host_cpus);
+
+  const int kReps = 3;
+  const size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+  AsciiTable table({"Workers", "Serial ms", "Parallel ms", "Speedup", "Match", "BP waits"});
+  std::string rows_json;
+  double speedup_at_4 = 0.0;
+  bool all_match = true;
+
+  for (size_t workers : kWorkerCounts) {
+    const RunResult serial = RunTimed(*compiled, stream, workers, /*parallel=*/false, kReps);
+    const RunResult parallel = RunTimed(*compiled, stream, workers, /*parallel=*/true, kReps);
+    const bool match = serial.multiset == parallel.multiset;
+    all_match = all_match && match;
+    const double speedup = parallel.ms > 0.0 ? serial.ms / parallel.ms : 0.0;
+    if (workers == 4) {
+      speedup_at_4 = speedup;
+    }
+    table.AddRow({std::to_string(workers), AsciiTable::Num(serial.ms, 1),
+                  AsciiTable::Num(parallel.ms, 1), AsciiTable::Num(speedup, 2) + "x",
+                  match ? "yes" : "NO", std::to_string(parallel.backpressure_waits)});
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"workers\": %zu, \"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
+                  "\"speedup\": %.3f, \"multiset_match\": %s, \"backpressure_waits\": %llu}",
+                  rows_json.empty() ? "" : ",\n", workers, serial.ms, parallel.ms, speedup,
+                  match ? "true" : "false",
+                  static_cast<unsigned long long>(parallel.backpressure_waits));
+    rows_json += row;
+  }
+  table.Print();
+
+  std::printf("\nSpeedup at 4 workers: %.2fx (target >= 1.5x on a >= 4-core host), "
+              "multisets %s\n",
+              speedup_at_4, all_match ? "identical" : "DIVERGED");
+  if (host_cpus < 4) {
+    std::printf("NOTE: only %u CPU(s) visible — worker threads time-slice one core, so "
+                "wall-clock speedup is bounded by 1.0x here; the run still validates "
+                "correctness and queue overhead (parallel/serial ratio).\n",
+                host_cpus);
+  }
+
+  FILE* out = std::fopen("BENCH_parallel_cluster.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n  \"bench\": \"parallel_cluster\",\n  \"trace_packets\": %zu,\n"
+                 "  \"mgpv_cells\": %llu,\n  \"reps\": %d,\n  \"host_cpus\": %u,\n"
+                 "  \"runs\": [\n%s\n  ],\n"
+                 "  \"speedup_at_4_workers\": %.3f,\n  \"all_multisets_match\": %s,\n"
+                 "  \"speedup_target\": 1.5,\n  \"speedup_target_applies\": %s\n}\n",
+                 trace.size(), static_cast<unsigned long long>(stream.cells()), kReps,
+                 host_cpus, rows_json.c_str(), speedup_at_4, all_match ? "true" : "false",
+                 host_cpus >= 4 ? "true" : "false");
+    std::fclose(out);
+    std::printf("Wrote BENCH_parallel_cluster.json\n");
+  }
+
+  std::printf(
+      "\nShape check: speedup grows with workers until queue overhead and the\n"
+      "single-producer routing loop dominate; the feature multiset never changes\n"
+      "(lossless backpressure, per-group FIFO preserved by CG-hash routing).\n");
+}
+
+}  // namespace
+}  // namespace superfe
+
+int main() {
+  superfe::Run();
+  return 0;
+}

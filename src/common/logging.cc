@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace superfe {
 namespace {
@@ -39,8 +40,19 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 namespace log_internal {
 
 void Emit(LogLevel level, const char* file, int line, const std::string& message) {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), BaseName(file), line,
-               message.c_str());
+  // Format the whole line first, then write it under a mutex: cluster worker
+  // threads log concurrently and their lines must not interleave.
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix), "[%s %s:%d] ", LevelName(level), BaseName(file),
+                line);
+  std::string out;
+  out.reserve(std::strlen(prefix) + message.size() + 1);
+  out.append(prefix).append(message).push_back('\n');
+
+  static std::mutex emit_mu;
+  std::lock_guard<std::mutex> lock(emit_mu);
+  std::fwrite(out.data(), 1, out.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace log_internal

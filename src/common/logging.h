@@ -21,13 +21,16 @@ enum class LogLevel : int {
 // Returns the process-wide minimum level that is emitted.
 LogLevel GetLogLevel();
 
-// Sets the process-wide minimum level. Not thread-safe by design: call it
-// once at startup (tests and binaries are single-threaded at setup time).
+// Sets the process-wide minimum level. Safe to call from any thread (the
+// level is atomic); the parallel NIC-cluster pipeline logs from worker
+// threads concurrently.
 void SetLogLevel(LogLevel level);
 
 namespace log_internal {
 
-// Emits one formatted log line to stderr. `file` is the bare source file name.
+// Emits one formatted log line to stderr. `file` is the bare source file
+// name. Thread-safe: the line is formatted into a single buffer and written
+// under a process-wide mutex, so concurrent lines never interleave.
 void Emit(LogLevel level, const char* file, int line, const std::string& message);
 
 // Stream-style log statement collector; emits on destruction.

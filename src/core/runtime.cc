@@ -26,14 +26,31 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   std::unique_ptr<SuperFeRuntime> runtime(
       new SuperFeRuntime(std::move(compiled).value(), config));
 
-  auto nic = FeNic::Create(runtime->compiled_, config.nic, runtime->forwarding_.get());
-  if (!nic.ok()) {
-    return nic.status();
+  MgpvSink* nic_side = nullptr;
+  if (config.worker_threads > 0) {
+    NicClusterOptions options = config.cluster;
+    options.parallel = true;
+    auto cluster = NicCluster::Create(runtime->compiled_, config.nic, config.worker_threads,
+                                      runtime->forwarding_.get(), options);
+    if (!cluster.ok()) {
+      return cluster.status();
+    }
+    runtime->cluster_ = std::move(cluster).value();
+    nic_side = runtime->cluster_.get();
+  } else {
+    auto nic = FeNic::Create(runtime->compiled_, config.nic, runtime->forwarding_.get());
+    if (!nic.ok()) {
+      return nic.status();
+    }
+    runtime->nic_ = std::move(nic).value();
+    nic_side = runtime->nic_.get();
   }
-  runtime->nic_ = std::move(nic).value();
-  runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, runtime->nic_.get(),
-                                                config.mgpv);
+  runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, config.mgpv);
   return runtime;
+}
+
+NicPerfModel SuperFeRuntime::NicPerf() const {
+  return cluster_ != nullptr ? cluster_->MergedPerf() : nic_->perf();
 }
 
 SuperFeRuntime::SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config)
@@ -48,12 +65,16 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   RunReport report;
   report.offered = Replay(trace, config_.replay, *switch_);
   switch_->Flush();
-  nic_->Flush();
+  if (cluster_ != nullptr) {
+    cluster_->Flush();  // Barrier: every queue drained, every member flushed.
+  } else {
+    nic_->Flush();
+  }
   forwarding_->set_target(nullptr);
 
   report.switch_stats = switch_->stats();
   report.mgpv = switch_->cache().stats();
-  report.nic = nic_->stats();
+  report.nic = cluster_ != nullptr ? cluster_->AggregateStats() : nic_->stats();
   report.avg_packet_bytes =
       report.offered.packets > 0
           ? static_cast<double>(report.offered.bytes) / report.offered.packets
@@ -66,7 +87,7 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
 
   // Per-limit diagnostics at the configured core count.
   const double nic_pps =
-      std::min(nic_->perf().ThroughputPps(config_.nic_cores), config_.nic_ingest_mpps * 1e6);
+      std::min(NicPerf().ThroughputPps(config_.nic_cores), config_.nic_ingest_mpps * 1e6);
   report.nic_limited_gbps =
       report.filter_pass_fraction > 0.0
           ? nic_pps / report.filter_pass_fraction * report.avg_packet_bytes * 8.0 * 1e-9
@@ -98,7 +119,7 @@ double SuperFeRuntime::SustainableGbps(const RunReport& report, uint32_t cores) 
   // ingest ceiling), mapped back to offered traffic (cells = filtered
   // packets).
   const double nic_pps =
-      std::min(nic_->perf().ThroughputPps(cores), config_.nic_ingest_mpps * 1e6);
+      std::min(NicPerf().ThroughputPps(cores), config_.nic_ingest_mpps * 1e6);
   double nic_limited = 0.0;
   if (report.filter_pass_fraction > 0.0) {
     nic_limited = nic_pps / report.filter_pass_fraction * report.avg_packet_bytes * 8.0 * 1e-9;
@@ -119,7 +140,8 @@ SwitchResourceUsage SuperFeRuntime::SwitchResources() const {
 }
 
 double SuperFeRuntime::NicMemoryUtilization() const {
-  return nic_->placement().MemoryUtilization(nic_->placement_problem());
+  const FeNic& member = nic();
+  return member.placement().MemoryUtilization(member.placement_problem());
 }
 
 }  // namespace superfe

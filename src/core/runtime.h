@@ -13,6 +13,7 @@
 #include "core/feature_vector.h"
 #include "net/replay.h"
 #include "nicsim/fe_nic.h"
+#include "nicsim/nic_cluster.h"
 #include "policy/compile.h"
 #include "switchsim/fe_switch.h"
 #include "switchsim/resources.h"
@@ -33,6 +34,17 @@ struct RuntimeConfig {
   // NBI/DMA ingest ceiling across both SmartNICs (cells per second the
   // packet-engine front end can accept regardless of core count).
   double nic_ingest_mpps = 60.0;
+
+  // Host-side execution parallelism for the replay itself. 0 runs the
+  // reference serial path (one FeNic on the caller's thread, unchanged).
+  // N > 0 runs a NicCluster of N members, one worker thread each, with
+  // switch-hash load balancing (§8.5) — wall-clock scales with cores while
+  // the feature multiset stays identical for a given routing. Lossless by
+  // default (cluster.drop_on_overflow = false).
+  uint32_t worker_threads = 0;
+  // Tuning for the parallel pipeline; `parallel` is implied by
+  // worker_threads > 0 and ignored here.
+  NicClusterOptions cluster;
 };
 
 struct RunReport {
@@ -73,7 +85,11 @@ class SuperFeRuntime {
 
   const CompiledPolicy& compiled() const { return compiled_; }
   const RuntimeConfig& config() const { return config_; }
-  const FeNic& nic() const { return *nic_; }
+  // Serial mode: the single FeNic. Parallel mode: the cluster's first
+  // member (placement/plan are identical across members).
+  const FeNic& nic() const { return cluster_ != nullptr ? cluster_->nic(0) : *nic_; }
+  // Non-null only when config.worker_threads > 0.
+  const NicCluster* cluster() const { return cluster_.get(); }
   const FeSwitch& fe_switch() const { return *switch_; }
 
   // Table 4 helpers.
@@ -83,9 +99,14 @@ class SuperFeRuntime {
  private:
   SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config);
 
+  // Accounted NIC work for throughput modeling: the serial NIC's model, or
+  // the sum over cluster members (identical totals for the same stream).
+  NicPerfModel NicPerf() const;
+
   CompiledPolicy compiled_;
   RuntimeConfig config_;
-  std::unique_ptr<FeNic> nic_;       // Must outlive switch_ (sink wiring).
+  std::unique_ptr<FeNic> nic_;          // Serial path; must outlive switch_.
+  std::unique_ptr<NicCluster> cluster_;  // Parallel path; must outlive switch_.
   std::unique_ptr<FeSwitch> switch_;
   FeatureSink* user_sink_ = nullptr;
 

@@ -38,6 +38,14 @@ void NicPerfModel::AccountReport() {
   compute_cycles_ += costs_.report_overhead;
 }
 
+void NicPerfModel::Merge(const NicPerfModel& other) {
+  cells_ += other.cells_;
+  reports_ += other.reports_;
+  compute_cycles_ += other.compute_cycles_;
+  memory_cycles_ += other.memory_cycles_;
+  mem_accesses_ += other.mem_accesses_;
+}
+
 uint64_t NicPerfModel::EffectiveCycles() const {
   if (!opts_.multithreading) {
     // Single thread per core: memory stalls serialize with compute.

@@ -52,6 +52,10 @@ class NicPerfModel {
   void AccountCell(const CellWork& work);
   void AccountReport();
 
+  // Folds another model's accounted work into this one (cluster members
+  // sum to the same totals a single NIC processing every cell would have).
+  void Merge(const NicPerfModel& other);
+
   uint64_t cells() const { return cells_; }
   uint64_t compute_cycles() const { return compute_cycles_; }
   uint64_t memory_cycles() const { return memory_cycles_; }

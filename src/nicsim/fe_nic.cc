@@ -64,14 +64,16 @@ void FeNic::OnFgSync(const FgSyncMessage& sync) {
   // The NIC's table copy is modeled through the cells' shadow FG tuples;
   // the sync message itself costs a control-path update.
   (void)sync;
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.fg_syncs++;
 }
 
 void FeNic::OnMgpv(const MgpvReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.reports++;
   perf_.AccountReport();
   if (!report.cells.empty()) {
-    EvictIdleGroups(report.cells.back().full_timestamp_ns);
+    EvictIdleGroupsLocked(report.cells.back().full_timestamp_ns);
   }
 
   const auto& grans = compiled_.nic_program.granularities;
@@ -142,6 +144,11 @@ void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {
 }
 
 void FeNic::EvictIdleGroups(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictIdleGroupsLocked(now_ns);
+}
+
+void FeNic::EvictIdleGroupsLocked(uint64_t now_ns) {
   if (config_.idle_timeout_ns == 0 || compiled_.nic_program.collect.per_packet) {
     return;
   }
@@ -166,6 +173,7 @@ void FeNic::EvictIdleGroups(uint64_t now_ns) {
 }
 
 void FeNic::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!compiled_.nic_program.collect.per_packet) {
     const Granularity unit = compiled_.nic_program.collect.unit;
     const auto& grans = compiled_.nic_program.granularities;
@@ -182,7 +190,18 @@ void FeNic::Flush() {
   }
 }
 
+FeNicStats FeNic::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+NicPerfModel FeNic::PerfSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return perf_;
+}
+
 std::vector<size_t> FeNic::GroupCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<size_t> counts;
   counts.reserve(tables_.size());
   for (const auto& table : tables_) {

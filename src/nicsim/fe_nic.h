@@ -3,11 +3,19 @@
 // compiled map/reduce/synthesize pipeline with streaming algorithms, and
 // emits feature vectors per the policy's collect unit — while accounting
 // NFP cycles and memory through the cost model and ILP placement.
+//
+// Threading model: each FeNic is owned by exactly one executing thread at a
+// time (the caller in the serial path, a dedicated worker in the parallel
+// NicCluster pipeline). All mutating entry points and the Snapshot()
+// accessors take an internal mutex, so *other* threads may read consistent
+// stats/perf snapshots while the owner is processing. The raw stats()/perf()
+// references remain for single-threaded and quiescent (post-Flush) use.
 #ifndef SUPERFE_NICSIM_FE_NIC_H_
 #define SUPERFE_NICSIM_FE_NIC_H_
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/feature_vector.h"
@@ -65,6 +73,13 @@ class FeNic : public MgpvSink {
   // is per-packet). Called internally per report; exposed for tests.
   void EvictIdleGroups(uint64_t now_ns);
 
+  // Consistent copies, safe to call from any thread while the owning
+  // thread is processing (NicCluster aggregates these mid-run).
+  FeNicStats Snapshot() const;
+  NicPerfModel PerfSnapshot() const;
+
+  // Raw references: valid only when no other thread is mutating this NIC
+  // (single-threaded runs, or after a cluster Flush() barrier).
   const FeNicStats& stats() const { return stats_; }
   const NicPerfModel& perf() const { return perf_; }
   const PlacementResult& placement() const { return placement_; }
@@ -78,6 +93,9 @@ class FeNic : public MgpvSink {
   FeNic(const CompiledPolicy& compiled, const FeNicConfig& config, FeatureSink* sink,
         ExecPlan plan, PlacementProblem problem, PlacementResult placement);
 
+  // Unlocked implementations; callers hold mu_.
+  void EvictIdleGroupsLocked(uint64_t now_ns);
+
   // Builds and emits a feature vector for the collect-unit group `unit`.
   // Coarser/finer sibling groups are located via the group's last FG tuple.
   void EmitVector(const GroupKey& unit_key, const GroupState& unit_group);
@@ -90,6 +108,11 @@ class FeNic : public MgpvSink {
   PlacementResult placement_;
   NicPerfModel perf_;
   FeNicStats stats_;
+
+  // Serializes the owner thread's mutations against cross-thread snapshot
+  // reads. Uncontended in the one-thread-per-NIC ownership model, so the
+  // per-report cost is a single cheap lock/unlock.
+  mutable std::mutex mu_;
 
   // One group table per granularity in the chain.
   std::vector<std::unique_ptr<GroupTable<GroupState>>> tables_;

@@ -1,0 +1,60 @@
+// MgpvRecorder: an MgpvSink that captures the switch's output stream
+// (MGPV reports and FG-sync messages, in emission order) so it can be
+// replayed into other sinks. Used by the parallel-cluster tests and bench
+// to deliver a bit-identical message sequence to serial and multi-threaded
+// pipelines and compare their outputs.
+#ifndef SUPERFE_NICSIM_MGPV_RECORDER_H_
+#define SUPERFE_NICSIM_MGPV_RECORDER_H_
+
+#include <vector>
+
+#include "switchsim/evict.h"
+
+namespace superfe {
+
+class MgpvRecorder : public MgpvSink {
+ public:
+  struct Message {
+    enum class Kind { kReport, kSync };
+    Kind kind = Kind::kReport;
+    MgpvReport report;
+    FgSyncMessage sync;
+  };
+
+  void OnMgpv(const MgpvReport& report) override {
+    Message msg;
+    msg.kind = Message::Kind::kReport;
+    msg.report = report;
+    messages_.push_back(std::move(msg));
+    cells_ += report.cells.size();
+  }
+
+  void OnFgSync(const FgSyncMessage& sync) override {
+    Message msg;
+    msg.kind = Message::Kind::kSync;
+    msg.sync = sync;
+    messages_.push_back(std::move(msg));
+  }
+
+  // Replays the captured stream, preserving the report/sync interleaving.
+  void DeliverTo(MgpvSink& sink) const {
+    for (const auto& msg : messages_) {
+      if (msg.kind == Message::Kind::kReport) {
+        sink.OnMgpv(msg.report);
+      } else {
+        sink.OnFgSync(msg.sync);
+      }
+    }
+  }
+
+  const std::vector<Message>& messages() const { return messages_; }
+  uint64_t cells() const { return cells_; }
+
+ private:
+  std::vector<Message> messages_;
+  uint64_t cells_ = 0;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_MGPV_RECORDER_H_

@@ -1,0 +1,105 @@
+// Bounded multi-producer / single-consumer queue for the parallel NIC
+// cluster pipeline (one queue per FE-NIC worker thread).
+//
+// Data messages respect the capacity bound with a caller-chosen overflow
+// policy (block = backpressure, try = drop); control messages (FG syncs,
+// flush barriers, shutdown) bypass the bound so the pipeline can never
+// deadlock on a full queue and group-state ordering is never violated by a
+// dropped sync.
+#ifndef SUPERFE_NICSIM_MPSC_QUEUE_H_
+#define SUPERFE_NICSIM_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace superfe {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  // Blocks until the queue has room (backpressure). A push that finds the
+  // queue full is counted in blocked_pushes() *before* waiting, so an
+  // observer can see the producer stall while it is still stalled.
+  void PushBlocking(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      ++blocked_pushes_;
+      not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    }
+    PushLocked(std::move(item));
+  }
+
+  // Non-blocking push; returns false (item untouched) when full.
+  bool TryPush(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      return false;
+    }
+    PushLocked(std::move(item));
+    return true;
+  }
+
+  // Control-message push: ignores the capacity bound, always succeeds.
+  void PushUnbounded(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PushLocked(std::move(item));
+  }
+
+  // Blocks until an item is available.
+  T Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty(); });
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  // Deepest the queue has ever been (diagnostics).
+  uint64_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+  // Pushes that found the queue full and had to wait (backpressure).
+  uint64_t blocked_pushes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_pushes_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void PushLocked(T&& item) {
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) {
+      high_watermark_ = items_.size();
+    }
+    not_empty_.notify_one();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  uint64_t high_watermark_ = 0;
+  uint64_t blocked_pushes_ = 0;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_NICSIM_MPSC_QUEUE_H_

@@ -7,49 +7,247 @@ namespace superfe {
 Result<std::unique_ptr<NicCluster>> NicCluster::Create(const CompiledPolicy& compiled,
                                                        const FeNicConfig& config,
                                                        size_t nic_count, FeatureSink* sink) {
+  return Create(compiled, config, nic_count, sink, NicClusterOptions{});
+}
+
+Result<std::unique_ptr<NicCluster>> NicCluster::Create(const CompiledPolicy& compiled,
+                                                       const FeNicConfig& config,
+                                                       size_t nic_count, FeatureSink* sink,
+                                                       const NicClusterOptions& options) {
   if (nic_count == 0) {
     return Status::InvalidArgument("a NIC cluster needs at least one member");
+  }
+  // Parallel members emit concurrently into the shared sink; interpose a
+  // serializing wrapper so the user sink sees one call at a time.
+  std::unique_ptr<SerializingSink> serializing;
+  FeatureSink* member_sink = sink;
+  if (options.parallel) {
+    serializing = std::make_unique<SerializingSink>(sink);
+    member_sink = serializing.get();
   }
   std::vector<std::unique_ptr<FeNic>> nics;
   nics.reserve(nic_count);
   for (size_t i = 0; i < nic_count; ++i) {
-    auto nic = FeNic::Create(compiled, config, sink);
+    auto nic = FeNic::Create(compiled, config, member_sink);
     if (!nic.ok()) {
       return nic.status();
     }
     nics.push_back(std::move(nic).value());
   }
-  return std::unique_ptr<NicCluster>(new NicCluster(std::move(nics)));
+  return std::unique_ptr<NicCluster>(
+      new NicCluster(std::move(nics), options, std::move(serializing)));
 }
 
-NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics) : nics_(std::move(nics)) {}
+NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
+                       const NicClusterOptions& options,
+                       std::unique_ptr<SerializingSink> serializing_sink)
+    : nics_(std::move(nics)),
+      options_(options),
+      serializing_sink_(std::move(serializing_sink)) {
+  if (!options_.parallel) {
+    return;
+  }
+  if (options_.enqueue_batch == 0) {
+    options_.enqueue_batch = 1;
+  }
+  workers_.reserve(nics_.size());
+  for (size_t i = 0; i < nics_.size(); ++i) {
+    workers_.push_back(std::make_unique<Worker>(options_.queue_capacity));
+  }
+  // Spawn only after every queue exists: a worker never touches a sibling's
+  // state, but WorkerLoop indexes workers_ which must be fully built.
+  for (size_t i = 0; i < nics_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+NicCluster::~NicCluster() {
+  if (workers_.empty()) {
+    return;
+  }
+  FlushAllPending();
+  for (auto& worker : workers_) {
+    WorkerMessage stop;
+    stop.kind = WorkerMessage::Kind::kStop;
+    worker->queue.PushUnbounded(std::move(stop));
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void NicCluster::WorkerLoop(size_t index) {
+  FeNic& nic = *nics_[index];
+  for (;;) {
+    WorkerMessage msg = workers_[index]->queue.Pop();
+    switch (msg.kind) {
+      case WorkerMessage::Kind::kReports:
+        for (const auto& report : msg.reports) {
+          nic.OnMgpv(report);
+        }
+        break;
+      case WorkerMessage::Kind::kSync:
+        nic.OnFgSync(msg.sync);
+        break;
+      case WorkerMessage::Kind::kFlush: {
+        nic.Flush();
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        --flush_pending_;
+        flush_cv_.notify_all();
+        break;
+      }
+      case WorkerMessage::Kind::kStop:
+        return;
+    }
+  }
+}
+
+void NicCluster::FlushPending(size_t i) {
+  Worker& worker = *workers_[i];
+  if (worker.pending.empty()) {
+    return;
+  }
+  WorkerMessage msg;
+  msg.kind = WorkerMessage::Kind::kReports;
+  msg.reports = std::move(worker.pending);
+  worker.pending.clear();
+  const uint64_t batch_reports = msg.reports.size();
+  uint64_t batch_cells = 0;
+  for (const auto& report : msg.reports) {
+    batch_cells += report.cells.size();
+  }
+  if (options_.drop_on_overflow) {
+    if (!worker.queue.TryPush(std::move(msg))) {
+      // Queue saturated: the batch is dropped, never silently — both the
+      // report and cell counts land in the worker's drop counters.
+      worker.reports_dropped.fetch_add(batch_reports, std::memory_order_relaxed);
+      worker.cells_dropped.fetch_add(batch_cells, std::memory_order_relaxed);
+      return;
+    }
+  } else {
+    worker.queue.PushBlocking(std::move(msg));
+  }
+  worker.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+  worker.reports_enqueued.fetch_add(batch_reports, std::memory_order_relaxed);
+}
+
+void NicCluster::FlushAllPending() {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    FlushPending(i);
+  }
+}
 
 void NicCluster::OnMgpv(const MgpvReport& report) {
   // Route by the switch-computed hash: every report of a CG group reaches
   // the same NIC, so per-group state never splits across members.
-  nics_[report.hash % nics_.size()]->OnMgpv(report);
+  const size_t target = report.hash % nics_.size();
+  if (workers_.empty()) {
+    nics_[target]->OnMgpv(report);
+    return;
+  }
+  Worker& worker = *workers_[target];
+  worker.pending.push_back(report);
+  if (worker.pending.size() >= options_.enqueue_batch) {
+    FlushPending(target);
+  }
 }
 
 void NicCluster::OnFgSync(const FgSyncMessage& sync) {
-  for (auto& nic : nics_) {
-    nic->OnFgSync(sync);
+  if (workers_.empty()) {
+    for (auto& nic : nics_) {
+      nic->OnFgSync(sync);
+    }
+    return;
+  }
+  // A sync must reach each member before any report that depends on it:
+  // flush staged batches first, then broadcast. Per-queue FIFO does the
+  // rest. Syncs bypass the capacity bound — they are control plane and are
+  // never dropped.
+  FlushAllPending();
+  for (auto& worker : workers_) {
+    WorkerMessage msg;
+    msg.kind = WorkerMessage::Kind::kSync;
+    msg.sync = sync;
+    worker->queue.PushUnbounded(std::move(msg));
+    worker->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void NicCluster::Flush() {
-  for (auto& nic : nics_) {
-    nic->Flush();
+  if (workers_.empty()) {
+    for (auto& nic : nics_) {
+      nic->Flush();
+    }
+    return;
   }
+  // Barrier: stage-out everything, append a flush marker to every queue,
+  // and wait until each worker has drained its queue *and* run its member's
+  // Flush(). Markers bypass the capacity bound so the barrier cannot wedge
+  // behind a full queue.
+  FlushAllPending();
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_pending_ = workers_.size();
+  }
+  for (auto& worker : workers_) {
+    WorkerMessage msg;
+    msg.kind = WorkerMessage::Kind::kFlush;
+    worker->queue.PushUnbounded(std::move(msg));
+  }
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [&] { return flush_pending_ == 0; });
+}
+
+NicWorkerStats NicCluster::worker_stats(size_t i) const {
+  NicWorkerStats stats;
+  if (workers_.empty()) {
+    return stats;
+  }
+  const Worker& worker = *workers_[i];
+  stats.batches_enqueued = worker.batches_enqueued.load(std::memory_order_relaxed);
+  stats.reports_enqueued = worker.reports_enqueued.load(std::memory_order_relaxed);
+  stats.reports_dropped = worker.reports_dropped.load(std::memory_order_relaxed);
+  stats.cells_dropped = worker.cells_dropped.load(std::memory_order_relaxed);
+  stats.syncs_enqueued = worker.syncs_enqueued.load(std::memory_order_relaxed);
+  stats.backpressure_waits = worker.queue.blocked_pushes();
+  stats.queue_high_watermark = worker.queue.high_watermark();
+  return stats;
+}
+
+FeNicStats NicCluster::AggregateStats() const {
+  FeNicStats total;
+  for (const auto& nic : nics_) {
+    const FeNicStats s = nic->Snapshot();
+    total.reports += s.reports;
+    total.cells += s.cells;
+    total.fg_syncs += s.fg_syncs;
+    total.vectors_emitted += s.vectors_emitted;
+    total.dram_detours += s.dram_detours;
+  }
+  return total;
+}
+
+NicPerfModel NicCluster::MergedPerf() const {
+  NicPerfModel merged = nics_[0]->PerfSnapshot();
+  for (size_t i = 1; i < nics_.size(); ++i) {
+    merged.Merge(nics_[i]->PerfSnapshot());
+  }
+  return merged;
 }
 
 double NicCluster::ThroughputPps(uint32_t cores_per_nic) const {
   // The cluster sustains N times the per-NIC rate only if load is balanced;
   // the slowest (most loaded) member gates the aggregate.
+  std::vector<FeNicStats> snapshots;
+  snapshots.reserve(nics_.size());
   uint64_t total_cells = 0;
   uint64_t max_cells = 0;
   for (const auto& nic : nics_) {
-    total_cells += nic->stats().cells;
-    max_cells = std::max(max_cells, nic->stats().cells);
+    snapshots.push_back(nic->Snapshot());
+    total_cells += snapshots.back().cells;
+    max_cells = std::max(max_cells, snapshots.back().cells);
   }
   if (total_cells == 0 || max_cells == 0) {
     return 0.0;
@@ -57,10 +255,9 @@ double NicCluster::ThroughputPps(uint32_t cores_per_nic) const {
   // The most-loaded NIC processes max_cells of every total_cells offered.
   const double gating_fraction = static_cast<double>(max_cells) / total_cells;
   double min_member_pps = 0.0;
-  for (const auto& nic : nics_) {
-    const double pps = nic->perf().ThroughputPps(cores_per_nic);
-    if (nic->stats().cells == max_cells) {
-      min_member_pps = pps;
+  for (size_t i = 0; i < nics_.size(); ++i) {
+    if (snapshots[i].cells == max_cells) {
+      min_member_pps = nics_[i]->PerfSnapshot().ThroughputPps(cores_per_nic);
       break;
     }
   }
@@ -71,8 +268,9 @@ double NicCluster::LoadImbalance() const {
   uint64_t total = 0;
   uint64_t max_cells = 0;
   for (const auto& nic : nics_) {
-    total += nic->stats().cells;
-    max_cells = std::max(max_cells, nic->stats().cells);
+    const FeNicStats s = nic->Snapshot();
+    total += s.cells;
+    max_cells = std::max(max_cells, s.cells);
   }
   if (total == 0) {
     return 1.0;

@@ -6,31 +6,110 @@
 // of N FE-NIC instances by the switch-computed CG hash (so a group's
 // reports always land on the same NIC, preserving state locality), and
 // broadcasts FG-key syncs to all members.
+//
+// Execution modes:
+//  - Serial (default): routing happens inline on the caller's thread — the
+//    reference path, identical to the original implementation.
+//  - Parallel (options.parallel): one worker thread per member, fed by a
+//    bounded MPSC queue. The CG-hash routing is unchanged, so per-group
+//    state locality and per-group report order are preserved (same hash →
+//    same queue → FIFO). FG syncs are broadcast to every queue *after* the
+//    producer's pending report batches are flushed, so a sync is always
+//    ordered ahead of the reports that depend on it. Flush() is a barrier:
+//    it drains every queue, runs FeNic::Flush() on each owner thread, and
+//    returns only when all members are quiescent — after it returns,
+//    stats()/vectors reads are race-free.
+//
+// With the same message stream, the parallel pipeline produces the exact
+// same feature multiset as the serial one (only emission order differs):
+// correctness depends only on per-group FIFO order, which the routing
+// invariant guarantees.
 #ifndef SUPERFE_NICSIM_NIC_CLUSTER_H_
 #define SUPERFE_NICSIM_NIC_CLUSTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "nicsim/fe_nic.h"
+#include "nicsim/mpsc_queue.h"
 
 namespace superfe {
 
+struct NicClusterOptions {
+  // Spawn one worker thread per member; false keeps inline serial dispatch.
+  bool parallel = false;
+
+  // Bound on queued messages per worker. Control messages (FG syncs, flush
+  // barriers) bypass the bound — only report batches are subject to it.
+  size_t queue_capacity = 256;
+
+  // Full-queue policy for report batches: false applies backpressure (the
+  // producer blocks until the worker drains — lossless, the default so
+  // parallel runs stay bit-identical to serial), true drops the batch and
+  // counts it (models a NIC whose ingest buffers overflow).
+  bool drop_on_overflow = false;
+
+  // Producer-side batching: reports routed to the same member are enqueued
+  // in chunks of up to this many, amortizing queue synchronization. Syncs
+  // and Flush() force pending batches out first, so ordering is unaffected.
+  size_t enqueue_batch = 32;
+};
+
+// Per-worker pipeline counters (MgpvStats-style; all zero in serial mode).
+struct NicWorkerStats {
+  uint64_t batches_enqueued = 0;
+  uint64_t reports_enqueued = 0;
+  uint64_t reports_dropped = 0;  // Only with drop_on_overflow.
+  uint64_t cells_dropped = 0;    // Cells inside dropped reports.
+  uint64_t syncs_enqueued = 0;
+  // Pushes that stalled on a full queue (counted at stall entry, so a
+  // currently-blocked producer is already visible here).
+  uint64_t backpressure_waits = 0;
+  uint64_t queue_high_watermark = 0;
+};
+
 class NicCluster : public MgpvSink {
  public:
-  // Creates `nic_count` FE-NIC instances sharing one feature sink.
+  // Creates `nic_count` FE-NIC instances sharing one feature sink. In
+  // parallel mode the sink is wrapped so concurrent per-member emissions
+  // are serialized; the user sink needs no locking of its own.
   static Result<std::unique_ptr<NicCluster>> Create(const CompiledPolicy& compiled,
                                                     const FeNicConfig& config, size_t nic_count,
                                                     FeatureSink* sink);
+  static Result<std::unique_ptr<NicCluster>> Create(const CompiledPolicy& compiled,
+                                                    const FeNicConfig& config, size_t nic_count,
+                                                    FeatureSink* sink,
+                                                    const NicClusterOptions& options);
 
-  // MgpvSink: hash-routes reports, broadcasts syncs.
+  ~NicCluster() override;
+
+  // MgpvSink: hash-routes reports, broadcasts syncs. Producer-side: called
+  // from one feeding thread (the switch/replay thread).
   void OnMgpv(const MgpvReport& report) override;
   void OnFgSync(const FgSyncMessage& sync) override;
 
+  // Drains all queues, flushes every member on its owner thread, and
+  // returns once the whole cluster is quiescent (barrier in parallel mode).
   void Flush();
 
   size_t size() const { return nics_.size(); }
   const FeNic& nic(size_t i) const { return *nics_[i]; }
+  const NicClusterOptions& options() const { return options_; }
+
+  // Consistent mid-run per-worker pipeline counters.
+  NicWorkerStats worker_stats(size_t i) const;
+
+  // Sum of per-member stats snapshots (safe mid-run).
+  FeNicStats AggregateStats() const;
+
+  // Sum of per-member accounted work: equivalent to the model a single NIC
+  // processing the full stream would build (modulo per-member DRAM-detour
+  // differences from the split tables).
+  NicPerfModel MergedPerf() const;
 
   // Aggregate throughput: the sum of per-NIC throughputs at `cores_per_nic`
   // each (each member runs its own SoC).
@@ -40,9 +119,63 @@ class NicCluster : public MgpvSink {
   double LoadImbalance() const;
 
  private:
-  explicit NicCluster(std::vector<std::unique_ptr<FeNic>> nics);
+  struct WorkerMessage {
+    enum class Kind { kReports, kSync, kFlush, kStop };
+    Kind kind = Kind::kReports;
+    std::vector<MgpvReport> reports;
+    FgSyncMessage sync;
+  };
+
+  struct Worker {
+    explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
+
+    BoundedMpscQueue<WorkerMessage> queue;
+    std::thread thread;
+
+    // Producer-owned staging batch (only the feeding thread touches it).
+    std::vector<MgpvReport> pending;
+
+    // Producer-written counters; atomics so worker_stats() can read them
+    // mid-run without tearing.
+    std::atomic<uint64_t> batches_enqueued{0};
+    std::atomic<uint64_t> reports_enqueued{0};
+    std::atomic<uint64_t> reports_dropped{0};
+    std::atomic<uint64_t> cells_dropped{0};
+    std::atomic<uint64_t> syncs_enqueued{0};
+  };
+
+  // Serializes concurrent OnFeatureVector calls from the worker threads
+  // onto the single user sink.
+  class SerializingSink : public FeatureSink {
+   public:
+    explicit SerializingSink(FeatureSink* target) : target_(target) {}
+    void OnFeatureVector(FeatureVector&& vector) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      target_->OnFeatureVector(std::move(vector));
+    }
+
+   private:
+    std::mutex mu_;
+    FeatureSink* target_;
+  };
+
+  NicCluster(std::vector<std::unique_ptr<FeNic>> nics, const NicClusterOptions& options,
+             std::unique_ptr<SerializingSink> serializing_sink);
+
+  void WorkerLoop(size_t index);
+  // Enqueues worker `i`'s staged batch (no-op when empty).
+  void FlushPending(size_t i);
+  void FlushAllPending();
 
   std::vector<std::unique_ptr<FeNic>> nics_;
+  NicClusterOptions options_;
+  std::unique_ptr<SerializingSink> serializing_sink_;  // Parallel mode only.
+  std::vector<std::unique_ptr<Worker>> workers_;       // Parallel mode only.
+
+  // Flush-barrier rendezvous.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  size_t flush_pending_ = 0;
 };
 
 }  // namespace superfe

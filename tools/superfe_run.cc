@@ -4,6 +4,7 @@
 //
 //   superfe_run POLICY.sfe [--pcap FILE | --profile mawi|enterprise|campus]
 //               [--packets N] [--seed S] [--out FEATURES.csv] [--report]
+//               [--workers N]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,7 +24,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: superfe_run POLICY.sfe [--pcap FILE | --profile NAME]\n"
-               "                   [--packets N] [--seed S] [--out FILE.csv] [--report]\n");
+               "                   [--packets N] [--seed S] [--out FILE.csv] [--report]\n"
+               "                   [--workers N]   (N>0: parallel NIC cluster, N members)\n");
   return 2;
 }
 
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
   size_t packets = 100000;
   uint64_t seed = 1;
   bool report = false;
+  uint32_t workers = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
       pcap_path = argv[++i];
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
       report = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage();
     }
@@ -124,7 +129,9 @@ int main(int argc, char** argv) {
     trace = GenerateTrace(profile, packets, seed);
   }
 
-  auto runtime = SuperFeRuntime::Create(*policy, RuntimeConfig{});
+  RuntimeConfig config;
+  config.worker_threads = workers;
+  auto runtime = SuperFeRuntime::Create(*policy, config);
   if (!runtime.ok()) {
     std::fprintf(stderr, "compile error: %s\n", runtime.status().ToString().c_str());
     return 1;
