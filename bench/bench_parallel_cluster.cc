@@ -7,12 +7,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
 
 #include "common/table.h"
+#include "json_writer.h"
 #include "nicsim/mgpv_recorder.h"
 #include "nicsim/nic_cluster.h"
 #include "net/trace_gen.h"
@@ -117,7 +119,15 @@ void Run() {
   const size_t kWorkerCounts[] = {1, 2, 4, 8};
 
   AsciiTable table({"Workers", "Serial ms", "Parallel ms", "Speedup", "Match", "BP waits"});
-  std::string rows_json;
+  struct Row {
+    size_t workers;
+    double serial_ms;
+    double parallel_ms;
+    double speedup;
+    bool match;
+    uint64_t backpressure_waits;
+  };
+  std::vector<Row> rows;
   double speedup_at_4 = 0.0;
   bool all_match = true;
 
@@ -133,15 +143,8 @@ void Run() {
     table.AddRow({std::to_string(workers), AsciiTable::Num(serial.ms, 1),
                   AsciiTable::Num(parallel.ms, 1), AsciiTable::Num(speedup, 2) + "x",
                   match ? "yes" : "NO", std::to_string(parallel.backpressure_waits)});
-
-    char row[256];
-    std::snprintf(row, sizeof(row),
-                  "%s    {\"workers\": %zu, \"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
-                  "\"speedup\": %.3f, \"multiset_match\": %s, \"backpressure_waits\": %llu}",
-                  rows_json.empty() ? "" : ",\n", workers, serial.ms, parallel.ms, speedup,
-                  match ? "true" : "false",
-                  static_cast<unsigned long long>(parallel.backpressure_waits));
-    rows_json += row;
+    rows.push_back({workers, serial.ms, parallel.ms, speedup, match,
+                    parallel.backpressure_waits});
   }
   table.Print();
 
@@ -155,18 +158,34 @@ void Run() {
                 host_cpus);
   }
 
-  FILE* out = std::fopen("BENCH_parallel_cluster.json", "w");
-  if (out != nullptr) {
-    std::fprintf(out,
-                 "{\n  \"bench\": \"parallel_cluster\",\n  \"trace_packets\": %zu,\n"
-                 "  \"mgpv_cells\": %llu,\n  \"reps\": %d,\n  \"host_cpus\": %u,\n"
-                 "  \"runs\": [\n%s\n  ],\n"
-                 "  \"speedup_at_4_workers\": %.3f,\n  \"all_multisets_match\": %s,\n"
-                 "  \"speedup_target\": 1.5,\n  \"speedup_target_applies\": %s\n}\n",
-                 trace.size(), static_cast<unsigned long long>(stream.cells()), kReps,
-                 host_cpus, rows_json.c_str(), speedup_at_4, all_match ? "true" : "false",
-                 host_cpus >= 4 ? "true" : "false");
-    std::fclose(out);
+  std::ofstream out("BENCH_parallel_cluster.json");
+  if (out) {
+    JsonWriter w(out);
+    w.BeginObject();
+    w.FieldStr("bench", "parallel_cluster");
+    w.FieldUint("trace_packets", trace.size());
+    w.FieldUint("mgpv_cells", stream.cells());
+    w.FieldUint("reps", static_cast<uint64_t>(kReps));
+    w.FieldUint("host_cpus", host_cpus);
+    w.Key("runs");
+    w.BeginArray();
+    for (const Row& row : rows) {
+      w.BeginObject();
+      w.FieldUint("workers", row.workers);
+      w.FieldDouble("serial_ms", row.serial_ms);
+      w.FieldDouble("parallel_ms", row.parallel_ms);
+      w.FieldDouble("speedup", row.speedup);
+      w.FieldBool("multiset_match", row.match);
+      w.FieldUint("backpressure_waits", row.backpressure_waits);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.FieldDouble("speedup_at_4_workers", speedup_at_4);
+    w.FieldBool("all_multisets_match", all_match);
+    w.FieldDouble("speedup_target", 1.5);
+    w.FieldBool("speedup_target_applies", host_cpus >= 4);
+    w.EndObject();
+    out << "\n";
     std::printf("Wrote BENCH_parallel_cluster.json\n");
   }
 

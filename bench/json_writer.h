@@ -1,0 +1,10 @@
+// Bench-harness JSON emission. The single implementation lives in
+// common/json_writer.h (shared with the observability exports); this header
+// exists so bench code keeps a local include and never grows a second
+// hand-rolled escaper.
+#ifndef SUPERFE_BENCH_JSON_WRITER_H_
+#define SUPERFE_BENCH_JSON_WRITER_H_
+
+#include "common/json_writer.h"
+
+#endif  // SUPERFE_BENCH_JSON_WRITER_H_

@@ -1,0 +1,192 @@
+// Minimal streaming JSON writer: the one JSON-emission implementation shared
+// by the bench harness (BENCH_*.json) and the observability exports
+// (metrics JSON, Chrome trace JSON). Handles string escaping and non-finite
+// doubles (emitted as null) so every output parses with a strict reader.
+//
+//   JsonWriter w(out);
+//   w.BeginObject();
+//   w.FieldStr("bench", "parallel_cluster");
+//   w.Key("runs"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+#ifndef SUPERFE_COMMON_JSON_WRITER_H_
+#define SUPERFE_COMMON_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace superfe {
+
+class JsonWriter {
+ public:
+  // `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2) : out_(out), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject() {
+    BeforeValue();
+    out_ << '{';
+    stack_.push_back({/*is_array=*/false, /*count=*/0});
+  }
+  void EndObject() { EndContainer('}'); }
+
+  void BeginArray() {
+    BeforeValue();
+    out_ << '[';
+    stack_.push_back({/*is_array=*/true, /*count=*/0});
+  }
+  void EndArray() { EndContainer(']'); }
+
+  // Object key; must be followed by exactly one value.
+  void Key(std::string_view key) {
+    BeforeValue();
+    out_ << '"' << Escape(key) << "\":";
+    if (indent_ > 0) {
+      out_ << ' ';
+    }
+    have_key_ = true;
+  }
+
+  void String(std::string_view value) {
+    BeforeValue();
+    out_ << '"' << Escape(value) << '"';
+  }
+  void Uint(uint64_t value) {
+    BeforeValue();
+    out_ << value;
+  }
+  void Int(int64_t value) {
+    BeforeValue();
+    out_ << value;
+  }
+  void Bool(bool value) {
+    BeforeValue();
+    out_ << (value ? "true" : "false");
+  }
+  void Null() {
+    BeforeValue();
+    out_ << "null";
+  }
+  // Non-finite doubles have no JSON spelling; they become null.
+  void Double(double value) {
+    BeforeValue();
+    if (!std::isfinite(value)) {
+      out_ << "null";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out_ << buf;
+  }
+
+  // key:value shorthands (named per type so integer literals never pick a
+  // surprising overload).
+  void FieldStr(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void FieldUint(std::string_view key, uint64_t value) { Key(key); Uint(value); }
+  void FieldInt(std::string_view key, int64_t value) { Key(key); Int(value); }
+  void FieldDouble(std::string_view key, double value) { Key(key); Double(value); }
+  void FieldBool(std::string_view key, bool value) { Key(key); Bool(value); }
+
+  static std::string Escape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (unsigned char c : raw) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Frame {
+    bool is_array;
+    uint64_t count;
+  };
+
+  // Emits the comma / newline / indentation owed before the next token.
+  void BeforeValue() {
+    if (have_key_) {
+      // Value completing a Key(): no separator, the key already emitted it.
+      have_key_ = false;
+      if (!stack_.empty()) {
+        stack_.back().count++;
+      }
+      return;
+    }
+    if (stack_.empty()) {
+      return;  // Top-level value.
+    }
+    Frame& frame = stack_.back();
+    if (frame.count > 0) {
+      out_ << ',';
+    }
+    Newline(stack_.size());
+    if (frame.is_array) {
+      frame.count++;
+    }
+    // Object members count on the Key()'s value (see above).
+  }
+
+  void EndContainer(char close) {
+    const bool had_members = !stack_.empty() && stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_members) {
+      Newline(stack_.size());
+    }
+    out_ << close;
+  }
+
+  void Newline(size_t depth) {
+    if (indent_ <= 0) {
+      return;
+    }
+    out_ << '\n';
+    for (size_t i = 0; i < depth * static_cast<size_t>(indent_); ++i) {
+      out_ << ' ';
+    }
+  }
+
+  std::ostream& out_;
+  int indent_;
+  bool have_key_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_JSON_WRITER_H_

@@ -1,14 +1,34 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <string>
 
 namespace superfe {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+// Startup level: SUPERFE_LOG_LEVEL wins so tools and CI can raise verbosity
+// without code changes; unknown values warn once and keep the default.
+int InitialLevel() {
+  const char* env = std::getenv("SUPERFE_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) {
+      return static_cast<int>(parsed);
+    }
+    std::fprintf(stderr,
+                 "[W logging.cc] SUPERFE_LOG_LEVEL='%s' is not one of "
+                 "debug|info|warn|error|none; keeping 'warn'\n",
+                 env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +52,30 @@ const char* BaseName(const char* path) {
 }
 
 }  // namespace
+
+bool ParseLogLevel(const char* name, LogLevel* out) {
+  if (name == nullptr || out == nullptr) {
+    return false;
+  }
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "none" || lower == "off") {
+    *out = LogLevel::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
 

@@ -18,8 +18,15 @@ enum class LogLevel : int {
   kNone = 4,
 };
 
-// Returns the process-wide minimum level that is emitted.
+// Returns the process-wide minimum level that is emitted. The initial level
+// comes from the SUPERFE_LOG_LEVEL environment variable
+// (debug|info|warn|error|none, case-insensitive), defaulting to kWarn.
 LogLevel GetLogLevel();
+
+// Parses a level name (debug|info|warn|warning|error|none|off,
+// case-insensitive). Returns false and leaves `out` untouched on an
+// unrecognized name.
+bool ParseLogLevel(const char* name, LogLevel* out);
 
 // Sets the process-wide minimum level. Safe to call from any thread (the
 // level is atomic); the parallel NIC-cluster pipeline logs from worker

@@ -1,6 +1,10 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
+
+#include "common/json_writer.h"
 
 namespace superfe {
 
@@ -26,10 +30,27 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   std::unique_ptr<SuperFeRuntime> runtime(
       new SuperFeRuntime(std::move(compiled).value(), config));
 
+  if (config.obs.metrics) {
+    runtime->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (config.obs.trace) {
+    // Lane 0 is the producer (replay/switch/MGPV); one lane per worker.
+    const size_t lanes = 1 + config.worker_threads;
+    runtime->trace_ = std::make_unique<obs::TraceRecorder>(
+        std::max<uint32_t>(config.obs.trace_capacity_per_lane, 16), lanes);
+    runtime->trace_->SetLaneName(0, "producer (replay+switch+mgpv)");
+    for (uint32_t i = 0; i < config.worker_threads; ++i) {
+      runtime->trace_->SetLaneName(1 + i, "nic-worker-" + std::to_string(i));
+    }
+  }
+
   MgpvSink* nic_side = nullptr;
   if (config.worker_threads > 0) {
     NicClusterOptions options = config.cluster;
     options.parallel = true;
+    options.metrics = runtime->metrics_.get();
+    options.trace = runtime->trace_.get();
+    options.trace_lane_base = 0;
     auto cluster = NicCluster::Create(runtime->compiled_, config.nic, config.worker_threads,
                                       runtime->forwarding_.get(), options);
     if (!cluster.ok()) {
@@ -43,9 +64,20 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
       return nic.status();
     }
     runtime->nic_ = std::move(nic).value();
+    if (runtime->metrics_ != nullptr) {
+      runtime->nic_->set_obs(FeNicObs::Create(runtime->metrics_.get(), 0));
+    }
     nic_side = runtime->nic_.get();
   }
   runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, config.mgpv);
+  if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
+    runtime->switch_->set_obs(FeSwitchObs::Create(runtime->metrics_.get()));
+    runtime->switch_->set_mgpv_obs(
+        MgpvObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0));
+    runtime->replay_obs_ =
+        ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0);
+    runtime->config_.replay.obs = &runtime->replay_obs_;
+  }
   return runtime;
 }
 
@@ -62,15 +94,39 @@ SuperFeRuntime::~SuperFeRuntime() = default;
 
 RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   forwarding_->set_target(sink);
+  sampler_.reset();  // A re-Run restarts the time series.
+  if (metrics_ != nullptr && config_.obs.sample_interval_ms > 0) {
+    std::function<void()> hook;
+    if (cluster_ != nullptr) {
+      hook = [this] { cluster_->UpdateObsGauges(); };
+    }
+    sampler_ = std::make_unique<obs::SnapshotSampler>(
+        metrics_.get(), config_.obs.sample_interval_ms, std::move(hook));
+    sampler_->Start();
+  }
   RunReport report;
   report.offered = Replay(trace, config_.replay, *switch_);
   switch_->Flush();
   if (cluster_ != nullptr) {
     cluster_->Flush();  // Barrier: every queue drained, every member flushed.
+    cluster_->UpdateObsGauges();
   } else {
     nic_->Flush();
   }
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+  }
   forwarding_->set_target(nullptr);
+
+  report.obs.metrics_enabled = metrics_ != nullptr;
+  report.obs.trace_enabled = trace_ != nullptr;
+  if (trace_ != nullptr) {
+    report.obs.trace_events_recorded = trace_->events_recorded();
+    report.obs.trace_events_dropped = trace_->events_dropped();
+  }
+  if (sampler_ != nullptr) {
+    report.obs.samples_captured = sampler_->samples().size();
+  }
 
   report.switch_stats = switch_->stats();
   report.mgpv = switch_->cache().stats();
@@ -133,6 +189,39 @@ double SuperFeRuntime::SustainableGbps(const RunReport& report, uint32_t cores) 
                                   : config_.switch_capacity_gbps;
   // (c) Switch capacity.
   return std::min({nic_limited, link_limited, config_.switch_capacity_gbps});
+}
+
+bool SuperFeRuntime::WriteMetricsProm(std::ostream& out) const {
+  if (metrics_ == nullptr) {
+    return false;
+  }
+  metrics_->WriteProm(out);
+  return true;
+}
+
+bool SuperFeRuntime::WriteMetricsJson(std::ostream& out) const {
+  if (metrics_ == nullptr) {
+    return false;
+  }
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Key("metrics");
+  metrics_->WriteJson(writer);
+  if (sampler_ != nullptr) {
+    writer.Key("series");
+    sampler_->WriteJson(writer);
+  }
+  writer.EndObject();
+  out << '\n';
+  return true;
+}
+
+bool SuperFeRuntime::WriteTraceJson(std::ostream& out) const {
+  if (trace_ == nullptr) {
+    return false;
+  }
+  trace_->WriteChromeJson(out);
+  return true;
 }
 
 SwitchResourceUsage SuperFeRuntime::SwitchResources() const {

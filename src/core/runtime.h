@@ -9,11 +9,15 @@
 #define SUPERFE_CORE_RUNTIME_H_
 
 #include <memory>
+#include <ostream>
 
 #include "core/feature_vector.h"
 #include "net/replay.h"
 #include "nicsim/fe_nic.h"
 #include "nicsim/nic_cluster.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "policy/compile.h"
 #include "switchsim/fe_switch.h"
 #include "switchsim/resources.h"
@@ -45,6 +49,22 @@ struct RuntimeConfig {
   // Tuning for the parallel pipeline; `parallel` is implied by
   // worker_threads > 0 and ignored here.
   NicClusterOptions cluster;
+
+  // Observability (src/obs). Everything defaults off: no registry, recorder,
+  // or sampler is created, and the pipeline pays only null-handle branches.
+  struct ObsConfig {
+    // Create a MetricsRegistry and wire superfe_* counters/gauges through
+    // replay, switch, MGPV, NIC(s), and cluster workers.
+    bool metrics = false;
+    // Create a TraceRecorder (one lane for the producer thread plus one per
+    // worker) and emit pipeline spans/instants for Chrome/Perfetto.
+    bool trace = false;
+    uint32_t trace_capacity_per_lane = 65536;
+    // Snapshot sampler period; 0 disables the sampler thread. The sampler
+    // also refreshes the cluster queue-depth gauges before each capture.
+    uint32_t sample_interval_ms = 0;
+  };
+  ObsConfig obs;
 };
 
 struct RunReport {
@@ -68,6 +88,16 @@ struct RunReport {
   // Feature-vector output rate (the ~Gbps "generate feature vectors" rate
   // of Fig 9), assuming 4-byte feature values.
   double feature_output_gbps = 0.0;
+
+  // Observability summary (all zero when config.obs is fully disabled).
+  struct ObsSummary {
+    bool metrics_enabled = false;
+    bool trace_enabled = false;
+    uint64_t trace_events_recorded = 0;
+    uint64_t trace_events_dropped = 0;  // Ring wrap-around overwrites.
+    uint64_t samples_captured = 0;
+  };
+  ObsSummary obs;
 };
 
 class SuperFeRuntime {
@@ -96,6 +126,18 @@ class SuperFeRuntime {
   SwitchResourceUsage SwitchResources() const;
   double NicMemoryUtilization() const;
 
+  // Observability access (null unless the matching ObsConfig flag is set).
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  obs::TraceRecorder* trace_recorder() const { return trace_.get(); }
+
+  // Exports; each returns false (writes nothing) when the matching obs
+  // subsystem is disabled. Call after Run() — the trace export in
+  // particular requires quiescent writers.
+  bool WriteMetricsProm(std::ostream& out) const;
+  // {"metrics": [...], "series": {...}} — series only with the sampler on.
+  bool WriteMetricsJson(std::ostream& out) const;
+  bool WriteTraceJson(std::ostream& out) const;
+
  private:
   SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config);
 
@@ -105,6 +147,11 @@ class SuperFeRuntime {
 
   CompiledPolicy compiled_;
   RuntimeConfig config_;
+  // Obs objects precede the pipeline members so handles outlive their users.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::SnapshotSampler> sampler_;  // Per Run; kept for export.
+  ReplayObs replay_obs_;
   std::unique_ptr<FeNic> nic_;          // Serial path; must outlive switch_.
   std::unique_ptr<NicCluster> cluster_;  // Parallel path; must outlive switch_.
   std::unique_ptr<FeSwitch> switch_;

@@ -6,6 +6,83 @@
 
 namespace superfe {
 
+ReplayObs ReplayObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
+                            uint32_t trace_lane) {
+  ReplayObs o;
+  o.trace = trace;
+  o.trace_lane = trace_lane;
+  if (registry == nullptr) {
+    return o;
+  }
+  o.packets = registry->GetCounter("superfe_replay_packets_total", {},
+                                   "Packets replayed into the switch");
+  o.bytes =
+      registry->GetCounter("superfe_replay_bytes_total", {}, "Wire bytes replayed");
+  return o;
+}
+
+namespace {
+
+// Per-chunk replay accounting: batches counter adds and closes one trace
+// span per `span_packets` replayed packets.
+class ReplayChunkObs {
+ public:
+  explicit ReplayChunkObs(const ReplayObs* obs) : obs_(obs) {
+    if (Active()) {
+      Open();
+    }
+  }
+  ~ReplayChunkObs() {
+    if (Active() && chunk_packets_ > 0) {
+      Close();
+    }
+  }
+
+  void OnPacket(uint64_t wire_bytes) {
+    if (!Active()) {
+      return;
+    }
+    ++chunk_packets_;
+    chunk_bytes_ += wire_bytes;
+    if (chunk_packets_ >= std::max<uint32_t>(obs_->span_packets, 1)) {
+      Close();
+      Open();
+    }
+  }
+
+ private:
+  bool Active() const { return obs_ != nullptr; }
+  void Open() {
+    chunk_packets_ = 0;
+    chunk_bytes_ = 0;
+    if (obs_->trace != nullptr) {
+      chunk_start_ns_ = obs_->trace->NowNs();
+    }
+  }
+  void Close() {
+    obs::Inc(obs_->packets, chunk_packets_);
+    obs::Inc(obs_->bytes, chunk_bytes_);
+    if (obs_->trace != nullptr) {
+      obs::TraceRecorder::Event e;
+      e.phase = obs::TraceRecorder::Event::Phase::kSpan;
+      e.category = "replay";
+      e.name = "batch";
+      e.ts_ns = chunk_start_ns_;
+      e.dur_ns = obs_->trace->NowNs() - chunk_start_ns_;
+      e.arg_name = "packets";
+      e.arg_value = chunk_packets_;
+      obs_->trace->Emit(obs_->trace_lane, e);
+    }
+  }
+
+  const ReplayObs* obs_;
+  uint64_t chunk_packets_ = 0;
+  uint64_t chunk_bytes_ = 0;
+  uint64_t chunk_start_ns_ = 0;
+};
+
+}  // namespace
+
 ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink& sink) {
   ReplayReport report;
   if (trace.empty()) {
@@ -14,6 +91,7 @@ ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink
   const uint32_t amp = std::max<uint32_t>(options.amplification, 1);
   const double speedup = options.speedup > 0.0 ? options.speedup : 1.0;
   const uint64_t base_ts = trace.packets().front().timestamp_ns;
+  ReplayChunkObs chunk_obs(options.obs);
 
   uint64_t min_ts = UINT64_MAX;
   uint64_t max_ts = 0;
@@ -38,6 +116,7 @@ ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink
       report.packets++;
       report.bytes += pkt.wire_bytes;
       sink.OnPacket(pkt);
+      chunk_obs.OnPacket(pkt.wire_bytes);
     }
   }
   report.duration_s = static_cast<double>(max_ts - min_ts) * 1e-9;

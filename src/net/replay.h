@@ -11,8 +11,25 @@
 #include <cstdint>
 
 #include "net/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace superfe {
+
+// Nullable observability handles for the replay driver (superfe_replay_*).
+// Counters are batched per span chunk, so the per-packet cost is zero.
+struct ReplayObs {
+  obs::Counter* packets = nullptr;
+  obs::Counter* bytes = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  uint32_t trace_lane = 0;
+  // One "replay/batch" trace span (and one counter flush) per this many
+  // replayed packets.
+  uint32_t span_packets = 8192;
+
+  static ReplayObs Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
+                          uint32_t trace_lane);
+};
 
 // Consumer interface for replayed packets (FE-Switch implements this).
 class PacketSink {
@@ -30,6 +47,9 @@ struct ReplayOptions {
   // Time compression factor: timestamps are divided by this to model replay
   // at a higher rate than the capture rate.
   double speedup = 1.0;
+
+  // Optional observability wiring (not owned; must outlive the replay).
+  const ReplayObs* obs = nullptr;
 };
 
 struct ReplayReport {

@@ -1,8 +1,28 @@
 #include "nicsim/fe_nic.h"
 
 #include <algorithm>
+#include <string>
 
 namespace superfe {
+
+FeNicObs FeNicObs::Create(obs::MetricsRegistry* registry, uint32_t nic_index) {
+  FeNicObs o;
+  if (registry == nullptr) {
+    return o;
+  }
+  const obs::LabelSet labels = {{"nic", std::to_string(nic_index)}};
+  o.reports = registry->GetCounter("superfe_nic_reports_total", labels,
+                                   "MGPV reports consumed by the NIC");
+  o.cells = registry->GetCounter("superfe_nic_cells_total", labels,
+                                 "MGPV cells processed by the NIC");
+  o.fg_syncs = registry->GetCounter("superfe_nic_fg_syncs_total", labels,
+                                    "FG-table sync messages applied");
+  o.vectors_emitted = registry->GetCounter("superfe_nic_vectors_emitted_total", labels,
+                                           "Feature vectors emitted");
+  o.dram_detours = registry->GetCounter("superfe_nic_dram_detours_total", labels,
+                                        "Group lookups that spilled to DRAM");
+  return o;
+}
 
 Result<std::unique_ptr<FeNic>> FeNic::Create(const CompiledPolicy& compiled,
                                              const FeNicConfig& config, FeatureSink* sink) {
@@ -66,11 +86,13 @@ void FeNic::OnFgSync(const FgSyncMessage& sync) {
   (void)sync;
   std::lock_guard<std::mutex> lock(mu_);
   stats_.fg_syncs++;
+  obs::Inc(obs_.fg_syncs);
 }
 
 void FeNic::OnMgpv(const MgpvReport& report) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.reports++;
+  obs::Inc(obs_.reports);
   perf_.AccountReport();
   if (!report.cells.empty()) {
     EvictIdleGroupsLocked(report.cells.back().full_timestamp_ns);
@@ -81,6 +103,7 @@ void FeNic::OnMgpv(const MgpvReport& report) {
 
   for (const auto& cell : report.cells) {
     stats_.cells++;
+    obs::Inc(obs_.cells);
     CellWork work = base_cell_work_;
 
     // Locate and update the group at every granularity in the chain. The
@@ -94,6 +117,7 @@ void FeNic::OnMgpv(const MgpvReport& report) {
           key, hash, [&] { return GroupState::Make(plan_, gi, config_.exec); }, via_dram);
       if (via_dram) {
         stats_.dram_detours++;
+        obs::Inc(obs_.dram_detours);
         work.mem_accesses += 1;
         work.mem_latency_cycles += config_.arch.dram_latency_cycles;
       }
@@ -112,6 +136,7 @@ void FeNic::OnMgpv(const MgpvReport& report) {
         EmitGroupFeatures(plan_, gi, *touched[gi], vector.values);
       }
       stats_.vectors_emitted++;
+      obs::Inc(obs_.vectors_emitted);
       sink_->OnFeatureVector(std::move(vector));
     }
   }
@@ -140,6 +165,7 @@ void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {
     }
   }
   stats_.vectors_emitted++;
+  obs::Inc(obs_.vectors_emitted);
   sink_->OnFeatureVector(std::move(vector));
 }
 

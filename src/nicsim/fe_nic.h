@@ -20,6 +20,7 @@
 
 #include "core/feature_vector.h"
 #include "nicsim/cost_model.h"
+#include "obs/metrics.h"
 #include "nicsim/exec.h"
 #include "nicsim/group_table.h"
 #include "nicsim/placement.h"
@@ -52,6 +53,18 @@ struct FeNicStats {
   uint64_t fg_syncs = 0;
   uint64_t vectors_emitted = 0;
   uint64_t dram_detours = 0;
+};
+
+// Nullable observability handles mirroring FeNicStats (superfe_nic_*). Each
+// member NIC of a cluster gets its own child labeled {nic="<index>"}.
+struct FeNicObs {
+  obs::Counter* reports = nullptr;
+  obs::Counter* cells = nullptr;
+  obs::Counter* fg_syncs = nullptr;
+  obs::Counter* vectors_emitted = nullptr;
+  obs::Counter* dram_detours = nullptr;
+
+  static FeNicObs Create(obs::MetricsRegistry* registry, uint32_t nic_index);
 };
 
 class FeNic : public MgpvSink {
@@ -89,6 +102,9 @@ class FeNic : public MgpvSink {
   // Live group counts per granularity (diagnostics / memory experiments).
   std::vector<size_t> GroupCounts() const;
 
+  // Wiring-time setter (call before the owning thread starts processing).
+  void set_obs(const FeNicObs& obs) { obs_ = obs; }
+
  private:
   FeNic(const CompiledPolicy& compiled, const FeNicConfig& config, FeatureSink* sink,
         ExecPlan plan, PlacementProblem problem, PlacementResult placement);
@@ -108,6 +124,7 @@ class FeNic : public MgpvSink {
   PlacementResult placement_;
   NicPerfModel perf_;
   FeNicStats stats_;
+  FeNicObs obs_;
 
   // Serializes the owner thread's mutations against cross-thread snapshot
   // reads. Uncontended in the one-thread-per-NIC ownership model, so the

@@ -15,6 +15,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace superfe {
 
 template <typename T>
@@ -32,6 +34,7 @@ class BoundedMpscQueue {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.size() >= capacity_) {
       ++blocked_pushes_;
+      obs::Inc(stall_counter_);
       not_full_.wait(lock, [&] { return items_.size() < capacity_; });
     }
     PushLocked(std::move(item));
@@ -82,6 +85,10 @@ class BoundedMpscQueue {
 
   size_t capacity() const { return capacity_; }
 
+  // Wiring-time setter: mirrors blocked_pushes into a metrics counter
+  // (exactly — incremented at the same site). Install before producers run.
+  void set_stall_counter(obs::Counter* counter) { stall_counter_ = counter; }
+
  private:
   void PushLocked(T&& item) {
     items_.push_back(std::move(item));
@@ -98,6 +105,7 @@ class BoundedMpscQueue {
   std::deque<T> items_;
   uint64_t high_watermark_ = 0;
   uint64_t blocked_pushes_ = 0;
+  obs::Counter* stall_counter_ = nullptr;
 };
 
 }  // namespace superfe

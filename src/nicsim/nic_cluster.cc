@@ -1,6 +1,7 @@
 #include "nicsim/nic_cluster.h"
 
 #include <algorithm>
+#include <string>
 
 namespace superfe {
 
@@ -44,6 +45,11 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
     : nics_(std::move(nics)),
       options_(options),
       serializing_sink_(std::move(serializing_sink)) {
+  if (options_.metrics != nullptr) {
+    for (size_t i = 0; i < nics_.size(); ++i) {
+      nics_[i]->set_obs(FeNicObs::Create(options_.metrics, static_cast<uint32_t>(i)));
+    }
+  }
   if (!options_.parallel) {
     return;
   }
@@ -53,6 +59,31 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
   workers_.reserve(nics_.size());
   for (size_t i = 0; i < nics_.size(); ++i) {
     workers_.push_back(std::make_unique<Worker>(options_.queue_capacity));
+  }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      const obs::LabelSet labels = {{"worker", std::to_string(i)}};
+      w.obs_batches = reg->GetCounter("superfe_cluster_batches_enqueued_total", labels,
+                                      "Report batches enqueued to the worker");
+      w.obs_reports = reg->GetCounter("superfe_cluster_reports_enqueued_total", labels,
+                                      "Reports enqueued to the worker");
+      w.obs_reports_dropped =
+          reg->GetCounter("superfe_cluster_reports_dropped_total", labels,
+                          "Report batches dropped on overflow (drop_on_overflow)");
+      w.obs_cells_dropped = reg->GetCounter("superfe_cluster_cells_dropped_total", labels,
+                                            "Cells inside dropped reports");
+      w.obs_syncs = reg->GetCounter("superfe_cluster_syncs_enqueued_total", labels,
+                                    "FG syncs broadcast to the worker");
+      w.obs_queue_depth =
+          reg->GetGauge("superfe_cluster_queue_depth", labels, "Live worker queue depth");
+      w.obs_queue_watermark = reg->GetGauge("superfe_cluster_queue_high_watermark", labels,
+                                            "Deepest the worker queue has been");
+      w.queue.set_stall_counter(
+          reg->GetCounter("superfe_cluster_queue_stalls_total", labels,
+                          "Pushes that found the worker queue full and waited"));
+    }
   }
   // Spawn only after every queue exists: a worker never touches a sibling's
   // state, but WorkerLoop indexes workers_ which must be fully built.
@@ -80,19 +111,27 @@ NicCluster::~NicCluster() {
 
 void NicCluster::WorkerLoop(size_t index) {
   FeNic& nic = *nics_[index];
+  obs::TraceRecorder* trace = options_.trace;
+  const size_t lane = options_.trace_lane_base + 1 + index;
   for (;;) {
     WorkerMessage msg = workers_[index]->queue.Pop();
     switch (msg.kind) {
-      case WorkerMessage::Kind::kReports:
+      case WorkerMessage::Kind::kReports: {
+        obs::TraceRecorder::Span span(trace, lane, "worker", "process_batch");
+        span.SetArg("reports", msg.reports.size());
         for (const auto& report : msg.reports) {
           nic.OnMgpv(report);
         }
         break;
+      }
       case WorkerMessage::Kind::kSync:
         nic.OnFgSync(msg.sync);
         break;
       case WorkerMessage::Kind::kFlush: {
-        nic.Flush();
+        {
+          obs::TraceRecorder::Span span(trace, lane, "worker", "member_flush");
+          nic.Flush();
+        }
         std::lock_guard<std::mutex> lock(flush_mu_);
         --flush_pending_;
         flush_cv_.notify_all();
@@ -124,13 +163,31 @@ void NicCluster::FlushPending(size_t i) {
       // report and cell counts land in the worker's drop counters.
       worker.reports_dropped.fetch_add(batch_reports, std::memory_order_relaxed);
       worker.cells_dropped.fetch_add(batch_cells, std::memory_order_relaxed);
+      obs::Inc(worker.obs_reports_dropped, batch_reports);
+      obs::Inc(worker.obs_cells_dropped, batch_cells);
+      if (options_.trace != nullptr) {
+        options_.trace->Instant(options_.trace_lane_base, "cluster", "queue_drop", "reports",
+                                batch_reports);
+      }
       return;
     }
   } else {
+    // Stall trace: the queue counts actual stalls precisely; the producer
+    // can only observe "about to block" before the push, so the instant is
+    // emitted on the same full-queue condition PushBlocking uses.
+    if (options_.trace != nullptr && worker.queue.size() >= worker.queue.capacity()) {
+      options_.trace->Instant(options_.trace_lane_base, "cluster", "queue_stall", "worker", i);
+    }
     worker.queue.PushBlocking(std::move(msg));
   }
   worker.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
   worker.reports_enqueued.fetch_add(batch_reports, std::memory_order_relaxed);
+  obs::Inc(worker.obs_batches);
+  obs::Inc(worker.obs_reports, batch_reports);
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(options_.trace_lane_base, "cluster", "enqueue_batch", "reports",
+                            batch_reports);
+  }
 }
 
 void NicCluster::FlushAllPending() {
@@ -166,12 +223,17 @@ void NicCluster::OnFgSync(const FgSyncMessage& sync) {
   // rest. Syncs bypass the capacity bound — they are control plane and are
   // never dropped.
   FlushAllPending();
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(options_.trace_lane_base, "cluster", "sync_broadcast", "workers",
+                            workers_.size());
+  }
   for (auto& worker : workers_) {
     WorkerMessage msg;
     msg.kind = WorkerMessage::Kind::kSync;
     msg.sync = sync;
     worker->queue.PushUnbounded(std::move(msg));
     worker->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(worker->obs_syncs);
   }
 }
 
@@ -186,6 +248,8 @@ void NicCluster::Flush() {
   // and wait until each worker has drained its queue *and* run its member's
   // Flush(). Markers bypass the capacity bound so the barrier cannot wedge
   // behind a full queue.
+  obs::TraceRecorder::Span span(options_.trace, options_.trace_lane_base, "cluster",
+                                "flush_barrier");
   FlushAllPending();
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
@@ -198,6 +262,14 @@ void NicCluster::Flush() {
   }
   std::unique_lock<std::mutex> lock(flush_mu_);
   flush_cv_.wait(lock, [&] { return flush_pending_ == 0; });
+}
+
+void NicCluster::UpdateObsGauges() {
+  for (auto& worker : workers_) {
+    obs::Set(worker->obs_queue_depth, static_cast<double>(worker->queue.size()));
+    obs::Set(worker->obs_queue_watermark,
+             static_cast<double>(worker->queue.high_watermark()));
+  }
 }
 
 NicWorkerStats NicCluster::worker_stats(size_t i) const {

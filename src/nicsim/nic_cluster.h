@@ -36,6 +36,7 @@
 
 #include "nicsim/fe_nic.h"
 #include "nicsim/mpsc_queue.h"
+#include "obs/trace.h"
 
 namespace superfe {
 
@@ -57,6 +58,16 @@ struct NicClusterOptions {
   // in chunks of up to this many, amortizing queue synchronization. Syncs
   // and Flush() force pending batches out first, so ordering is unaffected.
   size_t enqueue_batch = 32;
+
+  // Observability wiring (nullable = off; neither is owned). With `metrics`,
+  // every member NIC registers superfe_nic_* counters labeled {nic="<i>"}
+  // and, in parallel mode, every worker registers superfe_cluster_*
+  // counters/gauges labeled {worker="<i>"}. With `trace`, the producer
+  // thread emits on lane `trace_lane_base` and worker i on lane
+  // `trace_lane_base + 1 + i` (lanes are single-writer).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  uint32_t trace_lane_base = 0;
 };
 
 // Per-worker pipeline counters (MgpvStats-style; all zero in serial mode).
@@ -103,6 +114,12 @@ class NicCluster : public MgpvSink {
   // Consistent mid-run per-worker pipeline counters.
   NicWorkerStats worker_stats(size_t i) const;
 
+  // Publishes each worker's live queue depth and high watermark into the
+  // registry gauges. Safe from any thread (the queue accessors lock); the
+  // snapshot sampler calls this as its pre-sample hook. No-op without
+  // metrics or in serial mode.
+  void UpdateObsGauges();
+
   // Sum of per-member stats snapshots (safe mid-run).
   FeNicStats AggregateStats() const;
 
@@ -142,6 +159,16 @@ class NicCluster : public MgpvSink {
     std::atomic<uint64_t> reports_dropped{0};
     std::atomic<uint64_t> cells_dropped{0};
     std::atomic<uint64_t> syncs_enqueued{0};
+
+    // Nullable metric handles mirroring the atomics above (incremented at
+    // the same sites). The stall counter lives in the queue itself.
+    obs::Counter* obs_batches = nullptr;
+    obs::Counter* obs_reports = nullptr;
+    obs::Counter* obs_reports_dropped = nullptr;
+    obs::Counter* obs_cells_dropped = nullptr;
+    obs::Counter* obs_syncs = nullptr;
+    obs::Gauge* obs_queue_depth = nullptr;
+    obs::Gauge* obs_queue_watermark = nullptr;
   };
 
   // Serializes concurrent OnFeatureVector calls from the worker threads

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace superfe {
+namespace obs {
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// Prometheus sample value: integral doubles print without an exponent.
+std::string FormatNumber(double value) {
+  char buf[64];
+  if (std::isfinite(value) && value == std::rint(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+  }
+  return buf;
+}
+
+LabelSet SortedLabels(const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+size_t Counter::ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+std::string MetricsRegistry::SerializeLabels(const LabelSet& labels) {
+  const LabelSet sorted = SortedLabels(labels);
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key;
+    out += "=\"";
+    // Prometheus label-value escaping: backslash, quote, newline.
+    for (char c : value) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name, MetricType type,
+                                                    const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  } else if (it->second.type != type) {
+    SFE_WLOG() << "metric '" << name << "' already registered as "
+               << TypeName(it->second.type) << ", requested " << TypeName(type);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const LabelSet& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, MetricType::kCounter, help);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  auto [it, inserted] = family->counters.try_emplace(SerializeLabels(labels));
+  if (inserted) {
+    it->second.first = SortedLabels(labels);
+    it->second.second.reset(new Counter());
+  }
+  return it->second.second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const LabelSet& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, MetricType::kGauge, help);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  auto [it, inserted] = family->gauges.try_emplace(SerializeLabels(labels));
+  if (inserted) {
+    it->second.first = SortedLabels(labels);
+    it->second.second.reset(new Gauge());
+  }
+  return it->second.second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds,
+                                         const LabelSet& labels, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, MetricType::kHistogram, help);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  if (family->histograms.empty()) {
+    family->bounds = bounds;
+  }
+  auto [it, inserted] = family->histograms.try_emplace(SerializeLabels(labels));
+  if (inserted) {
+    it->second.first = SortedLabels(labels);
+    it->second.second.reset(new Histogram(family->bounds));
+  }
+  return it->second.second.get();
+}
+
+std::vector<MetricsRegistry::MetricValue> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, child] : family.counters) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricType::kCounter;
+      v.labels = child.first;
+      v.uvalue = child.second->Value();
+      v.value = static_cast<double>(v.uvalue);
+      out.push_back(std::move(v));
+    }
+    for (const auto& [key, child] : family.gauges) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricType::kGauge;
+      v.labels = child.first;
+      v.value = child.second->Value();
+      out.push_back(std::move(v));
+    }
+    for (const auto& [key, child] : family.histograms) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricType::kHistogram;
+      v.labels = child.first;
+      v.uvalue = child.second->Count();
+      v.value = child.second->Sum();
+      v.histogram = child.second.get();
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::optional<double> MetricsRegistry::Value(const std::string& name,
+                                             const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  if (family_it == families_.end()) {
+    return std::nullopt;
+  }
+  const std::string key = SerializeLabels(labels);
+  const Family& family = family_it->second;
+  if (const auto it = family.counters.find(key); it != family.counters.end()) {
+    return static_cast<double>(it->second.second->Value());
+  }
+  if (const auto it = family.gauges.find(key); it != family.gauges.end()) {
+    return it->second.second->Value();
+  }
+  return std::nullopt;
+}
+
+void MetricsRegistry::WriteProm(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    out << "# TYPE " << name << " " << TypeName(family.type) << "\n";
+    for (const auto& [key, child] : family.counters) {
+      out << name;
+      if (!key.empty()) {
+        out << "{" << key << "}";
+      }
+      out << " " << child.second->Value() << "\n";
+    }
+    for (const auto& [key, child] : family.gauges) {
+      out << name;
+      if (!key.empty()) {
+        out << "{" << key << "}";
+      }
+      out << " " << FormatNumber(child.second->Value()) << "\n";
+    }
+    for (const auto& [key, child] : family.histograms) {
+      const Histogram& h = *child.second;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i <= h.bounds().size(); ++i) {
+        cumulative += h.BucketCount(i);
+        const std::string le =
+            i < h.bounds().size() ? FormatNumber(h.bounds()[i]) : std::string("+Inf");
+        out << name << "_bucket{" << key << (key.empty() ? "" : ",") << "le=\"" << le
+            << "\"} " << cumulative << "\n";
+      }
+      out << name << "_sum";
+      if (!key.empty()) {
+        out << "{" << key << "}";
+      }
+      out << " " << FormatNumber(h.Sum()) << "\n";
+      out << name << "_count";
+      if (!key.empty()) {
+        out << "{" << key << "}";
+      }
+      out << " " << h.Count() << "\n";
+    }
+  }
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  const std::vector<MetricValue> metrics = Collect();
+  writer.BeginArray();
+  for (const MetricValue& m : metrics) {
+    writer.BeginObject();
+    writer.FieldStr("name", m.name);
+    writer.FieldStr("type", TypeName(m.type));
+    if (!m.labels.empty()) {
+      writer.Key("labels");
+      writer.BeginObject();
+      for (const auto& [key, value] : m.labels) {
+        writer.FieldStr(key, value);
+      }
+      writer.EndObject();
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        writer.FieldUint("value", m.uvalue);
+        break;
+      case MetricType::kGauge:
+        writer.FieldDouble("value", m.value);
+        break;
+      case MetricType::kHistogram: {
+        writer.Key("buckets");
+        writer.BeginArray();
+        for (size_t i = 0; i <= m.histogram->bounds().size(); ++i) {
+          writer.BeginObject();
+          if (i < m.histogram->bounds().size()) {
+            writer.FieldDouble("le", m.histogram->bounds()[i]);
+          } else {
+            writer.FieldStr("le", "+Inf");
+          }
+          writer.FieldUint("count", m.histogram->BucketCount(i));
+          writer.EndObject();
+        }
+        writer.EndArray();
+        writer.FieldDouble("sum", m.histogram->Sum());
+        writer.FieldUint("count", m.histogram->Count());
+        break;
+      }
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+}
+
+}  // namespace obs
+}  // namespace superfe

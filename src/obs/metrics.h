@@ -1,0 +1,228 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms for
+// the SuperFE pipeline (docs/OBSERVABILITY.md has the metric catalog).
+//
+// Design goals, in order:
+//  1. Hot-path increments are one relaxed atomic add. Counters are sharded
+//     across cacheline-padded cells (per-worker shard index, or a stable
+//     per-thread index) so concurrent writers never bounce a line;
+//     aggregation happens on read.
+//  2. Near-zero cost when disabled. Instrumented components hold nullable
+//     handle pointers and increment through the null-safe helpers below, so
+//     a disabled pipeline pays one predictable branch per site. Compiling
+//     with -DSUPERFE_OBS_DISABLED removes even that.
+//  3. Handles are stable for the registry's lifetime: registration (the
+//     slow path) takes a mutex, the handles themselves never move.
+//
+// Exports: Prometheus text exposition (WriteProm) and JSON (WriteJson, via
+// the shared common/json_writer.h).
+#ifndef SUPERFE_OBS_METRICS_H_
+#define SUPERFE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace superfe {
+namespace obs {
+
+// Shards per counter; a power of two so the shard pick is a mask.
+inline constexpr size_t kCounterShards = 16;
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  // Shards by a stable per-thread index.
+  void Inc(uint64_t n = 1) { IncShard(ThreadShard(), n); }
+
+  // Caller-known shard (e.g. the NIC-cluster worker index): skips the
+  // thread-local lookup on the hottest paths.
+  void IncShard(size_t shard, uint64_t n = 1) {
+    cells_[shard & (kCounterShards - 1)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Sum over shards. Exact once writers are quiescent; a consistent
+  // monotonic snapshot mid-run.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  static size_t ThreadShard();
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kCounterShards> cells_{};
+};
+
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        expected, std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return std::bit_cast<double>(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+// Fixed-bucket histogram (Prometheus-style: cumulative `le` buckets on
+// export, plus sum and count).
+class Histogram {
+ public:
+  void Observe(double value) {
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) {
+      ++i;
+    }
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        expected, std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + value),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  // Upper bounds, ascending; an implicit +Inf bucket follows.
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Non-cumulative count of bucket i (i == bounds().size() is the +Inf one).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+// Label pairs; serialized sorted by key so {a,b} and {b,a} are one child.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Idempotent get-or-create. Returns nullptr (and logs) on a type clash
+  // with an existing family; the null-safe helpers make that harmless.
+  Counter* GetCounter(const std::string& name, const LabelSet& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels = {},
+                  const std::string& help = "");
+  // `bounds` are ascending upper bucket bounds; the family's first
+  // registration wins the bucket layout.
+  Histogram* GetHistogram(const std::string& name, const std::vector<double>& bounds,
+                          const LabelSet& labels = {}, const std::string& help = "");
+
+  struct MetricValue {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    LabelSet labels;
+    uint64_t uvalue = 0;              // Counters (exact).
+    double value = 0.0;               // Gauges; counters mirrored as double.
+    const Histogram* histogram = nullptr;  // Histograms only.
+  };
+  // Every registered child, sorted by (name, serialized labels).
+  std::vector<MetricValue> Collect() const;
+
+  // Counter/gauge child lookup by exact name + labels (histograms excluded).
+  std::optional<double> Value(const std::string& name, const LabelSet& labels = {}) const;
+
+  // Prometheus text exposition format.
+  void WriteProm(std::ostream& out) const;
+  // JSON array of metric objects through the shared writer.
+  void WriteJson(JsonWriter& writer) const;
+
+  static std::string SerializeLabels(const LabelSet& labels);
+
+ private:
+  struct Family {
+    MetricType type;
+    std::string help;
+    std::vector<double> bounds;  // Histograms.
+    // Child key: serialized label set.
+    std::map<std::string, std::pair<LabelSet, std::unique_ptr<Counter>>> counters;
+    std::map<std::string, std::pair<LabelSet, std::unique_ptr<Gauge>>> gauges;
+    std::map<std::string, std::pair<LabelSet, std::unique_ptr<Histogram>>> histograms;
+  };
+
+  Family* GetFamily(const std::string& name, MetricType type, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+// Null-safe increment helpers: instrumented code holds nullable handles and
+// calls these unconditionally. SUPERFE_OBS_DISABLED compiles them away.
+#ifndef SUPERFE_OBS_DISABLED
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) {
+    c->Inc(n);
+  }
+}
+inline void IncShard(Counter* c, size_t shard, uint64_t n = 1) {
+  if (c != nullptr) {
+    c->IncShard(shard, n);
+  }
+}
+inline void Set(Gauge* g, double value) {
+  if (g != nullptr) {
+    g->Set(value);
+  }
+}
+inline void Observe(Histogram* h, double value) {
+  if (h != nullptr) {
+    h->Observe(value);
+  }
+}
+#else
+inline void Inc(Counter*, uint64_t = 1) {}
+inline void IncShard(Counter*, size_t, uint64_t = 1) {}
+inline void Set(Gauge*, double) {}
+inline void Observe(Histogram*, double) {}
+#endif
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_METRICS_H_

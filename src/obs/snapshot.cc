@@ -1,0 +1,102 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+
+namespace superfe {
+namespace obs {
+
+SnapshotSampler::SnapshotSampler(const MetricsRegistry* registry, uint64_t interval_ms,
+                                 std::function<void()> pre_sample_hook)
+    : registry_(registry),
+      interval_ms_(interval_ms > 0 ? interval_ms : 1),
+      hook_(std::move(pre_sample_hook)) {}
+
+SnapshotSampler::~SnapshotSampler() { Stop(); }
+
+void SnapshotSampler::Start() {
+  if (started_ || registry_ == nullptr) {
+    return;
+  }
+  started_ = true;
+  stop_ = false;
+  start_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotSampler::Stop() {
+  if (!started_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  started_ = false;
+}
+
+void SnapshotSampler::CaptureOnce(uint64_t t_ns) {
+  if (hook_) {
+    hook_();
+  }
+  Sample sample;
+  sample.t_ns = t_ns;
+  for (const auto& m : registry_->Collect()) {
+    if (m.type == MetricType::kHistogram) {
+      continue;  // Bucket series stay an end-of-run export.
+    }
+    std::string key = m.name;
+    const std::string labels = MetricsRegistry::SerializeLabels(m.labels);
+    if (!labels.empty()) {
+      key += "{" + labels + "}";
+    }
+    sample.values.emplace_back(std::move(key), m.value);
+  }
+  samples_.push_back(std::move(sample));
+}
+
+void SnapshotSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopping =
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_), [&] { return stop_; });
+    const uint64_t t_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             start_)
+            .count());
+    // The capture runs hooks and registry reads; do it without the lock so
+    // Stop() never waits behind a slow hook.
+    lock.unlock();
+    CaptureOnce(t_ns);
+    lock.lock();
+    if (stopping) {
+      return;  // Final sample taken above.
+    }
+  }
+}
+
+void SnapshotSampler::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.FieldUint("interval_ms", interval_ms_);
+  writer.Key("samples");
+  writer.BeginArray();
+  for (const Sample& sample : samples_) {
+    writer.BeginObject();
+    writer.FieldDouble("t_ms", static_cast<double>(sample.t_ns) / 1e6);
+    writer.Key("values");
+    writer.BeginObject();
+    for (const auto& [key, value] : sample.values) {
+      writer.FieldDouble(key, value);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+}  // namespace obs
+}  // namespace superfe

@@ -1,0 +1,75 @@
+// SnapshotSampler: a background thread that periodically captures the
+// metrics registry into a time series, so counters and gauges become
+// "queue depth over time" style data instead of end-of-run totals.
+//
+// Before each capture it invokes an optional hook on the sampler thread —
+// the runtime uses it to refresh gauges that are derived from component
+// state (cluster queue depths, high watermarks). Hooks must only touch
+// thread-safe accessors (atomics, mutex-guarded snapshots).
+//
+// Samples are appended only by the sampler thread; read them after Stop().
+#ifndef SUPERFE_OBS_SNAPSHOT_H_
+#define SUPERFE_OBS_SNAPSHOT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "obs/metrics.h"
+
+namespace superfe {
+namespace obs {
+
+class SnapshotSampler {
+ public:
+  // Captures every `interval_ms` (clamped to >= 1) until Stop().
+  SnapshotSampler(const MetricsRegistry* registry, uint64_t interval_ms,
+                  std::function<void()> pre_sample_hook = nullptr);
+  ~SnapshotSampler();
+
+  SnapshotSampler(const SnapshotSampler&) = delete;
+  SnapshotSampler& operator=(const SnapshotSampler&) = delete;
+
+  void Start();
+  // Takes one final sample, joins the thread; samples() is stable after.
+  void Stop();
+
+  struct Sample {
+    uint64_t t_ns = 0;  // Since Start().
+    // "name{label="v"}" -> value, for every counter and gauge.
+    std::vector<std::pair<std::string, double>> values;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+  uint64_t interval_ms() const { return interval_ms_; }
+
+  // {"interval_ms": .., "samples": [{"t_ms": .., "values": {..}}]}
+  void WriteJson(JsonWriter& writer) const;
+
+ private:
+  void Loop();
+  void CaptureOnce(uint64_t t_ns);
+
+  const MetricsRegistry* registry_;
+  const uint64_t interval_ms_;
+  std::function<void()> hook_;
+
+  std::vector<Sample> samples_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_SNAPSHOT_H_

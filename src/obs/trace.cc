@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+namespace superfe {
+namespace obs {
+
+TraceRecorder::TraceRecorder(size_t capacity_per_lane, size_t lanes)
+    : capacity_(capacity_per_lane > 0 ? capacity_per_lane : 1),
+      epoch_(std::chrono::steady_clock::now()) {
+  lanes_.reserve(lanes > 0 ? lanes : 1);
+  for (size_t i = 0; i < (lanes > 0 ? lanes : 1); ++i) {
+    lanes_.push_back(std::make_unique<Lane>(capacity_));
+    lanes_.back()->name = "lane-" + std::to_string(i);
+  }
+}
+
+void TraceRecorder::SetLaneName(size_t lane, const std::string& name) {
+  if (lane < lanes_.size()) {
+    lanes_[lane]->name = name;
+  }
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+void TraceRecorder::Emit(size_t lane, const Event& e) {
+  if (lane >= lanes_.size()) {
+    lane = lanes_.size() - 1;  // Misconfigured wiring lands in the last lane.
+  }
+  Lane& l = *lanes_[lane];
+  // Single writer per lane: the slot write cannot race another writer, and
+  // the release store publishes it to a (quiescent-time) reader.
+  const uint64_t i = l.count.load(std::memory_order_relaxed);
+  l.ring[i % capacity_] = e;
+  l.count.store(i + 1, std::memory_order_release);
+}
+
+void TraceRecorder::Instant(size_t lane, const char* category, const char* name,
+                            const char* arg_name, uint64_t arg_value,
+                            const char* str_arg_name, const char* str_arg_value) {
+  Event e;
+  e.phase = Event::Phase::kInstant;
+  e.ts_ns = NowNs();
+  e.category = category;
+  e.name = name;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  e.str_arg_name = str_arg_name;
+  e.str_arg_value = str_arg_value;
+  Emit(lane, e);
+}
+
+uint64_t TraceRecorder::events_recorded() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::events_dropped() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    const uint64_t count = lane->count.load(std::memory_order_acquire);
+    if (count > capacity_) {
+      total += count - capacity_;
+    }
+  }
+  return total;
+}
+
+void TraceRecorder::WriteChromeJson(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  const auto comma = [&] {
+    if (!first) {
+      out << ",";
+    }
+    out << "\n";
+    first = false;
+  };
+  for (size_t li = 0; li < lanes_.size(); ++li) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << li
+        << ",\"args\":{\"name\":\"" << JsonWriter::Escape(lanes_[li]->name) << "\"}}";
+  }
+  for (size_t li = 0; li < lanes_.size(); ++li) {
+    const Lane& lane = *lanes_[li];
+    const uint64_t count = lane.count.load(std::memory_order_acquire);
+    const uint64_t kept = count < capacity_ ? count : capacity_;
+    for (uint64_t k = 0; k < kept; ++k) {
+      const Event& e = lane.ring[(count - kept + k) % capacity_];
+      comma();
+      // Chrome trace timestamps are microseconds.
+      std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(e.ts_ns) / 1000.0);
+      out << "{\"name\":\"" << JsonWriter::Escape(e.name) << "\",\"cat\":\""
+          << JsonWriter::Escape(e.category) << "\",\"ph\":\""
+          << (e.phase == Event::Phase::kSpan ? "X" : "i") << "\",\"ts\":" << buf;
+      if (e.phase == Event::Phase::kSpan) {
+        std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(e.dur_ns) / 1000.0);
+        out << ",\"dur\":" << buf;
+      } else {
+        out << ",\"s\":\"t\"";
+      }
+      out << ",\"pid\":1,\"tid\":" << li;
+      if (e.arg_name != nullptr || e.str_arg_name != nullptr) {
+        out << ",\"args\":{";
+        if (e.arg_name != nullptr) {
+          out << "\"" << JsonWriter::Escape(e.arg_name) << "\":" << e.arg_value;
+        }
+        if (e.str_arg_name != nullptr) {
+          if (e.arg_name != nullptr) {
+            out << ",";
+          }
+          out << "\"" << JsonWriter::Escape(e.str_arg_name) << "\":\""
+              << JsonWriter::Escape(e.str_arg_value != nullptr ? e.str_arg_value : "")
+              << "\"";
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace obs
+}  // namespace superfe

@@ -1,0 +1,131 @@
+// TraceRecorder: lock-free ring-buffer pipeline tracing, exported as Chrome
+// trace_event JSON (load the file at https://ui.perfetto.dev).
+//
+// Concurrency model: one ring ("lane") per writing thread, claimed by lane
+// index at wiring time (lane 0 = the replay/producer thread, lanes 1..N =
+// the NIC-cluster workers). A lane has exactly one writer, so emitting an
+// event is a bounds-free slot write plus one release store of the lane's
+// event count — no locks, no CAS, no cross-thread cacheline traffic. When a
+// lane wraps, the oldest events are overwritten (counted, never silent).
+//
+// Readers (WriteChromeJson, events_recorded) must run while writers are
+// quiescent — in practice after the runtime's Flush() barrier. Event name /
+// category / argument-name strings must have static storage duration (the
+// ring stores the pointers).
+#ifndef SUPERFE_OBS_TRACE_H_
+#define SUPERFE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace superfe {
+namespace obs {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    enum class Phase : uint8_t { kSpan, kInstant };
+
+    uint64_t ts_ns = 0;   // Relative to the recorder's epoch.
+    uint64_t dur_ns = 0;  // Spans only.
+    Phase phase = Phase::kInstant;
+    const char* category = "";  // Static storage only.
+    const char* name = "";      // Static storage only.
+    // Optional numeric argument.
+    const char* arg_name = nullptr;
+    uint64_t arg_value = 0;
+    // Optional string argument (static storage only).
+    const char* str_arg_name = nullptr;
+    const char* str_arg_value = nullptr;
+  };
+
+  // `capacity_per_lane` slots in each of `lanes` rings.
+  TraceRecorder(size_t capacity_per_lane, size_t lanes);
+
+  size_t lane_count() const { return lanes_.size(); }
+  size_t capacity_per_lane() const { return capacity_; }
+
+  // Perfetto-friendly thread name for a lane; call before tracing starts.
+  void SetLaneName(size_t lane, const std::string& name);
+
+  // Nanoseconds since the recorder was created (steady clock).
+  uint64_t NowNs() const;
+
+  // Raw emit; `e.ts_ns` is taken as-is. Single writer per lane.
+  void Emit(size_t lane, const Event& e);
+
+  // Timestamped instant event.
+  void Instant(size_t lane, const char* category, const char* name,
+               const char* arg_name = nullptr, uint64_t arg_value = 0,
+               const char* str_arg_name = nullptr, const char* str_arg_value = nullptr);
+
+  // RAII measured span; tolerates a null recorder (no-op) so hot paths can
+  // open spans unconditionally.
+  class Span {
+   public:
+    Span(TraceRecorder* recorder, size_t lane, const char* category, const char* name)
+        : recorder_(recorder), lane_(lane) {
+      if (recorder_ == nullptr) {
+        return;
+      }
+      event_.phase = Event::Phase::kSpan;
+      event_.category = category;
+      event_.name = name;
+      event_.ts_ns = recorder_->NowNs();
+    }
+    ~Span() {
+      if (recorder_ == nullptr) {
+        return;
+      }
+      event_.dur_ns = recorder_->NowNs() - event_.ts_ns;
+      recorder_->Emit(lane_, event_);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void SetArg(const char* name, uint64_t value) {
+      event_.arg_name = name;
+      event_.arg_value = value;
+    }
+    void SetStrArg(const char* name, const char* value) {
+      event_.str_arg_name = name;
+      event_.str_arg_value = value;
+    }
+
+   private:
+    TraceRecorder* recorder_;
+    size_t lane_;
+    Event event_;
+  };
+
+  // Totals across lanes (quiescent reads).
+  uint64_t events_recorded() const;
+  uint64_t events_dropped() const;  // Overwritten by ring wrap-around.
+
+  // Chrome trace_event JSON ("traceEvents" array format). Writers must be
+  // quiescent. Events are emitted oldest-first per lane, with a thread_name
+  // metadata record per lane.
+  void WriteChromeJson(std::ostream& out) const;
+
+ private:
+  struct Lane {
+    explicit Lane(size_t capacity) : ring(capacity) {}
+    std::vector<Event> ring;
+    std::atomic<uint64_t> count{0};
+    std::string name;
+  };
+
+  const size_t capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_TRACE_H_

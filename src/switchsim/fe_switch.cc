@@ -4,6 +4,22 @@
 
 namespace superfe {
 
+FeSwitchObs FeSwitchObs::Create(obs::MetricsRegistry* registry) {
+  FeSwitchObs o;
+  if (registry == nullptr) {
+    return o;
+  }
+  o.packets_seen = registry->GetCounter("superfe_switch_packets_seen_total", {},
+                                        "Packets offered to the switch");
+  o.packets_filtered = registry->GetCounter("superfe_switch_packets_filtered_total", {},
+                                            "Packets dropped by the policy filter");
+  o.packets_batched = registry->GetCounter("superfe_switch_packets_batched_total", {},
+                                           "Packets that entered the MGPV cache");
+  o.frames_unparseable = registry->GetCounter("superfe_switch_frames_unparseable_total", {},
+                                              "Raw frames rejected by the parser");
+  return o;
+}
+
 MgpvConfig FeSwitch::DefaultConfig(const CompiledPolicy& compiled) {
   MgpvConfig config;
   config.cg = compiled.switch_program.cg();
@@ -30,11 +46,14 @@ FeSwitch::FeSwitch(const CompiledPolicy& compiled, MgpvSink* sink,
 
 void FeSwitch::OnPacket(const PacketRecord& pkt) {
   stats_.packets_seen++;
+  obs::Inc(obs_.packets_seen);
   if (!program_.filter.Matches(pkt)) {
     stats_.packets_filtered++;
+    obs::Inc(obs_.packets_filtered);
     return;  // Still forwarded; just not batched for feature extraction.
   }
   stats_.packets_batched++;
+  obs::Inc(obs_.packets_batched);
   cache_->Insert(pkt);
 }
 
@@ -43,6 +62,8 @@ void FeSwitch::OnFrame(const uint8_t* data, size_t length, uint64_t timestamp_ns
   if (!parsed.ok()) {
     stats_.packets_seen++;
     stats_.frames_unparseable++;
+    obs::Inc(obs_.packets_seen);
+    obs::Inc(obs_.frames_unparseable);
     return;  // Still forwarded; nothing to batch.
   }
   PacketRecord pkt = std::move(parsed).value();

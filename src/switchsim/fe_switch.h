@@ -21,6 +21,16 @@ struct FeSwitchStats {
   uint64_t frames_unparseable = 0;  // Raw frames the parser rejected.
 };
 
+// Nullable observability handles mirroring FeSwitchStats (superfe_switch_*).
+struct FeSwitchObs {
+  obs::Counter* packets_seen = nullptr;
+  obs::Counter* packets_filtered = nullptr;
+  obs::Counter* packets_batched = nullptr;
+  obs::Counter* frames_unparseable = nullptr;
+
+  static FeSwitchObs Create(obs::MetricsRegistry* registry);
+};
+
 class FeSwitch : public PacketSink {
  public:
   // `mgpv_overrides` lets experiments change cache geometry / aging while
@@ -44,6 +54,11 @@ class FeSwitch : public PacketSink {
   const FeSwitchStats& stats() const { return stats_; }
   const MgpvCache& cache() const { return *cache_; }
   MgpvCache& mutable_cache() { return *cache_; }
+
+  // Wiring-time setters (single-threaded, call before traffic). The MGPV
+  // handles are forwarded to the cache.
+  void set_obs(const FeSwitchObs& obs) { obs_ = obs; }
+  void set_mgpv_obs(const MgpvObs& obs) { cache_->set_obs(obs); }
   const SwitchProgram& program() const { return program_; }
 
   // The MgpvConfig implied by a compiled policy (prototype defaults).
@@ -52,6 +67,7 @@ class FeSwitch : public PacketSink {
  private:
   SwitchProgram program_;
   FeSwitchStats stats_;
+  FeSwitchObs obs_;
   std::unique_ptr<MgpvCache> cache_;
   // First-seen orientation per canonical flow, for the raw-frame path.
   std::unordered_map<FiveTuple, FiveTuple, FiveTupleHash> forward_orientation_;

@@ -23,6 +23,45 @@ const char* EvictReasonName(EvictReason reason) {
   return "?";
 }
 
+MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
+                        uint32_t trace_lane) {
+  MgpvObs o;
+  o.trace = trace;
+  o.trace_lane = trace_lane;
+  if (registry == nullptr) {
+    return o;
+  }
+  o.packets_in = registry->GetCounter("superfe_mgpv_packets_in_total", {},
+                                      "Packets inserted into the MGPV cache");
+  o.bytes_in = registry->GetCounter("superfe_mgpv_bytes_in_total", {},
+                                    "Wire bytes of packets inserted into MGPV");
+  o.reports_out = registry->GetCounter("superfe_mgpv_reports_out_total", {},
+                                       "MGPV reports evicted to the NIC");
+  o.cells_out = registry->GetCounter("superfe_mgpv_cells_out_total", {},
+                                     "MGPV cells evicted to the NIC");
+  o.bytes_out = registry->GetCounter("superfe_mgpv_bytes_out_total", {},
+                                     "Switch->NIC wire bytes (reports + FG syncs)");
+  o.fg_syncs = registry->GetCounter("superfe_mgpv_fg_syncs_total", {},
+                                    "FG-key-table synchronization messages");
+  o.fg_collisions = registry->GetCounter("superfe_mgpv_fg_collisions_total", {},
+                                         "FG-table slot overwrites");
+  o.long_allocs = registry->GetCounter("superfe_mgpv_long_allocs_total", {},
+                                       "Long buffers taken from the pool");
+  o.long_alloc_failures = registry->GetCounter("superfe_mgpv_long_alloc_failures_total", {},
+                                               "Long-buffer requests that found the pool empty");
+  for (int i = 0; i < 5; ++i) {
+    o.evictions[i] =
+        registry->GetCounter("superfe_mgpv_evictions_total",
+                             {{"cause", EvictReasonName(static_cast<EvictReason>(i))}},
+                             "MGPV evictions by cause");
+  }
+  o.report_cells = registry->GetHistogram("superfe_mgpv_report_cells", {1, 2, 4, 8, 16, 32},
+                                          {}, "Cells per evicted MGPV report");
+  o.live_entries = registry->GetGauge("superfe_mgpv_live_entries", {},
+                                      "Occupied MGPV short-buffer entries");
+  return o;
+}
+
 uint64_t MgpvConfig::MemoryFootprintBytes() const {
   const uint32_t cg_key_bytes = cg == Granularity::kHost      ? 4
                                 : cg == Granularity::kChannel ? 8
@@ -93,6 +132,15 @@ void MgpvCache::EvictCells(Entry& entry, EvictReason reason) {
   stats_.cells_out += report.cells.size();
   stats_.bytes_out += report.WireBytes(config_.metadata_bytes_per_cell);
   stats_.evictions[static_cast<int>(reason)]++;
+  obs::Inc(obs_.reports_out);
+  obs::Inc(obs_.cells_out, report.cells.size());
+  obs::Inc(obs_.bytes_out, report.WireBytes(config_.metadata_bytes_per_cell));
+  obs::Inc(obs_.evictions[static_cast<int>(reason)]);
+  obs::Observe(obs_.report_cells, static_cast<double>(report.cells.size()));
+  if (obs_.trace != nullptr) {
+    obs_.trace->Instant(obs_.trace_lane, "mgpv", "evict", "cells", report.cells.size(),
+                        "cause", EvictReasonName(reason));
+  }
   sink_->OnMgpv(report);
 }
 
@@ -104,6 +152,7 @@ uint16_t MgpvCache::FgIndexFor(const FiveTuple& fg_tuple) {
   if (!slot.valid || !(slot.key == fg_tuple)) {
     if (slot.valid) {
       stats_.fg_collisions++;
+      obs::Inc(obs_.fg_collisions);
     }
     slot.valid = true;
     slot.key = fg_tuple;
@@ -112,6 +161,11 @@ uint16_t MgpvCache::FgIndexFor(const FiveTuple& fg_tuple) {
     sync.key = fg_tuple;
     stats_.fg_syncs++;
     stats_.bytes_out += FgSyncMessage::kWireBytes;
+    obs::Inc(obs_.fg_syncs);
+    obs::Inc(obs_.bytes_out, FgSyncMessage::kWireBytes);
+    if (obs_.trace != nullptr) {
+      obs_.trace->Instant(obs_.trace_lane, "mgpv", "fg_sync", "index", index);
+    }
     sink_->OnFgSync(sync);
   }
   return index;
@@ -128,6 +182,8 @@ void MgpvCache::AgeScan() {
         now_ns_ - entry.last_access_ns > config_.aging_timeout_ns) {
       EvictCells(entry, EvictReason::kAging);
       entry.valid = false;
+      --live_entries_;
+      obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
     }
   }
 }
@@ -136,6 +192,8 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
   now_ns_ = std::max(now_ns_, pkt.timestamp_ns);
   stats_.packets_in++;
   stats_.bytes_in += pkt.wire_bytes;
+  obs::Inc(obs_.packets_in);
+  obs::Inc(obs_.bytes_in, pkt.wire_bytes);
 
   MgpvCell cell;
   cell.size = static_cast<uint16_t>(std::min<uint32_t>(pkt.wire_bytes, 0xffff));
@@ -157,6 +215,8 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
     entry.hash = hash;
     entry.long_index = -1;
     entry.short_cells.clear();
+    ++live_entries_;
+    obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
   } else if (entry.key != key) {
     // Hash collision with a different group: evict the older entry first
     // (the collision-eviction policy approximates LRU, §5.2).
@@ -176,8 +236,10 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
         entry.long_index = static_cast<int32_t>(free_long_.back());
         free_long_.pop_back();
         stats_.long_allocs++;
+        obs::Inc(obs_.long_allocs);
       } else {
         stats_.long_alloc_failures++;
+        obs::Inc(obs_.long_alloc_failures);
         EvictCells(entry, EvictReason::kShortFull);
       }
     }
@@ -206,6 +268,8 @@ void MgpvCache::Flush() {
       entry.valid = false;
     }
   }
+  live_entries_ = 0;
+  obs::Set(obs_.live_entries, 0.0);
 }
 
 double MgpvCache::Occupancy() const {

@@ -16,10 +16,37 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "switchsim/evict.h"
 #include "switchsim/group_key.h"
 
 namespace superfe {
+
+// Observability handles for one MGPV cache instance. All pointers may be
+// null (metrics off); counters mirror MgpvStats exactly — they are bumped at
+// the same sites — so exported totals always equal the RunReport fields.
+struct MgpvObs {
+  obs::Counter* packets_in = nullptr;
+  obs::Counter* bytes_in = nullptr;
+  obs::Counter* reports_out = nullptr;
+  obs::Counter* cells_out = nullptr;
+  obs::Counter* bytes_out = nullptr;
+  obs::Counter* fg_syncs = nullptr;
+  obs::Counter* fg_collisions = nullptr;
+  obs::Counter* long_allocs = nullptr;
+  obs::Counter* long_alloc_failures = nullptr;
+  obs::Counter* evictions[5] = {};  // Indexed by EvictReason.
+  obs::Histogram* report_cells = nullptr;
+  obs::Gauge* live_entries = nullptr;  // Valid short-buffer entries, live.
+  obs::TraceRecorder* trace = nullptr;
+  uint32_t trace_lane = 0;
+
+  // Registers the standard superfe_mgpv_* metrics (docs/OBSERVABILITY.md).
+  // Null `registry`/`trace` leave the corresponding handles null.
+  static MgpvObs Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
+                        uint32_t trace_lane);
+};
 
 struct MgpvConfig {
   // Prototype defaults from §7.
@@ -91,6 +118,10 @@ class MgpvCache {
   const MgpvStats& stats() const { return stats_; }
   const MgpvConfig& config() const { return config_; }
 
+  // Installs observability handles. Call before traffic; the cache is
+  // single-threaded, so this is only a wiring-time setter.
+  void set_obs(const MgpvObs& obs) { obs_ = obs; }
+
   // Occupied entries / total entries.
   double Occupancy() const;
 
@@ -128,6 +159,8 @@ class MgpvCache {
   MgpvConfig config_;
   MgpvSink* sink_;
   MgpvStats stats_;
+  MgpvObs obs_;
+  uint64_t live_entries_ = 0;  // Valid entries, tracked for the gauge.
 
   std::vector<Entry> entries_;
   std::vector<std::vector<MgpvCell>> long_buffers_;

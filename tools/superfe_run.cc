@@ -4,7 +4,8 @@
 //
 //   superfe_run POLICY.sfe [--pcap FILE | --profile mawi|enterprise|campus]
 //               [--packets N] [--seed S] [--out FEATURES.csv] [--report]
-//               [--workers N]
+//               [--workers N] [--metrics-json FILE] [--metrics-prom FILE]
+//               [--trace-out FILE] [--sample-interval-ms N]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,7 +26,11 @@ int Usage() {
   std::fprintf(stderr,
                "usage: superfe_run POLICY.sfe [--pcap FILE | --profile NAME]\n"
                "                   [--packets N] [--seed S] [--out FILE.csv] [--report]\n"
-               "                   [--workers N]   (N>0: parallel NIC cluster, N members)\n");
+               "                   [--workers N]   (N>0: parallel NIC cluster, N members)\n"
+               "                   [--metrics-json FILE]  metrics + time series as JSON\n"
+               "                   [--metrics-prom FILE]  Prometheus text exposition\n"
+               "                   [--trace-out FILE]     Chrome trace JSON (Perfetto)\n"
+               "                   [--sample-interval-ms N]  snapshot period (default 2)\n");
   return 2;
 }
 
@@ -75,6 +80,10 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   bool report = false;
   uint32_t workers = 0;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  std::string trace_out_path;
+  uint32_t sample_interval_ms = 2;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
       pcap_path = argv[++i];
@@ -90,6 +99,14 @@ int main(int argc, char** argv) {
       report = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
+      metrics_prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-interval-ms") == 0 && i + 1 < argc) {
+      sample_interval_ms = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage();
     }
@@ -131,6 +148,11 @@ int main(int argc, char** argv) {
 
   RuntimeConfig config;
   config.worker_threads = workers;
+  if (!metrics_json_path.empty() || !metrics_prom_path.empty()) {
+    config.obs.metrics = true;
+    config.obs.sample_interval_ms = sample_interval_ms;
+  }
+  config.obs.trace = !trace_out_path.empty();
   auto runtime = SuperFeRuntime::Create(*policy, config);
   if (!runtime.ok()) {
     std::fprintf(stderr, "compile error: %s\n", runtime.status().ToString().c_str());
@@ -150,6 +172,28 @@ int main(int argc, char** argv) {
   CsvSink sink(*out, (*runtime)->compiled().nic_program);
   const RunReport run = (*runtime)->Run(trace, &sink);
 
+  const auto write_export = [&](const std::string& path, auto writer_fn) -> bool {
+    if (path.empty()) {
+      return true;
+    }
+    std::ofstream export_file(path);
+    if (!export_file || !writer_fn(export_file)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  };
+  bool exports_ok = true;
+  exports_ok &= write_export(metrics_json_path, [&](std::ostream& os) {
+    return (*runtime)->WriteMetricsJson(os);
+  });
+  exports_ok &= write_export(metrics_prom_path, [&](std::ostream& os) {
+    return (*runtime)->WriteMetricsProm(os);
+  });
+  exports_ok &= write_export(trace_out_path, [&](std::ostream& os) {
+    return (*runtime)->WriteTraceJson(os);
+  });
+
   if (report || !out_path.empty()) {
     std::fprintf(stderr,
                  "packets %llu | batched %llu | reports %llu | vectors %llu\n"
@@ -161,5 +205,10 @@ int main(int argc, char** argv) {
                  (unsigned long long)sink.count(), run.mgpv.MessageRatio() * 100.0,
                  run.mgpv.ByteRatio() * 100.0, run.sustainable_gbps, run.bottleneck);
   }
-  return 0;
+  if (run.obs.trace_enabled && report) {
+    std::fprintf(stderr, "trace: %llu events recorded, %llu overwritten\n",
+                 (unsigned long long)run.obs.trace_events_recorded,
+                 (unsigned long long)run.obs.trace_events_dropped);
+  }
+  return exports_ok ? 0 : 1;
 }
