@@ -1,7 +1,8 @@
 // Observability overhead: wall-clock for the same end-to-end run with the
 // obs subsystem fully off (the default — instrumented sites pay only a
-// null-handle branch), with the metrics registry on, and with metrics +
-// tracing + the snapshot sampler on.
+// null-handle branch), with the metrics registry on, with metrics + latency
+// histograms (trace-clock publication and per-stage Observe calls), and
+// with metrics + tracing + the snapshot sampler on.
 //
 // Emits BENCH_obs_overhead.json. Acceptance: the disabled configuration is
 // the shipping default, so "disabled overhead" is definitionally zero here;
@@ -39,6 +40,7 @@ struct Mode {
   bool metrics;
   bool trace;
   uint32_t sample_interval_ms;
+  bool latency = false;
 };
 
 double RunOnce(const Policy& policy, const Trace& trace, const Mode& mode) {
@@ -46,6 +48,7 @@ double RunOnce(const Policy& policy, const Trace& trace, const Mode& mode) {
   config.obs.metrics = mode.metrics;
   config.obs.trace = mode.trace;
   config.obs.sample_interval_ms = mode.sample_interval_ms;
+  config.obs.latency = mode.latency;
   auto runtime = std::move(SuperFeRuntime::Create(policy, config)).value();
   CollectingFeatureSink sink;
   const auto start = std::chrono::steady_clock::now();
@@ -75,6 +78,7 @@ void Run() {
   const Mode modes[] = {
       {"disabled", false, false, 0},
       {"metrics", true, false, 0},
+      {"metrics+latency", true, false, 0, true},
       {"metrics+sampler", true, false, 2},
       {"metrics+trace+sampler", true, true, 2},
   };
@@ -104,6 +108,7 @@ void Run() {
     w.FieldBool("metrics", mode.metrics);
     w.FieldBool("trace", mode.trace);
     w.FieldUint("sample_interval_ms", mode.sample_interval_ms);
+    w.FieldBool("latency", mode.latency);
     w.FieldDouble("ms", ms);
     w.FieldDouble("overhead_pct", overhead_pct);
     w.EndObject();
@@ -121,8 +126,9 @@ void Run() {
   std::printf("\nWrote BENCH_obs_overhead.json\n");
   std::printf(
       "\nShape check: 'disabled' is the shipping default (null-handle branches\n"
-      "only); metrics adds one relaxed sharded-counter add per site; tracing\n"
-      "adds a ring write per span/instant on top.\n");
+      "only); metrics adds one relaxed sharded-counter add per site; latency\n"
+      "adds a clock store per packet plus three relaxed adds per report per\n"
+      "stage; tracing adds a ring write per span/instant on top.\n");
 }
 
 }  // namespace

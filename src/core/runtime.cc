@@ -21,37 +21,75 @@ class SuperFeRuntime::ForwardingSink : public FeatureSink {
   FeatureSink* target_ = nullptr;
 };
 
+// Serial-path latency shim: with worker_threads == 0 there is no NicCluster
+// between MGPV and the FeNic, so this wrapper measures the service and
+// end-to-end stages around each report. On the producer thread the clock
+// cannot advance mid-call, so service is 0 trace-time ns and end-to-end
+// equals the MGPV residency — the same invariants the cluster's serial
+// dispatch records. There is no queue, hence no queue-wait stage.
+class SuperFeRuntime::SerialLatencySink : public MgpvSink {
+ public:
+  SerialLatencySink(MgpvSink* target, obs::TraceClock* clock,
+                    obs::LatencyHistogram* service, obs::LatencyHistogram* e2e)
+      : target_(target), clock_(clock), service_(service), e2e_(e2e) {}
+
+  void OnMgpv(const MgpvReport& report) override {
+    const uint64_t before_ns = clock_->Now();
+    target_->OnMgpv(report);
+    const uint64_t after_ns = clock_->Now();
+    obs::Observe(service_, after_ns - before_ns);
+    obs::Observe(e2e_, after_ns > report.first_ingest_ns
+                           ? after_ns - report.first_ingest_ns
+                           : 0);
+  }
+  void OnFgSync(const FgSyncMessage& sync) override { target_->OnFgSync(sync); }
+
+ private:
+  MgpvSink* target_;
+  obs::TraceClock* clock_;
+  obs::LatencyHistogram* service_;
+  obs::LatencyHistogram* e2e_;
+};
+
 Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& policy,
                                                                const RuntimeConfig& config) {
   auto compiled = Compile(policy);
   if (!compiled.ok()) {
     return compiled.status();
   }
+  RuntimeConfig cfg = config;
+  if (cfg.obs.latency) {
+    cfg.obs.metrics = true;  // Latency histograms live in the registry.
+  }
   std::unique_ptr<SuperFeRuntime> runtime(
-      new SuperFeRuntime(std::move(compiled).value(), config));
+      new SuperFeRuntime(std::move(compiled).value(), cfg));
 
-  if (config.obs.metrics) {
+  if (cfg.obs.metrics) {
     runtime->metrics_ = std::make_unique<obs::MetricsRegistry>();
   }
-  if (config.obs.trace) {
+  if (cfg.obs.latency) {
+    runtime->trace_clock_ = std::make_unique<obs::TraceClock>();
+  }
+  if (cfg.obs.trace) {
     // Lane 0 is the producer (replay/switch/MGPV); one lane per worker.
-    const size_t lanes = 1 + config.worker_threads;
+    const size_t lanes = 1 + cfg.worker_threads;
     runtime->trace_ = std::make_unique<obs::TraceRecorder>(
-        std::max<uint32_t>(config.obs.trace_capacity_per_lane, 16), lanes);
+        std::max<uint32_t>(cfg.obs.trace_capacity_per_lane, 16), lanes);
     runtime->trace_->SetLaneName(0, "producer (replay+switch+mgpv)");
-    for (uint32_t i = 0; i < config.worker_threads; ++i) {
+    for (uint32_t i = 0; i < cfg.worker_threads; ++i) {
       runtime->trace_->SetLaneName(1 + i, "nic-worker-" + std::to_string(i));
     }
   }
 
   MgpvSink* nic_side = nullptr;
-  if (config.worker_threads > 0) {
-    NicClusterOptions options = config.cluster;
+  if (cfg.worker_threads > 0) {
+    NicClusterOptions options = cfg.cluster;
     options.parallel = true;
     options.metrics = runtime->metrics_.get();
     options.trace = runtime->trace_.get();
     options.trace_lane_base = 0;
-    auto cluster = NicCluster::Create(runtime->compiled_, config.nic, config.worker_threads,
+    options.latency_clock = runtime->trace_clock_.get();
+    auto cluster = NicCluster::Create(runtime->compiled_, cfg.nic, cfg.worker_threads,
                                       runtime->forwarding_.get(), options);
     if (!cluster.ok()) {
       return cluster.status();
@@ -59,7 +97,7 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     runtime->cluster_ = std::move(cluster).value();
     nic_side = runtime->cluster_.get();
   } else {
-    auto nic = FeNic::Create(runtime->compiled_, config.nic, runtime->forwarding_.get());
+    auto nic = FeNic::Create(runtime->compiled_, cfg.nic, runtime->forwarding_.get());
     if (!nic.ok()) {
       return nic.status();
     }
@@ -68,14 +106,29 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
       runtime->nic_->set_obs(FeNicObs::Create(runtime->metrics_.get(), 0));
     }
     nic_side = runtime->nic_.get();
+    if (runtime->trace_clock_ != nullptr) {
+      // Interpose the serial service/e2e measurement between MGPV and the
+      // NIC (the cluster does this itself in the parallel path).
+      runtime->serial_latency_ = std::make_unique<SerialLatencySink>(
+          nic_side, runtime->trace_clock_.get(),
+          runtime->metrics_->GetLatencyHistogram(
+              "superfe_latency_worker_service_ns", {},
+              "Trace-time elapsed while a NIC worker processed one report"),
+          runtime->metrics_->GetLatencyHistogram(
+              "superfe_latency_e2e_ns", {},
+              "First packet ingest to feature emit, end to end (trace-time ns)"));
+      nic_side = runtime->serial_latency_.get();
+    }
   }
-  runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, config.mgpv);
+  runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, cfg.mgpv);
   if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
     runtime->switch_->set_obs(FeSwitchObs::Create(runtime->metrics_.get()));
-    runtime->switch_->set_mgpv_obs(
-        MgpvObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0));
+    runtime->switch_->set_mgpv_obs(MgpvObs::Create(runtime->metrics_.get(),
+                                                   runtime->trace_.get(), /*trace_lane=*/0,
+                                                   cfg.obs.latency));
     runtime->replay_obs_ =
         ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0);
+    runtime->replay_obs_.clock = runtime->trace_clock_.get();
     runtime->config_.replay.obs = &runtime->replay_obs_;
   }
   return runtime;
@@ -128,6 +181,7 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
     report.obs.samples_captured = sampler_->samples().size();
   }
 
+  report.latency = BuildLatencyBreakdown();
   report.switch_stats = switch_->stats();
   report.mgpv = switch_->cache().stats();
   report.nic = cluster_ != nullptr ? cluster_->AggregateStats() : nic_->stats();
@@ -170,6 +224,71 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   return report;
 }
 
+RunReport::LatencyBreakdown SuperFeRuntime::BuildLatencyBreakdown() const {
+  RunReport::LatencyBreakdown b;
+  if (trace_clock_ == nullptr || metrics_ == nullptr) {
+    return b;
+  }
+  b.enabled = true;
+  // The registry's get-or-create is idempotent: these lookups return the
+  // exact histograms the pipeline observed into (or fresh empty ones for
+  // stages that never ran, e.g. queue wait in serial mode).
+  obs::LatencyHistogram::Snapshot residency_total;
+  for (int i = 0; i < 5; ++i) {
+    obs::LatencyHistogram* h = metrics_->GetLatencyHistogram(
+        "superfe_latency_mgpv_residency_ns",
+        {{"cause", EvictReasonName(static_cast<EvictReason>(i))}});
+    if (h == nullptr) {
+      continue;
+    }
+    const obs::LatencyHistogram::Snapshot snap = h->TakeSnapshot();
+    b.residency_by_cause[i] = snap.Summarize();
+    residency_total.Merge(snap);
+  }
+  b.mgpv_residency = residency_total.Summarize();
+
+  obs::LatencyHistogram::Snapshot queue_wait_total;
+  const size_t workers = cluster_ != nullptr ? cluster_->size() : 0;
+  for (size_t i = 0; i < workers; ++i) {
+    obs::LatencyHistogram* h = metrics_->GetLatencyHistogram(
+        "superfe_latency_queue_wait_ns", {{"worker", std::to_string(i)}});
+    if (h == nullptr) {
+      continue;
+    }
+    const obs::LatencyHistogram::Snapshot snap = h->TakeSnapshot();
+    b.queue_wait_by_worker.push_back(snap.Summarize());
+    queue_wait_total.Merge(snap);
+  }
+  b.queue_wait = queue_wait_total.Summarize();
+
+  if (obs::LatencyHistogram* h =
+          metrics_->GetLatencyHistogram("superfe_latency_worker_service_ns")) {
+    b.worker_service = h->TakeSnapshot().Summarize();
+  }
+  if (obs::LatencyHistogram* h = metrics_->GetLatencyHistogram("superfe_latency_e2e_ns")) {
+    b.end_to_end = h->TakeSnapshot().Summarize();
+  }
+
+  // Table-5-style attribution: split the measured service stage by where
+  // the modeled NIC cycles went.
+  const NicCycleBreakdown cycles = NicPerf().breakdown();
+  const uint64_t total = cycles.Total();
+  const auto share = [total](const char* family, uint64_t c) {
+    RunReport::ServiceShare s;
+    s.family = family;
+    s.cycles = c;
+    s.fraction = total > 0 ? static_cast<double>(c) / static_cast<double>(total) : 0.0;
+    return s;
+  };
+  b.service_shares = {share("dispatch", cycles.dispatch),
+                      share("alu", cycles.alu),
+                      share("division", cycles.division),
+                      share("hash", cycles.hash),
+                      share("report_overhead", cycles.report_overhead),
+                      share("memory", cycles.memory)};
+  return b;
+}
+
 double SuperFeRuntime::SustainableGbps(const RunReport& report, uint32_t cores) const {
   // (a) NIC compute limit: cells/s the cores sustain (bounded by the NBI
   // ingest ceiling), mapped back to offered traffic (cells = filtered
@@ -199,6 +318,58 @@ bool SuperFeRuntime::WriteMetricsProm(std::ostream& out) const {
   return true;
 }
 
+namespace {
+
+void WriteStageSummaryJson(JsonWriter& writer, const obs::LatencyStageSummary& s) {
+  writer.BeginObject();
+  writer.FieldUint("count", s.count);
+  writer.FieldUint("sum_ns", s.sum_ns);
+  writer.FieldDouble("mean_ns", s.MeanNs());
+  writer.FieldDouble("p50_ns", s.p50_ns);
+  writer.FieldDouble("p90_ns", s.p90_ns);
+  writer.FieldDouble("p99_ns", s.p99_ns);
+  writer.FieldDouble("p999_ns", s.p999_ns);
+  writer.EndObject();
+}
+
+void WriteLatencyBreakdownJson(JsonWriter& writer, const RunReport::LatencyBreakdown& b) {
+  writer.BeginObject();
+  writer.Key("mgpv_residency");
+  WriteStageSummaryJson(writer, b.mgpv_residency);
+  writer.Key("mgpv_residency_by_cause");
+  writer.BeginObject();
+  for (int i = 0; i < 5; ++i) {
+    writer.Key(EvictReasonName(static_cast<EvictReason>(i)));
+    WriteStageSummaryJson(writer, b.residency_by_cause[i]);
+  }
+  writer.EndObject();
+  writer.Key("queue_wait");
+  WriteStageSummaryJson(writer, b.queue_wait);
+  writer.Key("queue_wait_by_worker");
+  writer.BeginArray();
+  for (const auto& w : b.queue_wait_by_worker) {
+    WriteStageSummaryJson(writer, w);
+  }
+  writer.EndArray();
+  writer.Key("worker_service");
+  WriteStageSummaryJson(writer, b.worker_service);
+  writer.Key("end_to_end");
+  WriteStageSummaryJson(writer, b.end_to_end);
+  writer.Key("service_shares");
+  writer.BeginArray();
+  for (const auto& s : b.service_shares) {
+    writer.BeginObject();
+    writer.FieldStr("family", s.family);
+    writer.FieldUint("cycles", s.cycles);
+    writer.FieldDouble("fraction", s.fraction);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+}  // namespace
+
 bool SuperFeRuntime::WriteMetricsJson(std::ostream& out) const {
   if (metrics_ == nullptr) {
     return false;
@@ -211,6 +382,23 @@ bool SuperFeRuntime::WriteMetricsJson(std::ostream& out) const {
     writer.Key("series");
     sampler_->WriteJson(writer);
   }
+  if (trace_clock_ != nullptr) {
+    writer.Key("latency");
+    WriteLatencyBreakdownJson(writer, BuildLatencyBreakdown());
+  }
+  writer.EndObject();
+  out << '\n';
+  return true;
+}
+
+bool SuperFeRuntime::WriteSamplesJson(std::ostream& out) const {
+  if (sampler_ == nullptr) {
+    return false;
+  }
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Key("series");
+  sampler_->WriteJson(writer);
   writer.EndObject();
   out << '\n';
   return true;

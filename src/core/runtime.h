@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "core/feature_vector.h"
 #include "net/replay.h"
@@ -63,6 +64,12 @@ struct RuntimeConfig {
     // Snapshot sampler period; 0 disables the sampler thread. The sampler
     // also refreshes the cluster queue-depth gauges before each capture.
     uint32_t sample_interval_ms = 0;
+    // Per-stage latency tracking (docs/OBSERVABILITY.md, "Latency
+    // observability"): propagate trace-time ingest timestamps through the
+    // pipeline and record MGPV residency, queue wait, worker service, and
+    // end-to-end distributions as superfe_latency_* histograms. Implies
+    // `metrics`.
+    bool latency = false;
   };
   ObsConfig obs;
 };
@@ -98,6 +105,28 @@ struct RunReport {
     uint64_t samples_captured = 0;
   };
   ObsSummary obs;
+
+  // Consolidated per-stage latency breakdown (config.obs.latency). All
+  // values are trace-time ns; quantiles are bucket-interpolated estimates
+  // (exact to within one log-bucket, a 10^0.2 factor).
+  struct ServiceShare {
+    const char* family = "";  // Table-5 operator family.
+    uint64_t cycles = 0;
+    double fraction = 0.0;  // Of the total modeled NIC cycles.
+  };
+  struct LatencyBreakdown {
+    bool enabled = false;
+    obs::LatencyStageSummary mgpv_residency;  // All causes merged.
+    obs::LatencyStageSummary residency_by_cause[5];  // Indexed by EvictReason.
+    obs::LatencyStageSummary queue_wait;  // All workers merged; parallel only.
+    std::vector<obs::LatencyStageSummary> queue_wait_by_worker;
+    obs::LatencyStageSummary worker_service;
+    obs::LatencyStageSummary end_to_end;
+    // Worker-service attribution by operator family, from the NIC cycle
+    // cost model (fractions sum to 1 when any work was accounted).
+    std::vector<ServiceShare> service_shares;
+  };
+  LatencyBreakdown latency;
 };
 
 class SuperFeRuntime {
@@ -129,17 +158,28 @@ class SuperFeRuntime {
   // Observability access (null unless the matching ObsConfig flag is set).
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
   obs::TraceRecorder* trace_recorder() const { return trace_.get(); }
+  obs::TraceClock* latency_clock() const { return trace_clock_.get(); }
 
   // Exports; each returns false (writes nothing) when the matching obs
   // subsystem is disabled. Call after Run() — the trace export in
   // particular requires quiescent writers.
   bool WriteMetricsProm(std::ostream& out) const;
-  // {"metrics": [...], "series": {...}} — series only with the sampler on.
+  // {"metrics": [...], "series": {...}, "latency": {...}} — series only
+  // with the sampler on, latency only with obs.latency.
   bool WriteMetricsJson(std::ostream& out) const;
   bool WriteTraceJson(std::ostream& out) const;
+  // Standalone sampler time series ({"series": {...}}); false without a
+  // completed sampled run.
+  bool WriteSamplesJson(std::ostream& out) const;
 
  private:
+  class SerialLatencySink;
+
   SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config);
+
+  // Summarizes the superfe_latency_* histograms plus the cost-model cycle
+  // attribution. Meaningful after Run(); disabled breakdown otherwise.
+  RunReport::LatencyBreakdown BuildLatencyBreakdown() const;
 
   // Accounted NIC work for throughput modeling: the serial NIC's model, or
   // the sum over cluster members (identical totals for the same stream).
@@ -151,9 +191,13 @@ class SuperFeRuntime {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::SnapshotSampler> sampler_;  // Per Run; kept for export.
+  std::unique_ptr<obs::TraceClock> trace_clock_;   // obs.latency only.
   ReplayObs replay_obs_;
   std::unique_ptr<FeNic> nic_;          // Serial path; must outlive switch_.
   std::unique_ptr<NicCluster> cluster_;  // Parallel path; must outlive switch_.
+  // Serial-path latency shim between MGPV and the FeNic (obs.latency with
+  // worker_threads == 0); must outlive switch_, which holds a pointer.
+  std::unique_ptr<SerialLatencySink> serial_latency_;
   std::unique_ptr<FeSwitch> switch_;
   FeatureSink* user_sink_ = nullptr;
 

@@ -92,6 +92,8 @@ ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink
   const double speedup = options.speedup > 0.0 ? options.speedup : 1.0;
   const uint64_t base_ts = trace.packets().front().timestamp_ns;
   ReplayChunkObs chunk_obs(options.obs);
+  obs::TraceClock* clock =
+      options.obs != nullptr ? options.obs->clock : nullptr;
 
   uint64_t min_ts = UINT64_MAX;
   uint64_t max_ts = 0;
@@ -115,6 +117,9 @@ ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink
       max_ts = std::max(max_ts, pkt.timestamp_ns);
       report.packets++;
       report.bytes += pkt.wire_bytes;
+      if (clock != nullptr) {
+        clock->Advance(pkt.timestamp_ns);
+      }
       sink.OnPacket(pkt);
       chunk_obs.OnPacket(pkt.wire_bytes);
     }

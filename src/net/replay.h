@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "net/trace.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,6 +22,10 @@ namespace superfe {
 struct ReplayObs {
   obs::Counter* packets = nullptr;
   obs::Counter* bytes = nullptr;
+  // When set, the replay loop publishes each packet's trace-time timestamp
+  // before delivering it, so downstream consumers (NIC workers) can measure
+  // queue wait / end-to-end latency in the trace clock domain.
+  obs::TraceClock* clock = nullptr;
   obs::TraceRecorder* trace = nullptr;
   uint32_t trace_lane = 0;
   // One "replay/batch" trace span (and one counter flush) per this many

@@ -20,22 +20,29 @@ const char* MemLevelName(MemLevel level) {
 
 void NicPerfModel::AccountCell(const CellWork& work) {
   ++cells_;
-  uint64_t compute = costs_.dispatch + static_cast<uint64_t>(work.alu_ops) * costs_.alu;
-  compute += static_cast<uint64_t>(work.divisions) *
-             (opts_.eliminate_division ? costs_.division_opt : costs_.division);
+  const uint64_t alu_cycles = static_cast<uint64_t>(work.alu_ops) * costs_.alu;
+  const uint64_t division_cycles =
+      static_cast<uint64_t>(work.divisions) *
+      (opts_.eliminate_division ? costs_.division_opt : costs_.division);
   uint32_t hashes = work.hashes;
   if (opts_.reuse_switch_hash && hashes > 0) {
     --hashes;  // The switch-computed hash index rides along with the MGPV.
   }
-  compute += static_cast<uint64_t>(hashes) * costs_.hash;
-  compute_cycles_ += compute;
+  const uint64_t hash_cycles = static_cast<uint64_t>(hashes) * costs_.hash;
+  compute_cycles_ += costs_.dispatch + alu_cycles + division_cycles + hash_cycles;
   memory_cycles_ += work.mem_latency_cycles;
   mem_accesses_ += work.mem_accesses;
+  breakdown_.dispatch += costs_.dispatch;
+  breakdown_.alu += alu_cycles;
+  breakdown_.division += division_cycles;
+  breakdown_.hash += hash_cycles;
+  breakdown_.memory += work.mem_latency_cycles;
 }
 
 void NicPerfModel::AccountReport() {
   ++reports_;
   compute_cycles_ += costs_.report_overhead;
+  breakdown_.report_overhead += costs_.report_overhead;
 }
 
 void NicPerfModel::Merge(const NicPerfModel& other) {
@@ -44,6 +51,7 @@ void NicPerfModel::Merge(const NicPerfModel& other) {
   compute_cycles_ += other.compute_cycles_;
   memory_cycles_ += other.memory_cycles_;
   mem_accesses_ += other.mem_accesses_;
+  breakdown_.Merge(other.breakdown_);
 }
 
 uint64_t NicPerfModel::EffectiveCycles() const {

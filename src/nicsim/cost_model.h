@@ -31,6 +31,30 @@ struct CycleCosts {
   uint32_t report_overhead = 60;  // Per-MGPV-report DMA + header handling.
 };
 
+// Cycle totals split by operator family (the Table-5 categories): where a
+// NIC's service time actually goes. Fractions of Total() attribute the
+// measured worker-service latency per family.
+struct NicCycleBreakdown {
+  uint64_t dispatch = 0;         // Per-cell parse/dispatch.
+  uint64_t alu = 0;              // Arithmetic feature updates.
+  uint64_t division = 0;         // Soft divides (or their comparison trick).
+  uint64_t hash = 0;             // Group-lookup hashing not covered by reuse.
+  uint64_t report_overhead = 0;  // Per-report DMA + header handling.
+  uint64_t memory = 0;           // State-memory access latency.
+
+  uint64_t Total() const {
+    return dispatch + alu + division + hash + report_overhead + memory;
+  }
+  void Merge(const NicCycleBreakdown& other) {
+    dispatch += other.dispatch;
+    alu += other.alu;
+    division += other.division;
+    hash += other.hash;
+    report_overhead += other.report_overhead;
+    memory += other.memory;
+  }
+};
+
 // Per-cell work description, produced by the execution engine.
 struct CellWork {
   uint32_t alu_ops = 0;
@@ -59,6 +83,9 @@ class NicPerfModel {
   uint64_t cells() const { return cells_; }
   uint64_t compute_cycles() const { return compute_cycles_; }
   uint64_t memory_cycles() const { return memory_cycles_; }
+  // Per-family cycle attribution; breakdown.Total() ==
+  // compute_cycles() + memory_cycles().
+  const NicCycleBreakdown& breakdown() const { return breakdown_; }
 
   // Effective core-cycles consumed, after thread-level latency hiding.
   uint64_t EffectiveCycles() const;
@@ -82,6 +109,7 @@ class NicPerfModel {
   uint64_t compute_cycles_ = 0;
   uint64_t memory_cycles_ = 0;
   uint64_t mem_accesses_ = 0;
+  NicCycleBreakdown breakdown_;
 };
 
 }  // namespace superfe

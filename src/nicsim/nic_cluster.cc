@@ -49,6 +49,14 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
     for (size_t i = 0; i < nics_.size(); ++i) {
       nics_[i]->set_obs(FeNicObs::Create(options_.metrics, static_cast<uint32_t>(i)));
     }
+    if (options_.latency_clock != nullptr) {
+      lat_service_ = options_.metrics->GetLatencyHistogram(
+          "superfe_latency_worker_service_ns", {},
+          "Trace-time elapsed while a NIC worker processed one report");
+      lat_e2e_ = options_.metrics->GetLatencyHistogram(
+          "superfe_latency_e2e_ns", {},
+          "First packet ingest to feature emit, end to end (trace-time ns)");
+    }
   }
   if (!options_.parallel) {
     return;
@@ -83,6 +91,11 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
       w.queue.set_stall_counter(
           reg->GetCounter("superfe_cluster_queue_stalls_total", labels,
                           "Pushes that found the worker queue full and waited"));
+      if (options_.latency_clock != nullptr) {
+        w.obs_queue_wait = reg->GetLatencyHistogram(
+            "superfe_latency_queue_wait_ns", labels,
+            "Report wait from MGPV eviction to worker dequeue (trace-time ns)");
+      }
     }
   }
   // Spawn only after every queue exists: a worker never touches a sibling's
@@ -119,8 +132,29 @@ void NicCluster::WorkerLoop(size_t index) {
       case WorkerMessage::Kind::kReports: {
         obs::TraceRecorder::Span span(trace, lane, "worker", "process_batch");
         span.SetArg("reports", msg.reports.size());
+        obs::TraceClock* clock = options_.latency_clock;
+        if (clock == nullptr) {
+          for (const auto& report : msg.reports) {
+            nic.OnMgpv(report);
+          }
+          break;
+        }
+        // All stages in trace time. The clock is monotone, the queue's
+        // release/acquire edge orders it past the producer's value at push,
+        // and the report's stamps were taken from the same running maximum —
+        // so the subtractions below cannot underflow; the guards are
+        // defensive only.
+        const uint64_t dequeue_ns = clock->Now();
         for (const auto& report : msg.reports) {
+          obs::Observe(workers_[index]->obs_queue_wait,
+                       dequeue_ns > report.evict_ns ? dequeue_ns - report.evict_ns : 0);
+          const uint64_t before_ns = clock->Now();
           nic.OnMgpv(report);
+          const uint64_t after_ns = clock->Now();
+          obs::Observe(lat_service_, after_ns - before_ns);
+          obs::Observe(lat_e2e_, after_ns > report.first_ingest_ns
+                                     ? after_ns - report.first_ingest_ns
+                                     : 0);
         }
         break;
       }
@@ -201,7 +235,21 @@ void NicCluster::OnMgpv(const MgpvReport& report) {
   // the same NIC, so per-group state never splits across members.
   const size_t target = report.hash % nics_.size();
   if (workers_.empty()) {
+    obs::TraceClock* clock = options_.latency_clock;
+    if (clock == nullptr) {
+      nics_[target]->OnMgpv(report);
+      return;
+    }
+    // Serial dispatch runs on the producer thread: there is no queue (no
+    // queue-wait stage) and the clock cannot advance mid-call, so service
+    // is 0 trace-time ns and end-to-end equals the MGPV residency.
+    const uint64_t before_ns = clock->Now();
     nics_[target]->OnMgpv(report);
+    const uint64_t after_ns = clock->Now();
+    obs::Observe(lat_service_, after_ns - before_ns);
+    obs::Observe(lat_e2e_, after_ns > report.first_ingest_ns
+                               ? after_ns - report.first_ingest_ns
+                               : 0);
     return;
   }
   Worker& worker = *workers_[target];

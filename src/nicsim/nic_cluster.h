@@ -68,6 +68,12 @@ struct NicClusterOptions {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
   uint32_t trace_lane_base = 0;
+
+  // Trace-time clock published by the replay loop (see obs/latency.h). When
+  // set together with `metrics`, the cluster records queue wait, worker
+  // service time, and end-to-end ingest->emit latency — all in trace-time
+  // ns, so they compose with the MGPV residency measurements.
+  obs::TraceClock* latency_clock = nullptr;
 };
 
 // Per-worker pipeline counters (MgpvStats-style; all zero in serial mode).
@@ -169,6 +175,9 @@ class NicCluster : public MgpvSink {
     obs::Counter* obs_syncs = nullptr;
     obs::Gauge* obs_queue_depth = nullptr;
     obs::Gauge* obs_queue_watermark = nullptr;
+    // Eviction -> dequeue wait (includes producer-side staging), observed
+    // by the worker thread per dequeued report.
+    obs::LatencyHistogram* obs_queue_wait = nullptr;
   };
 
   // Serializes concurrent OnFeatureVector calls from the worker threads
@@ -198,6 +207,11 @@ class NicCluster : public MgpvSink {
   NicClusterOptions options_;
   std::unique_ptr<SerializingSink> serializing_sink_;  // Parallel mode only.
   std::vector<std::unique_ptr<Worker>> workers_;       // Parallel mode only.
+
+  // Latency stages recorded at report granularity (null = tracking off).
+  // Shared across workers; LatencyHistogram::Observe is wait-free.
+  obs::LatencyHistogram* lat_service_ = nullptr;
+  obs::LatencyHistogram* lat_e2e_ = nullptr;
 
   // Flush-barrier rendezvous.
   std::mutex flush_mu_;

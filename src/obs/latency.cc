@@ -1,0 +1,93 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace superfe {
+namespace obs {
+namespace {
+
+// Bounds table built once: 10^(2 + i/5) ns, rounded to integers so bucket
+// edges are stable across platforms (100, 158, 251, 398, 631, 1000, ...).
+const std::array<uint64_t, LatencyHistogram::kNumBounds>& BoundsTable() {
+  static const std::array<uint64_t, LatencyHistogram::kNumBounds> bounds = [] {
+    std::array<uint64_t, LatencyHistogram::kNumBounds> b{};
+    for (size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<uint64_t>(
+          std::llround(std::pow(10.0, 2.0 + static_cast<double>(i) / 5.0)));
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+uint64_t LatencyHistogram::BoundNs(size_t i) { return BoundsTable()[i]; }
+
+size_t LatencyHistogram::BucketIndex(uint64_t ns) {
+  const auto& bounds = BoundsTable();
+  // First bucket whose upper bound is >= ns (upper bounds are inclusive,
+  // matching the fixed-bucket Histogram); past the last bound -> +Inf.
+  return static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), ns) - bounds.begin());
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i <= kNumBounds; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LatencyHistogram::Snapshot::Merge(const Snapshot& other) {
+  for (size_t i = 0; i <= kNumBounds; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+}
+
+double LatencyHistogram::Snapshot::QuantileNs(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBounds; ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lower = i == 0 ? 0.0 : static_cast<double>(BoundNs(i - 1));
+      const double upper = static_cast<double>(BoundNs(i));
+      const double fraction =
+          std::clamp((rank - before) / static_cast<double>(in_bucket), 0.0, 1.0);
+      return lower + (upper - lower) * fraction;
+    }
+  }
+  // Rank falls in the +Inf bucket: clamp to the highest finite bound, the
+  // standard histogram_quantile behavior.
+  return static_cast<double>(BoundNs(kNumBounds - 1));
+}
+
+LatencyStageSummary LatencyHistogram::Snapshot::Summarize() const {
+  LatencyStageSummary s;
+  s.count = count;
+  s.sum_ns = sum_ns;
+  s.p50_ns = QuantileNs(0.50);
+  s.p90_ns = QuantileNs(0.90);
+  s.p99_ns = QuantileNs(0.99);
+  s.p999_ns = QuantileNs(0.999);
+  return s;
+}
+
+}  // namespace obs
+}  // namespace superfe

@@ -1,0 +1,128 @@
+// Pipeline latency instruments: a log-bucketed LatencyHistogram with
+// quantile estimation, and the TraceClock that carries the replay's
+// trace-time "now" across threads so every stage is measured in one clock
+// domain (docs/OBSERVABILITY.md, "Latency observability").
+//
+// Clock domain: all latencies are *trace-time nanoseconds* — the replayed
+// packet timestamps, post-speedup — not host wall time. The producer thread
+// (replay + switch + MGPV) publishes the newest packet timestamp into the
+// TraceClock; NIC-cluster workers read it to compute queue wait, service
+// time, and end-to-end delay for the reports they process. Measuring in
+// trace time makes the numbers deployment-meaningful (they answer "how
+// stale is a feature vector relative to the traffic?") and independent of
+// host scheduling jitter; host wall-clock spans are already covered by the
+// TraceRecorder.
+#ifndef SUPERFE_OBS_LATENCY_H_
+#define SUPERFE_OBS_LATENCY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace superfe {
+namespace obs {
+
+// Trace-time "now", published by the single producer thread (one release
+// store per replayed packet) and read by any number of consumers. Values
+// are monotone: Advance keeps the maximum ever seen, so a worker's
+// successive reads never go backwards (atomic coherence) and any read that
+// happens-after a queue push observes at least the producer's clock at push
+// time (the queue's release/acquire edge orders the store).
+//
+// Single-writer by design (like the TraceRecorder lanes); a future parallel
+// replay driver must either shard clocks or switch Advance to a CAS-max.
+class TraceClock {
+ public:
+  void Advance(uint64_t now_ns) {
+    if (now_ns > now_ns_.load(std::memory_order_relaxed)) {
+      now_ns_.store(now_ns, std::memory_order_release);
+    }
+  }
+  uint64_t Now() const { return now_ns_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> now_ns_{0};
+};
+
+// Per-stage latency distribution summary (quantiles estimated from the
+// log-bucket histogram by linear interpolation inside the matched bucket).
+struct LatencyStageSummary {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+
+  double MeanNs() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+};
+
+// Log-bucketed latency histogram: 41 finite buckets spanning 100 ns .. 10 s
+// (5 buckets per decade, bound ratio 10^0.2 ~= 1.585) plus +Inf, with exact
+// atomic count and nanosecond sum. Observation is wait-free: one binary
+// search over the static bounds table plus three relaxed fetch_adds.
+// Concurrent observers are safe; reads are consistent at quiescence.
+//
+// Quantiles are estimated Prometheus-style (cumulative bucket counts +
+// linear interpolation within the matched bucket), so an estimate is exact
+// to within one bucket's relative width — a factor of 10^0.2 worst case.
+class LatencyHistogram {
+ public:
+  // Finite bucket count; bucket i covers (BoundNs(i-1), BoundNs(i)], bucket
+  // kNumBounds is the +Inf overflow.
+  static constexpr size_t kNumBounds = 41;
+
+  // Upper bound of finite bucket i, in ns: 10^(2 + i/5), i.e. 100 ns for
+  // i=0 up to 10 s for i=40.
+  static uint64_t BoundNs(size_t i);
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Observe(uint64_t ns) {
+    buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t SumNs() const { return sum_ns_.load(std::memory_order_relaxed); }
+  // Non-cumulative count of bucket i (i == kNumBounds is the +Inf bucket).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Consistent-at-quiescence copy supporting quantile math and cross-child
+  // merging (e.g. per-cause residency -> overall residency). All
+  // LatencyHistograms share one bucket layout, so merging is exact.
+  struct Snapshot {
+    std::array<uint64_t, kNumBounds + 1> buckets{};
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+
+    void Merge(const Snapshot& other);
+
+    // Interpolated quantile in ns, q in [0, 1]. Samples in the +Inf bucket
+    // clamp to the highest finite bound (10 s); an empty snapshot yields 0.
+    double QuantileNs(double q) const;
+
+    LatencyStageSummary Summarize() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  static size_t BucketIndex(uint64_t ns);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBounds + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_LATENCY_H_

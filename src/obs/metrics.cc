@@ -18,6 +18,10 @@ const char* TypeName(MetricType type) {
       return "gauge";
     case MetricType::kHistogram:
       return "histogram";
+    case MetricType::kLatencyHistogram:
+      // Latency histograms are ordinary Prometheus histograms on the wire;
+      // the distinct MetricType only drives registry-internal dispatch.
+      return "histogram";
   }
   return "?";
 }
@@ -135,6 +139,22 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return it->second.second.get();
 }
 
+LatencyHistogram* MetricsRegistry::GetLatencyHistogram(const std::string& name,
+                                                       const LabelSet& labels,
+                                                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, MetricType::kLatencyHistogram, help);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  auto [it, inserted] = family->latency.try_emplace(SerializeLabels(labels));
+  if (inserted) {
+    it->second.first = SortedLabels(labels);
+    it->second.second.reset(new LatencyHistogram());
+  }
+  return it->second.second.get();
+}
+
 std::vector<MetricsRegistry::MetricValue> MetricsRegistry::Collect() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricValue> out;
@@ -164,6 +184,16 @@ std::vector<MetricsRegistry::MetricValue> MetricsRegistry::Collect() const {
       v.uvalue = child.second->Count();
       v.value = child.second->Sum();
       v.histogram = child.second.get();
+      out.push_back(std::move(v));
+    }
+    for (const auto& [key, child] : family.latency) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricType::kLatencyHistogram;
+      v.labels = child.first;
+      v.uvalue = child.second->Count();
+      v.value = static_cast<double>(child.second->SumNs());
+      v.latency = child.second.get();
       out.push_back(std::move(v));
     }
   }
@@ -230,6 +260,29 @@ void MetricsRegistry::WriteProm(std::ostream& out) const {
       }
       out << " " << h.Count() << "\n";
     }
+    for (const auto& [key, child] : family.latency) {
+      const LatencyHistogram& h = *child.second;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i <= LatencyHistogram::kNumBounds; ++i) {
+        cumulative += h.BucketCount(i);
+        const std::string le =
+            i < LatencyHistogram::kNumBounds
+                ? FormatNumber(static_cast<double>(LatencyHistogram::BoundNs(i)))
+                : std::string("+Inf");
+        out << name << "_bucket{" << key << (key.empty() ? "" : ",") << "le=\"" << le
+            << "\"} " << cumulative << "\n";
+      }
+      out << name << "_sum";
+      if (!key.empty()) {
+        out << "{" << key << "}";
+      }
+      out << " " << h.SumNs() << "\n";
+      out << name << "_count";
+      if (!key.empty()) {
+        out << "{" << key << "}";
+      }
+      out << " " << h.Count() << "\n";
+    }
   }
 }
 
@@ -271,6 +324,35 @@ void MetricsRegistry::WriteJson(JsonWriter& writer) const {
         writer.EndArray();
         writer.FieldDouble("sum", m.histogram->Sum());
         writer.FieldUint("count", m.histogram->Count());
+        break;
+      }
+      case MetricType::kLatencyHistogram: {
+        const LatencyHistogram::Snapshot snap = m.latency->TakeSnapshot();
+        writer.Key("buckets");
+        writer.BeginArray();
+        for (size_t i = 0; i <= LatencyHistogram::kNumBounds; ++i) {
+          if (snap.buckets[i] == 0) {
+            continue;  // Sparse: 42 buckets per child is mostly zeros.
+          }
+          writer.BeginObject();
+          if (i < LatencyHistogram::kNumBounds) {
+            writer.FieldUint("le_ns", LatencyHistogram::BoundNs(i));
+          } else {
+            writer.FieldStr("le_ns", "+Inf");
+          }
+          writer.FieldUint("count", snap.buckets[i]);
+          writer.EndObject();
+        }
+        writer.EndArray();
+        writer.FieldUint("sum_ns", snap.sum_ns);
+        writer.FieldUint("count", snap.count);
+        writer.Key("quantiles_ns");
+        writer.BeginObject();
+        writer.FieldDouble("p50", snap.QuantileNs(0.50));
+        writer.FieldDouble("p90", snap.QuantileNs(0.90));
+        writer.FieldDouble("p99", snap.QuantileNs(0.99));
+        writer.FieldDouble("p999", snap.QuantileNs(0.999));
+        writer.EndObject();
         break;
       }
     }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/json_writer.h"
+#include "obs/latency.h"
 
 namespace superfe {
 namespace obs {
@@ -95,7 +96,11 @@ class Gauge {
 };
 
 // Fixed-bucket histogram (Prometheus-style: cumulative `le` buckets on
-// export, plus sum and count).
+// export, plus sum and count). The sum is sharded like Counter — a shared
+// single-cell CAS loop would make concurrent observers bounce one cacheline
+// and retry each other; per-thread shards keep Observe() effectively
+// wait-free under contention. Exposition emits the required `_sum` and
+// `_count` series alongside the cumulative buckets.
 class Histogram {
  public:
   void Observe(double value) {
@@ -105,11 +110,8 @@ class Histogram {
     }
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
-    uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
-    while (!sum_bits_.compare_exchange_weak(
-        expected, std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + value),
-        std::memory_order_relaxed)) {
-    }
+    sum_cells_[Counter::ThreadShard() & (kCounterShards - 1)].v.fetch_add(
+        value, std::memory_order_relaxed);
   }
 
   // Upper bounds, ascending; an implicit +Inf bucket follows.
@@ -119,20 +121,30 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
-  double Sum() const { return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed)); }
+  double Sum() const {
+    double total = 0.0;
+    for (const SumCell& cell : sum_cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
 
  private:
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> bounds)
       : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
 
+  struct alignas(64) SumCell {
+    std::atomic<double> v{0.0};
+  };
+
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_bits_{std::bit_cast<uint64_t>(0.0)};
+  std::array<SumCell, kCounterShards> sum_cells_{};
 };
 
-enum class MetricType { kCounter, kGauge, kHistogram };
+enum class MetricType { kCounter, kGauge, kHistogram, kLatencyHistogram };
 
 // Label pairs; serialized sorted by key so {a,b} and {b,a} are one child.
 using LabelSet = std::vector<std::pair<std::string, std::string>>;
@@ -153,6 +165,11 @@ class MetricsRegistry {
   // registration wins the bucket layout.
   Histogram* GetHistogram(const std::string& name, const std::vector<double>& bounds,
                           const LabelSet& labels = {}, const std::string& help = "");
+  // Log-bucketed latency histogram (fixed 100ns..10s layout shared by every
+  // instance; exported as a Prometheus histogram with ns-valued `le` bounds).
+  LatencyHistogram* GetLatencyHistogram(const std::string& name,
+                                        const LabelSet& labels = {},
+                                        const std::string& help = "");
 
   struct MetricValue {
     std::string name;
@@ -161,6 +178,7 @@ class MetricsRegistry {
     uint64_t uvalue = 0;              // Counters (exact).
     double value = 0.0;               // Gauges; counters mirrored as double.
     const Histogram* histogram = nullptr;  // Histograms only.
+    const LatencyHistogram* latency = nullptr;  // Latency histograms only.
   };
   // Every registered child, sorted by (name, serialized labels).
   std::vector<MetricValue> Collect() const;
@@ -184,6 +202,7 @@ class MetricsRegistry {
     std::map<std::string, std::pair<LabelSet, std::unique_ptr<Counter>>> counters;
     std::map<std::string, std::pair<LabelSet, std::unique_ptr<Gauge>>> gauges;
     std::map<std::string, std::pair<LabelSet, std::unique_ptr<Histogram>>> histograms;
+    std::map<std::string, std::pair<LabelSet, std::unique_ptr<LatencyHistogram>>> latency;
   };
 
   Family* GetFamily(const std::string& name, MetricType type, const std::string& help);
@@ -215,11 +234,17 @@ inline void Observe(Histogram* h, double value) {
     h->Observe(value);
   }
 }
+inline void Observe(LatencyHistogram* h, uint64_t ns) {
+  if (h != nullptr) {
+    h->Observe(ns);
+  }
+}
 #else
 inline void Inc(Counter*, uint64_t = 1) {}
 inline void IncShard(Counter*, size_t, uint64_t = 1) {}
 inline void Set(Gauge*, double) {}
 inline void Observe(Histogram*, double) {}
+inline void Observe(LatencyHistogram*, uint64_t) {}
 #endif
 
 }  // namespace obs

@@ -45,6 +45,13 @@ struct MgpvReport {
   EvictReason reason = EvictReason::kCollision;
   std::vector<MgpvCell> cells;
 
+  // Trace-time latency stamps (simulator shadow, not wire bytes): when the
+  // batch's first packet entered the MGPV slot and when the batch was
+  // evicted. Downstream stages subtract these from the TraceClock to get
+  // queue wait and end-to-end ingest->emit delay.
+  uint64_t first_ingest_ns = 0;
+  uint64_t evict_ns = 0;
+
   // Bytes on the switch->NIC wire: report header (key + hash + count) plus
   // `metadata_bytes_per_cell` per cell.
   uint32_t WireBytes(uint32_t metadata_bytes_per_cell) const {

@@ -24,7 +24,7 @@ const char* EvictReasonName(EvictReason reason) {
 }
 
 MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
-                        uint32_t trace_lane) {
+                        uint32_t trace_lane, bool latency) {
   MgpvObs o;
   o.trace = trace;
   o.trace_lane = trace_lane;
@@ -57,6 +57,14 @@ MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trac
   }
   o.report_cells = registry->GetHistogram("superfe_mgpv_report_cells", {1, 2, 4, 8, 16, 32},
                                           {}, "Cells per evicted MGPV report");
+  if (latency) {
+    for (int i = 0; i < 5; ++i) {
+      o.residency[i] = registry->GetLatencyHistogram(
+          "superfe_latency_mgpv_residency_ns",
+          {{"cause", EvictReasonName(static_cast<EvictReason>(i))}},
+          "Batch residency in the MGPV slot (first ingest to eviction, trace-time ns)");
+    }
+  }
   o.live_entries = registry->GetGauge("superfe_mgpv_live_entries", {},
                                       "Occupied MGPV short-buffer entries");
   return o;
@@ -127,6 +135,8 @@ void MgpvCache::EvictCells(Entry& entry, EvictReason reason) {
     entry.long_index = -1;
   }
   entry.short_cells.clear();
+  report.first_ingest_ns = entry.batch_start_ns;
+  report.evict_ns = now_ns_;
 
   stats_.reports_out++;
   stats_.cells_out += report.cells.size();
@@ -136,6 +146,10 @@ void MgpvCache::EvictCells(Entry& entry, EvictReason reason) {
   obs::Inc(obs_.cells_out, report.cells.size());
   obs::Inc(obs_.bytes_out, report.WireBytes(config_.metadata_bytes_per_cell));
   obs::Inc(obs_.evictions[static_cast<int>(reason)]);
+  // Same site as the eviction counter bump: residency counts per cause
+  // always equal eviction counts per cause.
+  obs::Observe(obs_.residency[static_cast<int>(reason)],
+               now_ns_ - entry.batch_start_ns);
   obs::Observe(obs_.report_cells, static_cast<double>(report.cells.size()));
   if (obs_.trace != nullptr) {
     obs_.trace->Instant(obs_.trace_lane, "mgpv", "evict", "cells", report.cells.size(),
@@ -225,6 +239,11 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
     entry.hash = hash;
   }
   entry.last_access_ns = pkt.timestamp_ns;
+  if (entry.short_cells.empty()) {
+    // Every eviction clears both buffers, so an empty short buffer means
+    // this packet starts a fresh batch.
+    entry.batch_start_ns = pkt.timestamp_ns;
+  }
 
   // Place the cell: short buffer first, then the long buffer.
   if (entry.short_cells.size() < config_.short_size) {

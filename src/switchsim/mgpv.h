@@ -39,13 +39,19 @@ struct MgpvObs {
   obs::Counter* evictions[5] = {};  // Indexed by EvictReason.
   obs::Histogram* report_cells = nullptr;
   obs::Gauge* live_entries = nullptr;  // Valid short-buffer entries, live.
+  // Batch residency (first ingest -> eviction, trace-time ns) per eviction
+  // cause; observed at the same site as the eviction counters, so each
+  // cause's residency count equals its eviction count. Null unless latency
+  // tracking is on.
+  obs::LatencyHistogram* residency[5] = {};  // Indexed by EvictReason.
   obs::TraceRecorder* trace = nullptr;
   uint32_t trace_lane = 0;
 
   // Registers the standard superfe_mgpv_* metrics (docs/OBSERVABILITY.md).
-  // Null `registry`/`trace` leave the corresponding handles null.
+  // Null `registry`/`trace` leave the corresponding handles null; `latency`
+  // additionally registers the superfe_latency_mgpv_residency_ns family.
   static MgpvObs Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
-                        uint32_t trace_lane);
+                        uint32_t trace_lane, bool latency = false);
 };
 
 struct MgpvConfig {
@@ -135,6 +141,9 @@ class MgpvCache {
     GroupKey key;
     uint32_t hash = 0;
     uint64_t last_access_ns = 0;
+    // Trace-time arrival of the current batch's first cell. Every eviction
+    // clears both buffers, so "short_cells is empty" identifies batch start.
+    uint64_t batch_start_ns = 0;
     int32_t long_index = -1;  // -1 = no long buffer owned.
     std::vector<MgpvCell> short_cells;
   };

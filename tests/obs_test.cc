@@ -71,6 +71,34 @@ TEST(MetricsTest, ConcurrentCountersAreExact) {
   EXPECT_EQ(sharded->Value(), kThreads * kPerThread);
 }
 
+TEST(MetricsTest, ConcurrentHistogramSumIsExact) {
+  // The observation sum is sharded per thread (no CAS loop); with values
+  // that are exact in binary the concurrent total must be exact too.
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("test_hist", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const double value = 0.25 * (1 + t % 4);  // 0.25 .. 1.0, all exact.
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist->Observe(value);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(hist->Count(), kThreads * kPerThread);
+  double expected = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected += 0.25 * (1 + t % 4) * kPerThread;
+  }
+  EXPECT_DOUBLE_EQ(hist->Sum(), expected);
+}
+
 TEST(MetricsTest, GetIsIdempotentAndTypeChecked) {
   obs::MetricsRegistry registry;
   obs::Counter* a = registry.GetCounter("x_total", {{"k", "v"}});

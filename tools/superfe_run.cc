@@ -6,6 +6,7 @@
 //               [--packets N] [--seed S] [--out FEATURES.csv] [--report]
 //               [--workers N] [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--sample-interval-ms N]
+//               [--latency-report] [--samples-out FILE]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,7 +31,9 @@ int Usage() {
                "                   [--metrics-json FILE]  metrics + time series as JSON\n"
                "                   [--metrics-prom FILE]  Prometheus text exposition\n"
                "                   [--trace-out FILE]     Chrome trace JSON (Perfetto)\n"
-               "                   [--sample-interval-ms N]  snapshot period (default 2)\n");
+               "                   [--sample-interval-ms N]  snapshot period (default 2)\n"
+               "                   [--latency-report]     per-stage latency breakdown\n"
+               "                   [--samples-out FILE]   sampler time series as JSON\n");
   return 2;
 }
 
@@ -66,6 +69,56 @@ class CsvSink : public FeatureSink {
   uint64_t count_ = 0;
 };
 
+// 9.99 ns / 9.99 us / 9.99 ms / 9.99 s, whichever keeps the mantissa small.
+std::string FormatDuration(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+void PrintLatencyBreakdown(const RunReport::LatencyBreakdown& b) {
+  const auto row = [](const std::string& name, const obs::LatencyStageSummary& s) {
+    if (s.count == 0) {
+      return;  // Stage never ran (e.g. queue wait in serial mode).
+    }
+    std::fprintf(stderr, "  %-28s %10llu  %10s %10s %10s %10s %10s\n", name.c_str(),
+                 (unsigned long long)s.count, FormatDuration(s.MeanNs()).c_str(),
+                 FormatDuration(s.p50_ns).c_str(), FormatDuration(s.p90_ns).c_str(),
+                 FormatDuration(s.p99_ns).c_str(), FormatDuration(s.p999_ns).c_str());
+  };
+  std::fprintf(stderr,
+               "latency breakdown (trace-time):\n"
+               "  %-28s %10s  %10s %10s %10s %10s %10s\n",
+               "stage", "count", "mean", "p50", "p90", "p99", "p99.9");
+  row("mgpv_residency", b.mgpv_residency);
+  for (int i = 0; i < 5; ++i) {
+    row(std::string("  residency[") + EvictReasonName(static_cast<EvictReason>(i)) + "]",
+        b.residency_by_cause[i]);
+  }
+  row("queue_wait", b.queue_wait);
+  for (size_t i = 0; i < b.queue_wait_by_worker.size(); ++i) {
+    row("  queue_wait[worker " + std::to_string(i) + "]", b.queue_wait_by_worker[i]);
+  }
+  row("worker_service", b.worker_service);
+  row("end_to_end", b.end_to_end);
+  std::fprintf(stderr, "service attribution (modeled NIC cycles):\n");
+  for (const auto& s : b.service_shares) {
+    if (s.cycles == 0) {
+      continue;
+    }
+    std::fprintf(stderr, "  %-28s %12llu cycles  %5.1f%%\n", s.family,
+                 (unsigned long long)s.cycles, s.fraction * 100.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,7 +136,9 @@ int main(int argc, char** argv) {
   std::string metrics_json_path;
   std::string metrics_prom_path;
   std::string trace_out_path;
+  std::string samples_out_path;
   uint32_t sample_interval_ms = 2;
+  bool latency_report = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
       pcap_path = argv[++i];
@@ -107,6 +162,10 @@ int main(int argc, char** argv) {
       trace_out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sample-interval-ms") == 0 && i + 1 < argc) {
       sample_interval_ms = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--latency-report") == 0) {
+      latency_report = true;
+    } else if (std::strcmp(argv[i], "--samples-out") == 0 && i + 1 < argc) {
+      samples_out_path = argv[++i];
     } else {
       return Usage();
     }
@@ -148,11 +207,13 @@ int main(int argc, char** argv) {
 
   RuntimeConfig config;
   config.worker_threads = workers;
-  if (!metrics_json_path.empty() || !metrics_prom_path.empty()) {
+  if (!metrics_json_path.empty() || !metrics_prom_path.empty() ||
+      !samples_out_path.empty()) {
     config.obs.metrics = true;
     config.obs.sample_interval_ms = sample_interval_ms;
   }
   config.obs.trace = !trace_out_path.empty();
+  config.obs.latency = latency_report;
   auto runtime = SuperFeRuntime::Create(*policy, config);
   if (!runtime.ok()) {
     std::fprintf(stderr, "compile error: %s\n", runtime.status().ToString().c_str());
@@ -193,6 +254,9 @@ int main(int argc, char** argv) {
   exports_ok &= write_export(trace_out_path, [&](std::ostream& os) {
     return (*runtime)->WriteTraceJson(os);
   });
+  exports_ok &= write_export(samples_out_path, [&](std::ostream& os) {
+    return (*runtime)->WriteSamplesJson(os);
+  });
 
   if (report || !out_path.empty()) {
     std::fprintf(stderr,
@@ -209,6 +273,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace: %llu events recorded, %llu overwritten\n",
                  (unsigned long long)run.obs.trace_events_recorded,
                  (unsigned long long)run.obs.trace_events_dropped);
+  }
+  if (latency_report && run.latency.enabled) {
+    PrintLatencyBreakdown(run.latency);
   }
   return exports_ok ? 0 : 1;
 }
