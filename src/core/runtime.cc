@@ -61,6 +61,9 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   if (cfg.obs.latency) {
     cfg.obs.metrics = true;  // Latency histograms live in the registry.
   }
+  cfg.switch_shards = std::min(std::max<uint32_t>(cfg.switch_shards, 1),
+                               obs::TraceClock::kMaxLanes);
+  const uint32_t shards = cfg.switch_shards;
   std::unique_ptr<SuperFeRuntime> runtime(
       new SuperFeRuntime(std::move(compiled).value(), cfg));
 
@@ -68,16 +71,25 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     runtime->metrics_ = std::make_unique<obs::MetricsRegistry>();
   }
   if (cfg.obs.latency) {
-    runtime->trace_clock_ = std::make_unique<obs::TraceClock>();
+    // One clock lane per replay shard (Now() = max over lanes).
+    runtime->trace_clock_ = std::make_unique<obs::TraceClock>(shards);
   }
   if (cfg.obs.trace) {
-    // Lane 0 is the producer (replay/switch/MGPV); one lane per worker.
-    const size_t lanes = 1 + cfg.worker_threads;
+    // Lanes 0..shards-1 are the producers (replay/switch/MGPV, one per
+    // replay shard); one lane per NIC worker after that.
+    const size_t lanes = shards + cfg.worker_threads;
     runtime->trace_ = std::make_unique<obs::TraceRecorder>(
         std::max<uint32_t>(cfg.obs.trace_capacity_per_lane, 16), lanes);
-    runtime->trace_->SetLaneName(0, "producer (replay+switch+mgpv)");
+    if (shards == 1) {
+      runtime->trace_->SetLaneName(0, "producer (replay+switch+mgpv)");
+    } else {
+      for (uint32_t s = 0; s < shards; ++s) {
+        runtime->trace_->SetLaneName(
+            s, "replay-shard-" + std::to_string(s) + " (replay+switch+mgpv)");
+      }
+    }
     for (uint32_t i = 0; i < cfg.worker_threads; ++i) {
-      runtime->trace_->SetLaneName(1 + i, "nic-worker-" + std::to_string(i));
+      runtime->trace_->SetLaneName(shards + i, "nic-worker-" + std::to_string(i));
     }
   }
 
@@ -88,6 +100,7 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     options.metrics = runtime->metrics_.get();
     options.trace = runtime->trace_.get();
     options.trace_lane_base = 0;
+    options.worker_lane_base = shards;  // == historical base+1 when shards==1.
     options.latency_clock = runtime->trace_clock_.get();
     auto cluster = NicCluster::Create(runtime->compiled_, cfg.nic, cfg.worker_threads,
                                       runtime->forwarding_.get(), options);
@@ -95,6 +108,14 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
       return cluster.status();
     }
     runtime->cluster_ = std::move(cluster).value();
+    if (shards > 1) {
+      // One feeding handle per replay shard, each emitting on its own
+      // producer trace lane; the cluster's built-in default producer stays
+      // unused.
+      for (uint32_t s = 0; s < shards; ++s) {
+        runtime->shard_producers_.push_back(runtime->cluster_->MakeProducer(s));
+      }
+    }
     nic_side = runtime->cluster_.get();
   } else {
     auto nic = FeNic::Create(runtime->compiled_, cfg.nic, runtime->forwarding_.get());
@@ -119,6 +140,31 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
               "First packet ingest to feature emit, end to end (trace-time ns)"));
       nic_side = runtime->serial_latency_.get();
     }
+  }
+  if (shards > 1) {
+    // Each shard feeds its own cluster producer handle, or — with
+    // worker_threads == 0 — the shared serial NIC side (FeNic locks
+    // internally; the latency shim's observations are wait-free).
+    std::vector<MgpvSink*> sinks(shards, nic_side);
+    for (size_t s = 0; s < runtime->shard_producers_.size(); ++s) {
+      sinks[s] = runtime->shard_producers_[s].get();
+    }
+    ShardedSwitchOptions sw_options;
+    sw_options.metrics = runtime->metrics_.get();
+    sw_options.trace = runtime->trace_.get();
+    sw_options.trace_lane_base = 0;
+    sw_options.latency = cfg.obs.latency;
+    runtime->sharded_ = std::make_unique<ShardedFeSwitch>(runtime->compiled_, sinks,
+                                                          cfg.mgpv, sw_options);
+    runtime->shard_replay_obs_.reserve(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      ReplayObs o =
+          ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/s);
+      o.clock = runtime->trace_clock_.get();
+      o.clock_lane = s;
+      runtime->shard_replay_obs_.push_back(o);
+    }
+    return runtime;
   }
   runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, cfg.mgpv);
   if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
@@ -158,8 +204,28 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
     sampler_->Start();
   }
   RunReport report;
-  report.offered = Replay(trace, config_.replay, *switch_);
-  switch_->Flush();
+  if (sharded_ != nullptr) {
+    std::vector<PacketSink*> sinks;
+    std::vector<const ReplayObs*> shard_obs;
+    sinks.reserve(sharded_->size());
+    shard_obs.reserve(shard_replay_obs_.size());
+    for (size_t s = 0; s < sharded_->size(); ++s) {
+      sinks.push_back(&sharded_->shard(s));
+    }
+    for (const ReplayObs& o : shard_replay_obs_) {
+      shard_obs.push_back(&o);
+    }
+    report.offered =
+        ParallelReplay(trace, config_.replay, sinks, shard_obs,
+                       [this](const PacketRecord& pkt) { return sharded_->ShardOf(pkt); });
+    sharded_->Flush();  // After join: replay threads are quiescent.
+    for (auto& producer : shard_producers_) {
+      producer->Close();  // Push staged batches before the cluster barrier.
+    }
+  } else {
+    report.offered = Replay(trace, config_.replay, *switch_);
+    switch_->Flush();
+  }
   if (cluster_ != nullptr) {
     cluster_->Flush();  // Barrier: every queue drained, every member flushed.
     cluster_->UpdateObsGauges();
@@ -182,9 +248,15 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   }
 
   report.latency = BuildLatencyBreakdown();
-  report.switch_stats = switch_->stats();
-  report.mgpv = switch_->cache().stats();
+  report.switch_stats =
+      sharded_ != nullptr ? sharded_->AggregateSwitchStats() : switch_->stats();
+  report.mgpv =
+      sharded_ != nullptr ? sharded_->AggregateMgpvStats() : switch_->cache().stats();
   report.nic = cluster_ != nullptr ? cluster_->AggregateStats() : nic_->stats();
+  if (cluster_ != nullptr) {
+    report.cluster_cost = cluster_->CostReport(config_.nic.group_table_indices,
+                                               config_.nic.group_table_width);
+  }
   report.avg_packet_bytes =
       report.offered.packets > 0
           ? static_cast<double>(report.offered.bytes) / report.offered.packets
@@ -413,7 +485,7 @@ bool SuperFeRuntime::WriteTraceJson(std::ostream& out) const {
 }
 
 SwitchResourceUsage SuperFeRuntime::SwitchResources() const {
-  return EstimateSwitchResources(compiled_, switch_->cache().config());
+  return EstimateSwitchResources(compiled_, fe_switch().cache().config());
 }
 
 double SuperFeRuntime::NicMemoryUtilization() const {

@@ -22,6 +22,7 @@
 #include "policy/compile.h"
 #include "switchsim/fe_switch.h"
 #include "switchsim/resources.h"
+#include "switchsim/sharded_fe_switch.h"
 
 namespace superfe {
 
@@ -51,6 +52,17 @@ struct RuntimeConfig {
   // worker_threads > 0 and ignored here.
   NicClusterOptions cluster;
 
+  // Switch-side sharding: N > 1 runs a ShardedFeSwitch of N independent
+  // FE-Switch/MGPV pipes and a parallel replay driver — the trace is
+  // partitioned by CG hash up front and each shard replays on its own
+  // thread, so producer-side wall-clock scales with cores too. Per-group
+  // packet order is preserved (a group never spans shards), so the feature
+  // multiset is identical to the serial reference. 1 (default) keeps the
+  // exactly-unchanged single-switch path as the oracle. Composes with
+  // worker_threads: each shard feeds the NIC cluster through its own
+  // producer handle. Clamped to obs::TraceClock::kMaxLanes.
+  uint32_t switch_shards = 1;
+
   // Observability (src/obs). Everything defaults off: no registry, recorder,
   // or sampler is created, and the pipeline pays only null-handle branches.
   struct ObsConfig {
@@ -79,6 +91,10 @@ struct RunReport {
   FeSwitchStats switch_stats;
   MgpvStats mgpv;
   FeNicStats nic;
+  // Cluster-aware cost accounting (worker_threads > 0 only; else disabled):
+  // per-member DRAM-detour and load-imbalance deltas vs the single-NIC
+  // model, for Fig 9/16-style sweeps that quote cluster numbers.
+  ClusterCostReport cluster_cost;
 
   double avg_packet_bytes = 0.0;
   // Fraction of offered packets that pass the policy filter into MGPV.
@@ -149,7 +165,13 @@ class SuperFeRuntime {
   const FeNic& nic() const { return cluster_ != nullptr ? cluster_->nic(0) : *nic_; }
   // Non-null only when config.worker_threads > 0.
   const NicCluster* cluster() const { return cluster_.get(); }
-  const FeSwitch& fe_switch() const { return *switch_; }
+  // Single-switch mode: the switch. Sharded mode: shard 0 (all shards share
+  // program/config; per-shard stats differ — use sharded_switch()).
+  const FeSwitch& fe_switch() const {
+    return sharded_ != nullptr ? sharded_->shard(0) : *switch_;
+  }
+  // Non-null only when config.switch_shards > 1.
+  const ShardedFeSwitch* sharded_switch() const { return sharded_.get(); }
 
   // Table 4 helpers.
   SwitchResourceUsage SwitchResources() const;
@@ -193,12 +215,17 @@ class SuperFeRuntime {
   std::unique_ptr<obs::SnapshotSampler> sampler_;  // Per Run; kept for export.
   std::unique_ptr<obs::TraceClock> trace_clock_;   // obs.latency only.
   ReplayObs replay_obs_;
+  std::vector<ReplayObs> shard_replay_obs_;  // One per shard; sharded mode.
   std::unique_ptr<FeNic> nic_;          // Serial path; must outlive switch_.
   std::unique_ptr<NicCluster> cluster_;  // Parallel path; must outlive switch_.
+  // Per-shard feeding handles into the cluster (sharded + parallel mode);
+  // declared after cluster_ so Close()-on-destroy still sees it alive.
+  std::vector<std::unique_ptr<NicCluster::Producer>> shard_producers_;
   // Serial-path latency shim between MGPV and the FeNic (obs.latency with
   // worker_threads == 0); must outlive switch_, which holds a pointer.
   std::unique_ptr<SerialLatencySink> serial_latency_;
-  std::unique_ptr<FeSwitch> switch_;
+  std::unique_ptr<FeSwitch> switch_;          // switch_shards == 1.
+  std::unique_ptr<ShardedFeSwitch> sharded_;  // switch_shards > 1.
   FeatureSink* user_sink_ = nullptr;
 
   // Internal forwarding sink: FeNic is created per Run with the user sink.

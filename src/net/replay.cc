@@ -1,6 +1,7 @@
 #include "net/replay.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "net/trace_gen.h"
 
@@ -19,6 +20,30 @@ ReplayObs ReplayObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* 
   o.bytes =
       registry->GetCounter("superfe_replay_bytes_total", {}, "Wire bytes replayed");
   return o;
+}
+
+void ReplayReport::MergeFrom(const ReplayReport& other) {
+  packets += other.packets;
+  bytes += other.bytes;
+  span_min_ns = std::min(span_min_ns, other.span_min_ns);
+  span_max_ns = std::max(span_max_ns, other.span_max_ns);
+}
+
+void ReplayReport::FinalizeRates() {
+  if (packets == 0 || span_min_ns > span_max_ns) {
+    duration_s = 0.0;
+    offered_gbps = 0.0;
+    offered_mpps = 0.0;
+    return;
+  }
+  duration_s = static_cast<double>(span_max_ns - span_min_ns) * 1e-9;
+  if (duration_s > 0.0) {
+    offered_gbps = static_cast<double>(bytes) * 8.0 / duration_s * 1e-9;
+    offered_mpps = static_cast<double>(packets) / duration_s * 1e-6;
+  } else {
+    offered_gbps = 0.0;
+    offered_mpps = 0.0;
+  }
 }
 
 namespace {
@@ -81,6 +106,42 @@ class ReplayChunkObs {
   uint64_t chunk_start_ns_ = 0;
 };
 
+// Builds replica `replica` of `original` exactly as the serial replayer
+// always has; serial and parallel paths share this so their emitted records
+// are bit-identical.
+PacketRecord MakeReplica(const PacketRecord& original, uint32_t replica,
+                         uint64_t base_ts, double speedup) {
+  PacketRecord pkt = original;
+  if (replica != 0) {
+    // Offset into a disjoint address block per replica so replicated
+    // packets form distinct flows, as the switch-based amplifier does.
+    const uint32_t offset = replica << 20;
+    pkt.tuple.src_ip += offset;
+    pkt.tuple.dst_ip += offset;
+    pkt.src_mac = MacForIp(pkt.tuple.src_ip);
+    pkt.dst_mac = MacForIp(pkt.tuple.dst_ip);
+  }
+  const uint64_t scaled =
+      static_cast<uint64_t>(static_cast<double>(original.timestamp_ns - base_ts) / speedup);
+  // Replicas are interleaved a few ns apart, preserving per-flow order.
+  pkt.timestamp_ns = scaled + replica * 8;
+  return pkt;
+}
+
+// Delivers one finished replica record: accounting, clock publish, sink.
+void DeliverReplica(const PacketRecord& pkt, const ReplayObs* obs, PacketSink& sink,
+                    ReplayChunkObs& chunk_obs, ReplayReport& report) {
+  report.packets++;
+  report.bytes += pkt.wire_bytes;
+  report.span_min_ns = std::min(report.span_min_ns, pkt.timestamp_ns);
+  report.span_max_ns = std::max(report.span_max_ns, pkt.timestamp_ns);
+  if (obs != nullptr && obs->clock != nullptr) {
+    obs->clock->AdvanceLane(obs->clock_lane, pkt.timestamp_ns);
+  }
+  sink.OnPacket(pkt);
+  chunk_obs.OnPacket(pkt.wire_bytes);
+}
+
 }  // namespace
 
 ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink& sink) {
@@ -92,43 +153,66 @@ ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink
   const double speedup = options.speedup > 0.0 ? options.speedup : 1.0;
   const uint64_t base_ts = trace.packets().front().timestamp_ns;
   ReplayChunkObs chunk_obs(options.obs);
-  obs::TraceClock* clock =
-      options.obs != nullptr ? options.obs->clock : nullptr;
 
-  uint64_t min_ts = UINT64_MAX;
-  uint64_t max_ts = 0;
   for (const auto& original : trace.packets()) {
-    const uint64_t scaled =
-        static_cast<uint64_t>(static_cast<double>(original.timestamp_ns - base_ts) / speedup);
     for (uint32_t replica = 0; replica < amp; ++replica) {
-      PacketRecord pkt = original;
-      if (replica != 0) {
-        // Offset into a disjoint address block per replica so replicated
-        // packets form distinct flows, as the switch-based amplifier does.
-        const uint32_t offset = replica << 20;
-        pkt.tuple.src_ip += offset;
-        pkt.tuple.dst_ip += offset;
-        pkt.src_mac = MacForIp(pkt.tuple.src_ip);
-        pkt.dst_mac = MacForIp(pkt.tuple.dst_ip);
-      }
-      // Replicas are interleaved a few ns apart, preserving per-flow order.
-      pkt.timestamp_ns = scaled + replica * 8;
-      min_ts = std::min(min_ts, pkt.timestamp_ns);
-      max_ts = std::max(max_ts, pkt.timestamp_ns);
-      report.packets++;
-      report.bytes += pkt.wire_bytes;
-      if (clock != nullptr) {
-        clock->Advance(pkt.timestamp_ns);
-      }
-      sink.OnPacket(pkt);
-      chunk_obs.OnPacket(pkt.wire_bytes);
+      const PacketRecord pkt = MakeReplica(original, replica, base_ts, speedup);
+      DeliverReplica(pkt, options.obs, sink, chunk_obs, report);
     }
   }
-  report.duration_s = static_cast<double>(max_ts - min_ts) * 1e-9;
-  if (report.duration_s > 0.0) {
-    report.offered_gbps = static_cast<double>(report.bytes) * 8.0 / report.duration_s * 1e-9;
-    report.offered_mpps = static_cast<double>(report.packets) / report.duration_s * 1e-6;
+  report.FinalizeRates();
+  return report;
+}
+
+ReplayReport ParallelReplay(const Trace& trace, const ReplayOptions& options,
+                            const std::vector<PacketSink*>& sinks,
+                            const std::vector<const ReplayObs*>& shard_obs,
+                            const std::function<uint32_t(const PacketRecord&)>& shard_of) {
+  ReplayReport report;
+  if (trace.empty() || sinks.empty()) {
+    return report;
   }
+  const uint32_t amp = std::max<uint32_t>(options.amplification, 1);
+  const double speedup = options.speedup > 0.0 ? options.speedup : 1.0;
+  const uint64_t base_ts = trace.packets().front().timestamp_ns;
+  const size_t shards = sinks.size();
+
+  // Partition the (packet, replica) stream by group up front. Each shard's
+  // id list stays in global stream order, so per-group delivery order is
+  // identical to the serial replay (a group never spans shards). Replicas
+  // are routed on their *rewritten* tuples — the same tuples the switch
+  // shard will hash — so amplification cannot alias groups across shards.
+  std::vector<std::vector<uint64_t>> shard_ids(shards);
+  const auto& packets = trace.packets();
+  for (size_t index = 0; index < packets.size(); ++index) {
+    for (uint32_t replica = 0; replica < amp; ++replica) {
+      const PacketRecord pkt = MakeReplica(packets[index], replica, base_ts, speedup);
+      const uint32_t target = shard_of(pkt) % static_cast<uint32_t>(shards);
+      shard_ids[target].push_back(static_cast<uint64_t>(index) * amp + replica);
+    }
+  }
+
+  std::vector<ReplayReport> shard_reports(shards);
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const ReplayObs* obs = s < shard_obs.size() ? shard_obs[s] : nullptr;
+    threads.emplace_back([&, s, obs] {
+      ReplayChunkObs chunk_obs(obs);
+      for (const uint64_t id : shard_ids[s]) {
+        const PacketRecord pkt =
+            MakeReplica(packets[id / amp], static_cast<uint32_t>(id % amp), base_ts, speedup);
+        DeliverReplica(pkt, obs, *sinks[s], chunk_obs, shard_reports[s]);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (const auto& shard_report : shard_reports) {
+    report.MergeFrom(shard_report);
+  }
+  report.FinalizeRates();
   return report;
 }
 

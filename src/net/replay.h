@@ -5,10 +5,19 @@
 // models both: it feeds a PacketSink in timestamp order, optionally
 // replicating each packet `amplification` times with rewritten source
 // addresses and interleaved timestamps.
+//
+// ParallelReplay() scales the driver: it partitions the (packet, replica)
+// stream across N shards up front with a caller-supplied routing function
+// (the switch's CG-hash), then replays each shard on its own thread. Because
+// the partition is by group, every shard preserves the per-group packet
+// order of the serial replay, and the emitted records are bit-identical to
+// the serial path (both are built by the same replica constructor).
 #ifndef SUPERFE_NET_REPLAY_H_
 #define SUPERFE_NET_REPLAY_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "net/trace.h"
 #include "obs/latency.h"
@@ -19,6 +28,9 @@ namespace superfe {
 
 // Nullable observability handles for the replay driver (superfe_replay_*).
 // Counters are batched per span chunk, so the per-packet cost is zero.
+// Counters may be shared across shard threads (obs::Counter is sharded
+// internally); trace_lane / clock_lane are per-thread lanes and must be
+// unique per concurrent replayer.
 struct ReplayObs {
   obs::Counter* packets = nullptr;
   obs::Counter* bytes = nullptr;
@@ -26,6 +38,10 @@ struct ReplayObs {
   // before delivering it, so downstream consumers (NIC workers) can measure
   // queue wait / end-to-end latency in the trace clock domain.
   obs::TraceClock* clock = nullptr;
+  // TraceClock lane this replayer advances (single-writer). The clock's
+  // Now() is the max over lanes, so per-shard lanes preserve the serial
+  // global-max semantics.
+  uint32_t clock_lane = 0;
   obs::TraceRecorder* trace = nullptr;
   uint32_t trace_lane = 0;
   // One "replay/batch" trace span (and one counter flush) per this many
@@ -60,13 +76,34 @@ struct ReplayOptions {
 struct ReplayReport {
   uint64_t packets = 0;
   uint64_t bytes = 0;
+  // Replayed-timestamp span, kept as exact integers so shard reports merge
+  // without float rounding; UINT64_MAX/0 when no packets were replayed.
+  uint64_t span_min_ns = UINT64_MAX;
+  uint64_t span_max_ns = 0;
   double duration_s = 0.0;  // Replayed (post-speedup) time span.
   double offered_gbps = 0.0;
   double offered_mpps = 0.0;
+
+  // Exact integer aggregation of another (shard) report: sums the counts,
+  // widens the span. Call FinalizeRates() once after the last merge.
+  void MergeFrom(const ReplayReport& other);
+  // Derives duration/offered_* from the integer fields.
+  void FinalizeRates();
 };
 
 // Replays `trace` into `sink`; returns offered-load accounting.
 ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink& sink);
+
+// Replays `trace` into sinks.size() shards, one thread per shard. `shard_of`
+// maps a fully-formed replica record to its shard (must return values in
+// [0, sinks.size()) and be pure — it is called once per record during the
+// up-front partition). `shard_obs` is either empty or one entry per shard
+// (entries may be null); each shard's obs must use a distinct trace/clock
+// lane. Aggregation across shards is exact (integer sums via MergeFrom).
+ReplayReport ParallelReplay(const Trace& trace, const ReplayOptions& options,
+                            const std::vector<PacketSink*>& sinks,
+                            const std::vector<const ReplayObs*>& shard_obs,
+                            const std::function<uint32_t(const PacketRecord&)>& shard_of);
 
 }  // namespace superfe
 

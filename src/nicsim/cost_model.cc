@@ -1,8 +1,33 @@
 #include "nicsim/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace superfe {
+
+double ExpectedDramDetourRate(double groups, double indices, double width) {
+  if (groups <= 0.0 || indices <= 0.0) {
+    return 0.0;
+  }
+  // A random group shares its bucket with X ~ Poisson(lambda) other groups
+  // (lambda = mean occupancy of the remaining groups). Its arrival rank in
+  // the chain is uniform over the X + 1 occupants, so it lives in DRAM with
+  // probability max(0, X + 1 - width) / (X + 1). Sum the pmf until the
+  // tail mass is negligible.
+  const double lambda = (groups > 1.0 ? groups - 1.0 : 0.0) / indices;
+  const int limit =
+      static_cast<int>(std::ceil(lambda + 12.0 * std::sqrt(lambda) + 32.0));
+  double pmf = std::exp(-lambda);  // P(X = 0).
+  double rate = 0.0;
+  for (int k = 0; k <= limit; ++k) {
+    const double occupants = static_cast<double>(k) + 1.0;
+    if (occupants > width) {
+      rate += pmf * (occupants - width) / occupants;
+    }
+    pmf *= lambda / (static_cast<double>(k) + 1.0);  // -> P(X = k + 1).
+  }
+  return std::min(rate, 1.0);
+}
 
 const char* MemLevelName(MemLevel level) {
   switch (level) {

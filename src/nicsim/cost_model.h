@@ -55,6 +55,16 @@ struct NicCycleBreakdown {
   }
 };
 
+// Expected fraction of group-table lookups that detour to DRAM when
+// `groups` uniformly-hashed groups live in a table of `indices` bucket
+// chains of `width` entries each (§6.2 collision handling). Poisson
+// occupancy model: a group whose bucket holds more than `width` occupants
+// spills to DRAM if it arrived after the chain filled; assuming lookups are
+// spread uniformly over groups, the detour-lookup fraction equals the
+// expected fraction of groups living in DRAM. The cluster cost report uses
+// this as the single-NIC baseline a scale-out run is compared against.
+double ExpectedDramDetourRate(double groups, double indices, double width);
+
 // Per-cell work description, produced by the execution engine.
 struct CellWork {
   uint32_t alu_ops = 0;

@@ -236,4 +236,14 @@ std::vector<size_t> FeNic::GroupCounts() const {
   return counts;
 }
 
+std::vector<GroupTableStats> FeNic::TableStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GroupTableStats> stats;
+  stats.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    stats.push_back(table->stats());
+  }
+  return stats;
+}
+
 }  // namespace superfe

@@ -102,6 +102,11 @@ class FeNic : public MgpvSink {
   // Live group counts per granularity (diagnostics / memory experiments).
   std::vector<size_t> GroupCounts() const;
 
+  // Cumulative per-granularity group-table statistics (lookups, inserts,
+  // DRAM detours). Survives Flush(), which clears entries but not the
+  // counters — the cluster cost report reads these after the run.
+  std::vector<GroupTableStats> TableStats() const;
+
   // Wiring-time setter (call before the owning thread starts processing).
   void set_obs(const FeNicObs& obs) { obs_ = obs; }
 

@@ -6,14 +6,37 @@
 // flush barriers, shutdown) bypass the bound so the pipeline can never
 // deadlock on a full queue and group-state ordering is never violated by a
 // dropped sync.
+//
+// Fast path: a Vyukov-style bounded ring of sequence-numbered slots. Data
+// pushes and pops are lock-free (one CAS on the enqueue cursor plus a
+// release store per push; no mutex on either side while the ring has room
+// and items), so producer enqueue cost no longer serializes concurrent
+// replay shards. The mutex survives only as the *saturation* path: a
+// blocking push that finds the ring full falls back to waiting on the
+// condition variable (lossless backpressure, counted exactly as before),
+// and an idle consumer parks there after a short spin.
+//
+// Control messages go through a mutex-protected side channel carrying a
+// barrier ticket — the enqueue cursor observed at control-push time. The
+// consumer delivers a control message only once every ring slot claimed
+// before that ticket has been popped. Because a producer's earlier data
+// pushes complete (cursor advanced) before it takes the ticket, this
+// preserves the two orderings the cluster depends on: a control message is
+// delivered after all data the same producer pushed before it, and before
+// any data it pushes after it. Cross-producer interleaving remains
+// unordered, exactly like the data ring itself.
 #ifndef SUPERFE_NICSIM_MPSC_QUEUE_H_
 #define SUPERFE_NICSIM_MPSC_QUEUE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -22,7 +45,12 @@ namespace superfe {
 template <typename T>
 class BoundedMpscQueue {
  public:
-  explicit BoundedMpscQueue(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(RoundUpPow2(capacity)), mask_(capacity_ - 1), slots_(capacity_) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
 
   BoundedMpscQueue(const BoundedMpscQueue&) = delete;
   BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
@@ -31,58 +59,94 @@ class BoundedMpscQueue {
   // queue full is counted in blocked_pushes() *before* waiting, so an
   // observer can see the producer stall while it is still stalled.
   void PushBlocking(T&& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.size() >= capacity_) {
-      ++blocked_pushes_;
-      obs::Inc(stall_counter_);
-      not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    if (TryPushRing(item)) {
+      fast_pushes_.fetch_add(1, std::memory_order_relaxed);
+      AfterDataPush();
+      return;
     }
-    PushLocked(std::move(item));
+    // Saturation fallback: count the stall first (visible while blocked),
+    // then wait on the mutex until the consumer frees a slot. The timed
+    // wait is a belt against a lost wakeup racing the consumer's
+    // producers_waiting_ check; it never changes the outcome.
+    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(stall_counter_);
+    std::unique_lock<std::mutex> lock(mu_);
+    producers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    while (!TryPushRing(item)) {
+      not_full_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    producers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    lock.unlock();
+    AfterDataPush();
   }
 
   // Non-blocking push; returns false (item untouched) when full.
   bool TryPush(T&& item) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (items_.size() >= capacity_) {
+    if (!TryPushRing(item)) {
       return false;
     }
-    PushLocked(std::move(item));
+    fast_pushes_.fetch_add(1, std::memory_order_relaxed);
+    AfterDataPush();
     return true;
   }
 
-  // Control-message push: ignores the capacity bound, always succeeds.
+  // Control-message push: ignores the capacity bound, always succeeds, and
+  // never blocks (deadlock freedom for syncs / flush barriers / shutdown).
   void PushUnbounded(T&& item) {
-    std::lock_guard<std::mutex> lock(mu_);
-    PushLocked(std::move(item));
+    // Ticket: all ring slots claimed so far — in particular every data item
+    // this producer pushed earlier — must be consumed first.
+    const size_t barrier = enqueue_pos_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      control_.push_back(ControlEntry{barrier, std::move(item)});
+      control_count_.store(control_.size(), std::memory_order_release);
+    }
+    NoteDepth(RingSizeApprox() + control_count_.load(std::memory_order_relaxed));
+    WakeConsumer();
   }
 
-  // Blocks until an item is available.
+  // Blocks until an item is available (single consumer).
   T Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty(); });
-    T item = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
-    return item;
+    T item;
+    for (int spin = 0; spin < kConsumerSpins; ++spin) {
+      if (TryPopOnce(item)) {
+        return item;
+      }
+      std::this_thread::yield();
+    }
+    consumer_waiting_.store(true, std::memory_order_seq_cst);
+    for (;;) {
+      if (TryPopOnce(item)) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        return item;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      // Timed: a producer that committed between our check and this wait
+      // may have skipped the notify; 1 ms bounds the idle-path latency.
+      not_empty_.wait_for(lock, std::chrono::milliseconds(1));
+    }
   }
 
+  // Approximate while producers are concurrently pushing; exact at
+  // quiescence (diagnostics and gauges only).
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return RingSizeApprox() + control_count_.load(std::memory_order_relaxed);
   }
 
-  // Deepest the queue has ever been (diagnostics).
+  // Deepest the queue has ever been (diagnostics; data + control).
   uint64_t high_watermark() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return high_watermark_;
+    return high_watermark_.load(std::memory_order_relaxed);
   }
 
   // Pushes that found the queue full and had to wait (backpressure).
   uint64_t blocked_pushes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return blocked_pushes_;
+    return blocked_pushes_.load(std::memory_order_relaxed);
   }
 
+  // Data pushes that took the lock-free ring fast path without waiting.
+  uint64_t fast_pushes() const { return fast_pushes_.load(std::memory_order_relaxed); }
+
+  // Effective bound (requested capacity rounded up to a power of two).
   size_t capacity() const { return capacity_; }
 
   // Wiring-time setter: mirrors blocked_pushes into a metrics counter
@@ -90,21 +154,126 @@ class BoundedMpscQueue {
   void set_stall_counter(obs::Counter* counter) { stall_counter_ = counter; }
 
  private:
-  void PushLocked(T&& item) {
-    items_.push_back(std::move(item));
-    if (items_.size() > high_watermark_) {
-      high_watermark_ = items_.size();
+  static constexpr int kConsumerSpins = 64;
+
+  struct Slot {
+    std::atomic<size_t> seq;
+    T item;
+  };
+
+  struct ControlEntry {
+    size_t barrier;
+    T item;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
     }
-    not_empty_.notify_one();
+    return p;
+  }
+
+  // Vyukov bounded-MPMC enqueue, specialized for many producers. On
+  // success the item has been moved into a slot and published with a
+  // release store; on failure (ring full) the item is untouched.
+  bool TryPushRing(T& item) {
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const size_t seq = slot.seq.load(std::memory_order_acquire);
+      const intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.item = std::move(item);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh cursor.
+      } else if (dif < 0) {
+        return false;  // The slot still holds an unconsumed item: full.
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Single consumer: control first (when its barrier has been reached),
+  // then the ring. Returns false when nothing is deliverable yet.
+  bool TryPopOnce(T& out) {
+    const size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    if (control_count_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!control_.empty() && control_.front().barrier <= deq) {
+        out = std::move(control_.front().item);
+        control_.pop_front();
+        control_count_.store(control_.size(), std::memory_order_release);
+        return true;
+      }
+      // Front control message still waits on earlier ring items (its
+      // barrier is ahead of the dequeue cursor): drain the ring below.
+    }
+    Slot& slot = slots_[deq & mask_];
+    const size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(deq + 1) != 0) {
+      return false;  // Empty, or a claimed slot not yet published.
+    }
+    out = std::move(slot.item);
+    // Recycle the slot for the producer one lap ahead.
+    slot.seq.store(deq + capacity_, std::memory_order_release);
+    dequeue_pos_.store(deq + 1, std::memory_order_release);
+    if (producers_waiting_.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_all();
+    }
+    return true;
+  }
+
+  size_t RingSizeApprox() const {
+    const size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    const size_t n = enq >= deq ? enq - deq : 0;
+    return n > capacity_ ? capacity_ : n;
+  }
+
+  void AfterDataPush() {
+    NoteDepth(RingSizeApprox() + control_count_.load(std::memory_order_relaxed));
+    WakeConsumer();
+  }
+
+  void NoteDepth(size_t depth) {
+    uint64_t seen = high_watermark_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !high_watermark_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  void WakeConsumer() {
+    if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_empty_.notify_one();
+    }
   }
 
   const size_t capacity_;
+  const size_t mask_;
+  std::vector<Slot> slots_;
+
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};  // Producers' claim cursor.
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};  // Consumer-owned cursor.
+
+  // Saturation / idle fallback and the control side channel.
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  uint64_t high_watermark_ = 0;
-  uint64_t blocked_pushes_ = 0;
+  std::deque<ControlEntry> control_;
+  std::atomic<size_t> control_count_{0};
+  std::atomic<int> producers_waiting_{0};
+  std::atomic<bool> consumer_waiting_{false};
+
+  std::atomic<uint64_t> high_watermark_{0};
+  std::atomic<uint64_t> blocked_pushes_{0};
+  std::atomic<uint64_t> fast_pushes_{0};
   obs::Counter* stall_counter_ = nullptr;
 };
 

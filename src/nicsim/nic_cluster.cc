@@ -64,6 +64,9 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
   if (options_.enqueue_batch == 0) {
     options_.enqueue_batch = 1;
   }
+  if (options_.worker_lane_base == 0) {
+    options_.worker_lane_base = options_.trace_lane_base + 1;  // Historical layout.
+  }
   workers_.reserve(nics_.size());
   for (size_t i = 0; i < nics_.size(); ++i) {
     workers_.push_back(std::make_unique<Worker>(options_.queue_capacity));
@@ -98,6 +101,7 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
       }
     }
   }
+  default_producer_.reset(new Producer(this, options_.trace_lane_base));
   // Spawn only after every queue exists: a worker never touches a sibling's
   // state, but WorkerLoop indexes workers_ which must be fully built.
   for (size_t i = 0; i < nics_.size(); ++i) {
@@ -109,7 +113,7 @@ NicCluster::~NicCluster() {
   if (workers_.empty()) {
     return;
   }
-  FlushAllPending();
+  default_producer_->Close();
   for (auto& worker : workers_) {
     WorkerMessage stop;
     stop.kind = WorkerMessage::Kind::kStop;
@@ -125,7 +129,7 @@ NicCluster::~NicCluster() {
 void NicCluster::WorkerLoop(size_t index) {
   FeNic& nic = *nics_[index];
   obs::TraceRecorder* trace = options_.trace;
-  const size_t lane = options_.trace_lane_base + 1 + index;
+  const size_t lane = options_.worker_lane_base + index;
   for (;;) {
     WorkerMessage msg = workers_[index]->queue.Pop();
     switch (msg.kind) {
@@ -177,15 +181,15 @@ void NicCluster::WorkerLoop(size_t index) {
   }
 }
 
-void NicCluster::FlushPending(size_t i) {
-  Worker& worker = *workers_[i];
-  if (worker.pending.empty()) {
+void NicCluster::EnqueueBatch(size_t i, std::vector<MgpvReport>&& batch,
+                              uint32_t trace_lane) {
+  if (batch.empty()) {
     return;
   }
+  Worker& worker = *workers_[i];
   WorkerMessage msg;
   msg.kind = WorkerMessage::Kind::kReports;
-  msg.reports = std::move(worker.pending);
-  worker.pending.clear();
+  msg.reports = std::move(batch);
   const uint64_t batch_reports = msg.reports.size();
   uint64_t batch_cells = 0;
   for (const auto& report : msg.reports) {
@@ -200,7 +204,7 @@ void NicCluster::FlushPending(size_t i) {
       obs::Inc(worker.obs_reports_dropped, batch_reports);
       obs::Inc(worker.obs_cells_dropped, batch_cells);
       if (options_.trace != nullptr) {
-        options_.trace->Instant(options_.trace_lane_base, "cluster", "queue_drop", "reports",
+        options_.trace->Instant(trace_lane, "cluster", "queue_drop", "reports",
                                 batch_reports);
       }
       return;
@@ -210,7 +214,7 @@ void NicCluster::FlushPending(size_t i) {
     // can only observe "about to block" before the push, so the instant is
     // emitted on the same full-queue condition PushBlocking uses.
     if (options_.trace != nullptr && worker.queue.size() >= worker.queue.capacity()) {
-      options_.trace->Instant(options_.trace_lane_base, "cluster", "queue_stall", "worker", i);
+      options_.trace->Instant(trace_lane, "cluster", "queue_stall", "worker", i);
     }
     worker.queue.PushBlocking(std::move(msg));
   }
@@ -219,22 +223,72 @@ void NicCluster::FlushPending(size_t i) {
   obs::Inc(worker.obs_batches);
   obs::Inc(worker.obs_reports, batch_reports);
   if (options_.trace != nullptr) {
-    options_.trace->Instant(options_.trace_lane_base, "cluster", "enqueue_batch", "reports",
+    options_.trace->Instant(trace_lane, "cluster", "enqueue_batch", "reports",
                             batch_reports);
   }
 }
 
-void NicCluster::FlushAllPending() {
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    FlushPending(i);
+void NicCluster::BroadcastSync(const FgSyncMessage& sync, uint32_t trace_lane) {
+  // Syncs bypass the capacity bound — they are control plane and are never
+  // dropped. The queue's barrier ticket orders each sync after the ring
+  // items already claimed, so per-producer sync-before-dependent-report
+  // ordering holds even with concurrent producers.
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(trace_lane, "cluster", "sync_broadcast", "workers",
+                            workers_.size());
+  }
+  for (auto& worker : workers_) {
+    WorkerMessage msg;
+    msg.kind = WorkerMessage::Kind::kSync;
+    msg.sync = sync;
+    worker->queue.PushUnbounded(std::move(msg));
+    worker->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(worker->obs_syncs);
+  }
+}
+
+NicCluster::Producer::Producer(NicCluster* cluster, uint32_t trace_lane)
+    : cluster_(cluster), trace_lane_(trace_lane), pending_(cluster->nics_.size()) {}
+
+std::unique_ptr<NicCluster::Producer> NicCluster::MakeProducer(uint32_t trace_lane) {
+  if (workers_.empty()) {
+    return nullptr;  // Serial mode dispatches inline; no staging to own.
+  }
+  return std::unique_ptr<Producer>(new Producer(this, trace_lane));
+}
+
+void NicCluster::Producer::OnMgpv(const MgpvReport& report) {
+  const size_t target = report.hash % cluster_->nics_.size();
+  std::vector<MgpvReport>& pending = pending_[target];
+  pending.push_back(report);
+  if (pending.size() >= cluster_->options_.enqueue_batch) {
+    cluster_->EnqueueBatch(target, std::move(pending), trace_lane_);
+    pending.clear();
+  }
+}
+
+void NicCluster::Producer::OnFgSync(const FgSyncMessage& sync) {
+  // A sync must reach each member after the reports this producer staged
+  // before it: flush our own staging first, then broadcast. Other
+  // producers' staged reports are unrelated groups — unordered by design.
+  Close();
+  cluster_->BroadcastSync(sync, trace_lane_);
+}
+
+void NicCluster::Producer::Close() {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!pending_[i].empty()) {
+      cluster_->EnqueueBatch(i, std::move(pending_[i]), trace_lane_);
+      pending_[i].clear();
+    }
   }
 }
 
 void NicCluster::OnMgpv(const MgpvReport& report) {
   // Route by the switch-computed hash: every report of a CG group reaches
   // the same NIC, so per-group state never splits across members.
-  const size_t target = report.hash % nics_.size();
   if (workers_.empty()) {
+    const size_t target = report.hash % nics_.size();
     obs::TraceClock* clock = options_.latency_clock;
     if (clock == nullptr) {
       nics_[target]->OnMgpv(report);
@@ -252,11 +306,7 @@ void NicCluster::OnMgpv(const MgpvReport& report) {
                                : 0);
     return;
   }
-  Worker& worker = *workers_[target];
-  worker.pending.push_back(report);
-  if (worker.pending.size() >= options_.enqueue_batch) {
-    FlushPending(target);
-  }
+  default_producer_->OnMgpv(report);
 }
 
 void NicCluster::OnFgSync(const FgSyncMessage& sync) {
@@ -266,23 +316,7 @@ void NicCluster::OnFgSync(const FgSyncMessage& sync) {
     }
     return;
   }
-  // A sync must reach each member before any report that depends on it:
-  // flush staged batches first, then broadcast. Per-queue FIFO does the
-  // rest. Syncs bypass the capacity bound — they are control plane and are
-  // never dropped.
-  FlushAllPending();
-  if (options_.trace != nullptr) {
-    options_.trace->Instant(options_.trace_lane_base, "cluster", "sync_broadcast", "workers",
-                            workers_.size());
-  }
-  for (auto& worker : workers_) {
-    WorkerMessage msg;
-    msg.kind = WorkerMessage::Kind::kSync;
-    msg.sync = sync;
-    worker->queue.PushUnbounded(std::move(msg));
-    worker->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
-    obs::Inc(worker->obs_syncs);
-  }
+  default_producer_->OnFgSync(sync);
 }
 
 void NicCluster::Flush() {
@@ -298,7 +332,7 @@ void NicCluster::Flush() {
   // behind a full queue.
   obs::TraceRecorder::Span span(options_.trace, options_.trace_lane_base, "cluster",
                                 "flush_barrier");
-  FlushAllPending();
+  default_producer_->Close();
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
     flush_pending_ = workers_.size();
@@ -382,6 +416,85 @@ double NicCluster::ThroughputPps(uint32_t cores_per_nic) const {
     }
   }
   return min_member_pps / gating_fraction;
+}
+
+ClusterCostReport NicCluster::CostReport(uint32_t single_nic_indices,
+                                         uint32_t single_nic_width) const {
+  ClusterCostReport report;
+  report.enabled = true;
+  report.members = nics_.size();
+  report.load_imbalance = LoadImbalance();
+
+  // Single-NIC baseline: one table per granularity holding the union of
+  // the members' groups (sum of inserts — exact for the CG granularity,
+  // whose groups are hash-partitioned and disjoint; an upper bound for
+  // coarser granularities whose shards can overlap) at the same geometry.
+  uint64_t total_cells = 0;
+  uint64_t total_lookups = 0;
+  uint64_t total_dram_lookups = 0;
+  std::vector<uint64_t> granularity_inserts;
+  std::vector<uint64_t> granularity_lookups;
+  std::vector<std::vector<GroupTableStats>> member_tables;
+  member_tables.reserve(nics_.size());
+  for (const auto& nic : nics_) {
+    member_tables.push_back(nic->TableStats());
+    const auto& tables = member_tables.back();
+    if (granularity_inserts.size() < tables.size()) {
+      granularity_inserts.resize(tables.size(), 0);
+      granularity_lookups.resize(tables.size(), 0);
+    }
+    for (size_t g = 0; g < tables.size(); ++g) {
+      granularity_inserts[g] += tables[g].inserts;
+      granularity_lookups[g] += tables[g].lookups;
+      total_lookups += tables[g].lookups;
+      total_dram_lookups += tables[g].dram_lookups;
+    }
+  }
+  double modeled_dram_lookups = 0.0;
+  for (size_t g = 0; g < granularity_inserts.size(); ++g) {
+    modeled_dram_lookups +=
+        static_cast<double>(granularity_lookups[g]) *
+        ExpectedDramDetourRate(static_cast<double>(granularity_inserts[g]),
+                               static_cast<double>(single_nic_indices),
+                               static_cast<double>(single_nic_width));
+  }
+  report.single_nic_detour_rate =
+      total_lookups > 0 ? modeled_dram_lookups / static_cast<double>(total_lookups) : 0.0;
+  report.dram_detour_rate = total_lookups > 0 ? static_cast<double>(total_dram_lookups) /
+                                                    static_cast<double>(total_lookups)
+                                              : 0.0;
+  report.dram_detour_delta = report.dram_detour_rate - report.single_nic_detour_rate;
+
+  report.per_member.reserve(nics_.size());
+  for (size_t i = 0; i < nics_.size(); ++i) {
+    const FeNicStats s = nics_[i]->Snapshot();
+    ClusterMemberCost member;
+    member.cells = s.cells;
+    member.reports = s.reports;
+    member.vectors = s.vectors_emitted;
+    member.dram_detours = s.dram_detours;
+    total_cells += s.cells;
+    report.dram_detours += s.dram_detours;
+    uint64_t member_lookups = 0;
+    uint64_t member_dram = 0;
+    for (const auto& t : member_tables[i]) {
+      member_lookups += t.lookups;
+      member_dram += t.dram_lookups;
+    }
+    member.dram_detour_rate = member_lookups > 0 ? static_cast<double>(member_dram) /
+                                                       static_cast<double>(member_lookups)
+                                                 : 0.0;
+    member.dram_detour_delta = member.dram_detour_rate - report.single_nic_detour_rate;
+    report.per_member.push_back(member);
+  }
+  const double ideal_share = report.members > 0 ? 1.0 / report.members : 0.0;
+  for (auto& member : report.per_member) {
+    member.cells_share = total_cells > 0 ? static_cast<double>(member.cells) /
+                                               static_cast<double>(total_cells)
+                                         : 0.0;
+    member.load_delta = member.cells_share - ideal_share;
+  }
+  return report;
 }
 
 double NicCluster::LoadImbalance() const {

@@ -62,12 +62,15 @@ struct NicClusterOptions {
   // Observability wiring (nullable = off; neither is owned). With `metrics`,
   // every member NIC registers superfe_nic_* counters labeled {nic="<i>"}
   // and, in parallel mode, every worker registers superfe_cluster_*
-  // counters/gauges labeled {worker="<i>"}. With `trace`, the producer
-  // thread emits on lane `trace_lane_base` and worker i on lane
-  // `trace_lane_base + 1 + i` (lanes are single-writer).
+  // counters/gauges labeled {worker="<i>"}. With `trace`, the default
+  // producer emits on lane `trace_lane_base` and worker i on lane
+  // `worker_lane_base + i` (lanes are single-writer). `worker_lane_base`
+  // = 0 means the historical layout, `trace_lane_base + 1`; the sharded
+  // replay driver sets it past its per-shard producer lanes.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
   uint32_t trace_lane_base = 0;
+  uint32_t worker_lane_base = 0;
 
   // Trace-time clock published by the replay loop (see obs/latency.h). When
   // set together with `metrics`, the cluster records queue wait, worker
@@ -89,6 +92,37 @@ struct NicWorkerStats {
   uint64_t queue_high_watermark = 0;
 };
 
+// Per-member slice of the cluster cost report.
+struct ClusterMemberCost {
+  uint64_t cells = 0;
+  uint64_t reports = 0;
+  uint64_t vectors = 0;
+  uint64_t dram_detours = 0;
+  double cells_share = 0.0;        // cells / cluster cells.
+  double load_delta = 0.0;         // cells_share - 1/N (0 = perfectly even).
+  double dram_detour_rate = 0.0;   // DRAM lookups / table lookups.
+  double dram_detour_delta = 0.0;  // dram_detour_rate - single-NIC model.
+};
+
+// Cluster-aware cost accounting vs the single-NIC model (§8.5 scale-out):
+// how unevenly the CG hash spread the load, and how each member's
+// DRAM-detour rate compares with what one NIC of the same table geometry
+// holding the union of the groups would see (Poisson occupancy model,
+// ExpectedDramDetourRate). Splitting tables across members usually *cuts*
+// detours — each member hosts ~1/N of the groups in a full-size table — so
+// the deltas are typically negative; Fig 9/16-style sweeps can quote them
+// alongside the merged perf totals.
+struct ClusterCostReport {
+  bool enabled = false;
+  size_t members = 0;
+  double load_imbalance = 1.0;  // max member cells / mean (LoadImbalance()).
+  uint64_t dram_detours = 0;    // Sum over members (== FeNicStats total).
+  double dram_detour_rate = 0.0;        // Cluster-wide DRAM / total lookups.
+  double single_nic_detour_rate = 0.0;  // Modeled one-NIC baseline rate.
+  double dram_detour_delta = 0.0;       // Cluster rate - single-NIC rate.
+  std::vector<ClusterMemberCost> per_member;
+};
+
 class NicCluster : public MgpvSink {
  public:
   // Creates `nic_count` FE-NIC instances sharing one feature sink. In
@@ -104,8 +138,37 @@ class NicCluster : public MgpvSink {
 
   ~NicCluster() override;
 
-  // MgpvSink: hash-routes reports, broadcasts syncs. Producer-side: called
-  // from one feeding thread (the switch/replay thread).
+  // One switch-side feeding thread's handle (parallel mode). The staging
+  // batches are producer-owned state, so each concurrent feeder — e.g. one
+  // replay shard — must push through its own Producer; the queues
+  // themselves are multi-producer-safe. Ordering holds per producer: a
+  // sync reaches every member after the reports this producer staged
+  // before it and before any it stages after (cross-producer interleaving
+  // is unordered, which per-group routing tolerates). Close() before the
+  // cluster's Flush() barrier; the destructor closes too.
+  class Producer : public MgpvSink {
+   public:
+    ~Producer() override { Close(); }
+    void OnMgpv(const MgpvReport& report) override;
+    void OnFgSync(const FgSyncMessage& sync) override;
+    // Enqueues any staged batches. The handle remains usable afterwards.
+    void Close();
+
+   private:
+    friend class NicCluster;
+    Producer(NicCluster* cluster, uint32_t trace_lane);
+
+    NicCluster* cluster_;
+    uint32_t trace_lane_;
+    std::vector<std::vector<MgpvReport>> pending_;  // One batch per member.
+  };
+
+  // New feeding-thread handle emitting trace instants on `trace_lane`
+  // (parallel mode only; returns null in serial mode).
+  std::unique_ptr<Producer> MakeProducer(uint32_t trace_lane);
+
+  // MgpvSink: hash-routes reports, broadcasts syncs, via a built-in default
+  // Producer — the single-feeder path, call from one thread at a time.
   void OnMgpv(const MgpvReport& report) override;
   void OnFgSync(const FgSyncMessage& sync) override;
 
@@ -141,6 +204,13 @@ class NicCluster : public MgpvSink {
   // Load-balance quality: max over NICs of (cells on NIC / mean cells).
   double LoadImbalance() const;
 
+  // Cluster-aware cost accounting after a run (see ClusterCostReport).
+  // `single_nic_indices`/`single_nic_width` describe the baseline single
+  // NIC's group-table geometry (normally the same FeNicConfig the members
+  // use). Call at quiescence (after Flush()).
+  ClusterCostReport CostReport(uint32_t single_nic_indices,
+                               uint32_t single_nic_width) const;
+
  private:
   struct WorkerMessage {
     enum class Kind { kReports, kSync, kFlush, kStop };
@@ -155,11 +225,8 @@ class NicCluster : public MgpvSink {
     BoundedMpscQueue<WorkerMessage> queue;
     std::thread thread;
 
-    // Producer-owned staging batch (only the feeding thread touches it).
-    std::vector<MgpvReport> pending;
-
     // Producer-written counters; atomics so worker_stats() can read them
-    // mid-run without tearing.
+    // mid-run without tearing (and so concurrent Producers compose).
     std::atomic<uint64_t> batches_enqueued{0};
     std::atomic<uint64_t> reports_enqueued{0};
     std::atomic<uint64_t> reports_dropped{0};
@@ -199,14 +266,18 @@ class NicCluster : public MgpvSink {
              std::unique_ptr<SerializingSink> serializing_sink);
 
   void WorkerLoop(size_t index);
-  // Enqueues worker `i`'s staged batch (no-op when empty).
-  void FlushPending(size_t i);
-  void FlushAllPending();
+  // Enqueues one producer's staged batch for member `i` (moves it out; the
+  // caller's vector is left empty). Multi-producer-safe.
+  void EnqueueBatch(size_t i, std::vector<MgpvReport>&& batch, uint32_t trace_lane);
+  // Broadcasts one sync to every member queue (after the caller flushed
+  // its own staging). Multi-producer-safe.
+  void BroadcastSync(const FgSyncMessage& sync, uint32_t trace_lane);
 
   std::vector<std::unique_ptr<FeNic>> nics_;
   NicClusterOptions options_;
   std::unique_ptr<SerializingSink> serializing_sink_;  // Parallel mode only.
   std::vector<std::unique_ptr<Worker>> workers_;       // Parallel mode only.
+  std::unique_ptr<Producer> default_producer_;         // Parallel mode only.
 
   // Latency stages recorded at report granularity (null = tracking off).
   // Shared across workers; LatencyHistogram::Observe is wait-free.

@@ -23,26 +23,55 @@
 namespace superfe {
 namespace obs {
 
-// Trace-time "now", published by the single producer thread (one release
-// store per replayed packet) and read by any number of consumers. Values
-// are monotone: Advance keeps the maximum ever seen, so a worker's
+// Trace-time "now", published by producer threads (one release store per
+// replayed packet) and read by any number of consumers. Values are
+// monotone: each lane keeps the maximum ever seen, so a worker's
 // successive reads never go backwards (atomic coherence) and any read that
 // happens-after a queue push observes at least the producer's clock at push
 // time (the queue's release/acquire edge orders the store).
 //
-// Single-writer by design (like the TraceRecorder lanes); a future parallel
-// replay driver must either shard clocks or switch Advance to a CAS-max.
+// Lanes follow the TraceRecorder model: each lane is single-writer (one
+// replay shard advances exactly one lane, cacheline-padded so shards never
+// contend), while Now() is the maximum over all lanes — the same global
+// "newest packet replayed anywhere" a single serial replay thread would
+// publish. The one-lane default keeps the original single-writer clock.
 class TraceClock {
  public:
-  void Advance(uint64_t now_ns) {
-    if (now_ns > now_ns_.load(std::memory_order_relaxed)) {
-      now_ns_.store(now_ns, std::memory_order_release);
+  static constexpr uint32_t kMaxLanes = 64;
+
+  explicit TraceClock(uint32_t lanes = 1)
+      : lane_count_(lanes < 1 ? 1 : (lanes > kMaxLanes ? kMaxLanes : lanes)) {}
+
+  void Advance(uint64_t now_ns) { AdvanceLane(0, now_ns); }
+
+  // Single writer per lane; `lane` must be < lanes().
+  void AdvanceLane(uint32_t lane, uint64_t now_ns) {
+    std::atomic<uint64_t>& slot = lanes_[lane].now_ns;
+    if (now_ns > slot.load(std::memory_order_relaxed)) {
+      slot.store(now_ns, std::memory_order_release);
     }
   }
-  uint64_t Now() const { return now_ns_.load(std::memory_order_acquire); }
+
+  uint64_t Now() const {
+    uint64_t now = 0;
+    for (uint32_t i = 0; i < lane_count_; ++i) {
+      const uint64_t lane_now = lanes_[i].now_ns.load(std::memory_order_acquire);
+      if (lane_now > now) {
+        now = lane_now;
+      }
+    }
+    return now;
+  }
+
+  uint32_t lanes() const { return lane_count_; }
 
  private:
-  std::atomic<uint64_t> now_ns_{0};
+  struct alignas(64) Lane {
+    std::atomic<uint64_t> now_ns{0};
+  };
+
+  const uint32_t lane_count_;
+  std::array<Lane, kMaxLanes> lanes_{};
 };
 
 // Per-stage latency distribution summary (quantiles estimated from the

@@ -5,18 +5,26 @@
 namespace superfe {
 
 FeSwitchObs FeSwitchObs::Create(obs::MetricsRegistry* registry) {
+  return Create(registry, {});
+}
+
+FeSwitchObs FeSwitchObs::Create(obs::MetricsRegistry* registry,
+                                const obs::LabelSet& instance_labels) {
   FeSwitchObs o;
   if (registry == nullptr) {
     return o;
   }
-  o.packets_seen = registry->GetCounter("superfe_switch_packets_seen_total", {},
+  o.packets_seen = registry->GetCounter("superfe_switch_packets_seen_total", instance_labels,
                                         "Packets offered to the switch");
-  o.packets_filtered = registry->GetCounter("superfe_switch_packets_filtered_total", {},
-                                            "Packets dropped by the policy filter");
-  o.packets_batched = registry->GetCounter("superfe_switch_packets_batched_total", {},
-                                           "Packets that entered the MGPV cache");
-  o.frames_unparseable = registry->GetCounter("superfe_switch_frames_unparseable_total", {},
-                                              "Raw frames rejected by the parser");
+  o.packets_filtered =
+      registry->GetCounter("superfe_switch_packets_filtered_total", instance_labels,
+                           "Packets dropped by the policy filter");
+  o.packets_batched =
+      registry->GetCounter("superfe_switch_packets_batched_total", instance_labels,
+                           "Packets that entered the MGPV cache");
+  o.frames_unparseable =
+      registry->GetCounter("superfe_switch_frames_unparseable_total", instance_labels,
+                           "Raw frames rejected by the parser");
   return o;
 }
 

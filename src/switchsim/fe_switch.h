@@ -22,6 +22,9 @@ struct FeSwitchStats {
 };
 
 // Nullable observability handles mirroring FeSwitchStats (superfe_switch_*).
+// `instance_labels` distinguishes multiple pipes (e.g. {shard="<i>"} per
+// ShardedFeSwitch shard); the labeled children of a family sum to exactly
+// the totals an unlabeled single-switch run records.
 struct FeSwitchObs {
   obs::Counter* packets_seen = nullptr;
   obs::Counter* packets_filtered = nullptr;
@@ -29,6 +32,8 @@ struct FeSwitchObs {
   obs::Counter* frames_unparseable = nullptr;
 
   static FeSwitchObs Create(obs::MetricsRegistry* registry);
+  static FeSwitchObs Create(obs::MetricsRegistry* registry,
+                            const obs::LabelSet& instance_labels);
 };
 
 class FeSwitch : public PacketSink {

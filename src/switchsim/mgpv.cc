@@ -24,7 +24,8 @@ const char* EvictReasonName(EvictReason reason) {
 }
 
 MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
-                        uint32_t trace_lane, bool latency) {
+                        uint32_t trace_lane, bool latency,
+                        const obs::LabelSet& instance_labels) {
   MgpvObs o;
   o.trace = trace;
   o.trace_lane = trace_lane;
@@ -65,7 +66,7 @@ MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trac
           "Batch residency in the MGPV slot (first ingest to eviction, trace-time ns)");
     }
   }
-  o.live_entries = registry->GetGauge("superfe_mgpv_live_entries", {},
+  o.live_entries = registry->GetGauge("superfe_mgpv_live_entries", instance_labels,
                                       "Occupied MGPV short-buffer entries");
   return o;
 }

@@ -50,8 +50,14 @@ struct MgpvObs {
   // Registers the standard superfe_mgpv_* metrics (docs/OBSERVABILITY.md).
   // Null `registry`/`trace` leave the corresponding handles null; `latency`
   // additionally registers the superfe_latency_mgpv_residency_ns family.
+  // `instance_labels` (e.g. {shard="<i>"}) applies only to the live_entries
+  // gauge — a per-instance level that multiple writers would tear — while
+  // every cumulative counter/histogram stays shared across instances, so a
+  // sharded cache's superfe_mgpv_* totals are identical to an unsharded
+  // run's and the {cause}-labeled latency lookups stay unchanged.
   static MgpvObs Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
-                        uint32_t trace_lane, bool latency = false);
+                        uint32_t trace_lane, bool latency = false,
+                        const obs::LabelSet& instance_labels = {});
 };
 
 struct MgpvConfig {

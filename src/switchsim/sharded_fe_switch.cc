@@ -1,0 +1,66 @@
+#include "switchsim/sharded_fe_switch.h"
+
+#include <string>
+
+namespace superfe {
+
+ShardedFeSwitch::ShardedFeSwitch(const CompiledPolicy& compiled,
+                                 const std::vector<MgpvSink*>& shard_sinks,
+                                 const MgpvConfig& mgpv_overrides,
+                                 const ShardedSwitchOptions& options)
+    : cg_(compiled.switch_program.cg()) {
+  shards_.reserve(shard_sinks.size());
+  for (size_t s = 0; s < shard_sinks.size(); ++s) {
+    auto sw = std::make_unique<FeSwitch>(compiled, shard_sinks[s], mgpv_overrides);
+    const obs::LabelSet shard_label = {{"shard", std::to_string(s)}};
+    sw->set_obs(FeSwitchObs::Create(options.metrics, shard_label));
+    sw->set_mgpv_obs(MgpvObs::Create(options.metrics, options.trace,
+                                     options.trace_lane_base + static_cast<uint32_t>(s),
+                                     options.latency, shard_label));
+    shards_.push_back(std::move(sw));
+  }
+}
+
+uint32_t ShardedFeSwitch::ShardOf(const PacketRecord& pkt) const {
+  return GroupKey::ForPacket(pkt, cg_).Hash() % static_cast<uint32_t>(shards_.size());
+}
+
+void ShardedFeSwitch::Flush() {
+  for (auto& shard : shards_) {
+    shard->Flush();
+  }
+}
+
+FeSwitchStats ShardedFeSwitch::AggregateSwitchStats() const {
+  FeSwitchStats total;
+  for (const auto& shard : shards_) {
+    const FeSwitchStats& s = shard->stats();
+    total.packets_seen += s.packets_seen;
+    total.packets_filtered += s.packets_filtered;
+    total.packets_batched += s.packets_batched;
+    total.frames_unparseable += s.frames_unparseable;
+  }
+  return total;
+}
+
+MgpvStats ShardedFeSwitch::AggregateMgpvStats() const {
+  MgpvStats total;
+  for (const auto& shard : shards_) {
+    const MgpvStats& s = shard->cache().stats();
+    total.packets_in += s.packets_in;
+    total.bytes_in += s.bytes_in;
+    total.reports_out += s.reports_out;
+    total.cells_out += s.cells_out;
+    total.bytes_out += s.bytes_out;
+    total.fg_syncs += s.fg_syncs;
+    total.fg_collisions += s.fg_collisions;
+    for (int i = 0; i < 5; ++i) {
+      total.evictions[i] += s.evictions[i];
+    }
+    total.long_allocs += s.long_allocs;
+    total.long_alloc_failures += s.long_alloc_failures;
+  }
+  return total;
+}
+
+}  // namespace superfe

@@ -4,7 +4,8 @@
 //
 //   superfe_run POLICY.sfe [--pcap FILE | --profile mawi|enterprise|campus]
 //               [--packets N] [--seed S] [--out FEATURES.csv] [--report]
-//               [--workers N] [--metrics-json FILE] [--metrics-prom FILE]
+//               [--workers N] [--switch-shards N]
+//               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--sample-interval-ms N]
 //               [--latency-report] [--samples-out FILE]
 #include <cstdio>
@@ -28,6 +29,8 @@ int Usage() {
                "usage: superfe_run POLICY.sfe [--pcap FILE | --profile NAME]\n"
                "                   [--packets N] [--seed S] [--out FILE.csv] [--report]\n"
                "                   [--workers N]   (N>0: parallel NIC cluster, N members)\n"
+               "                   [--switch-shards N]  (N>1: sharded FE-Switch + parallel\n"
+               "                                         replay, one pipe per CG-hash shard)\n"
                "                   [--metrics-json FILE]  metrics + time series as JSON\n"
                "                   [--metrics-prom FILE]  Prometheus text exposition\n"
                "                   [--trace-out FILE]     Chrome trace JSON (Perfetto)\n"
@@ -133,6 +136,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   bool report = false;
   uint32_t workers = 0;
+  uint32_t switch_shards = 1;
   std::string metrics_json_path;
   std::string metrics_prom_path;
   std::string trace_out_path;
@@ -154,6 +158,8 @@ int main(int argc, char** argv) {
       report = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--switch-shards") == 0 && i + 1 < argc) {
+      switch_shards = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
@@ -207,6 +213,7 @@ int main(int argc, char** argv) {
 
   RuntimeConfig config;
   config.worker_threads = workers;
+  config.switch_shards = switch_shards;
   if (!metrics_json_path.empty() || !metrics_prom_path.empty() ||
       !samples_out_path.empty()) {
     config.obs.metrics = true;
@@ -268,6 +275,26 @@ int main(int argc, char** argv) {
                  (unsigned long long)run.mgpv.reports_out,
                  (unsigned long long)sink.count(), run.mgpv.MessageRatio() * 100.0,
                  run.mgpv.ByteRatio() * 100.0, run.sustainable_gbps, run.bottleneck);
+    if (switch_shards > 1) {
+      std::fprintf(stderr, "switch shards: %u (parallel replay)\n",
+                   (*runtime)->config().switch_shards);
+    }
+  }
+  if (run.cluster_cost.enabled && report) {
+    std::fprintf(stderr,
+                 "cluster cost: %zu members | load imbalance %.3f | DRAM detour rate "
+                 "%.4f (single-NIC model %.4f, delta %+.4f)\n",
+                 run.cluster_cost.members, run.cluster_cost.load_imbalance,
+                 run.cluster_cost.dram_detour_rate, run.cluster_cost.single_nic_detour_rate,
+                 run.cluster_cost.dram_detour_delta);
+    for (size_t i = 0; i < run.cluster_cost.per_member.size(); ++i) {
+      const auto& m = run.cluster_cost.per_member[i];
+      std::fprintf(stderr,
+                   "  nic %zu: %llu cells (share %.3f, delta %+.3f) | detour rate %.4f "
+                   "(delta %+.4f)\n",
+                   i, (unsigned long long)m.cells, m.cells_share, m.load_delta,
+                   m.dram_detour_rate, m.dram_detour_delta);
+    }
   }
   if (run.obs.trace_enabled && report) {
     std::fprintf(stderr, "trace: %llu events recorded, %llu overwritten\n",
