@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -18,6 +18,7 @@ enum class StatusCode : int {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 // Human-readable name for a status code ("ok", "invalid_argument", ...).
@@ -40,6 +41,9 @@ class Status {
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
   static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

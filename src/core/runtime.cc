@@ -63,12 +63,22 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   }
   cfg.switch_shards = std::min(std::max<uint32_t>(cfg.switch_shards, 1),
                                obs::TraceClock::kMaxLanes);
+  if (cfg.fault.enabled()) {
+    // A fault plan implies degraded-mode survival: arm MGPV's graceful
+    // overload response. (The default stays off so empty-plan runs are
+    // byte-identical to a build without the fault framework.)
+    cfg.mgpv.graceful_overload = true;
+  }
   const uint32_t shards = cfg.switch_shards;
   std::unique_ptr<SuperFeRuntime> runtime(
       new SuperFeRuntime(std::move(compiled).value(), cfg));
 
   if (cfg.obs.metrics) {
     runtime->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (cfg.fault.enabled()) {
+    runtime->injector_ = std::make_unique<FaultInjector>(cfg.fault.plan);
+    runtime->injector_->set_obs(runtime->metrics_.get());
   }
   if (cfg.obs.latency) {
     // One clock lane per replay shard (Now() = max over lanes).
@@ -94,24 +104,38 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   }
 
   MgpvSink* nic_side = nullptr;
-  if (cfg.worker_threads > 0) {
+  // Member-level fault routing and flush-time abandonment live in
+  // NicCluster, so an armed injector routes even the worker_threads == 0
+  // case through a single-member cluster in serial (inline-dispatch) mode.
+  const bool serial_fault_cluster = cfg.worker_threads == 0 && runtime->injector_ != nullptr;
+  if (cfg.worker_threads > 0 || serial_fault_cluster) {
     NicClusterOptions options = cfg.cluster;
-    options.parallel = true;
+    options.parallel = cfg.worker_threads > 0;
     options.metrics = runtime->metrics_.get();
     options.trace = runtime->trace_.get();
     options.trace_lane_base = 0;
     options.worker_lane_base = shards;  // == historical base+1 when shards==1.
     options.latency_clock = runtime->trace_clock_.get();
-    auto cluster = NicCluster::Create(runtime->compiled_, cfg.nic, cfg.worker_threads,
+    options.injector = runtime->injector_.get();
+    if (cfg.fault.flush_timeout_ms > 0) {
+      options.flush_timeout_ms = cfg.fault.flush_timeout_ms;
+    }
+    if (cfg.fault.watchdog_interval_ms > 0) {
+      options.watchdog_interval_ms = cfg.fault.watchdog_interval_ms;
+      options.watchdog_timeout_ms = cfg.fault.watchdog_timeout_ms;
+    }
+    auto cluster = NicCluster::Create(runtime->compiled_, cfg.nic,
+                                      std::max<uint32_t>(cfg.worker_threads, 1),
                                       runtime->forwarding_.get(), options);
     if (!cluster.ok()) {
       return cluster.status();
     }
     runtime->cluster_ = std::move(cluster).value();
-    if (shards > 1) {
+    if (shards > 1 && cfg.worker_threads > 0) {
       // One feeding handle per replay shard, each emitting on its own
       // producer trace lane; the cluster's built-in default producer stays
-      // unused.
+      // unused. (A serial fault cluster has no producers: replay shards
+      // call the cluster's inline dispatch directly, which locks per NIC.)
       for (uint32_t s = 0; s < shards; ++s) {
         runtime->shard_producers_.push_back(runtime->cluster_->MakeProducer(s));
       }
@@ -154,6 +178,7 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     sw_options.trace = runtime->trace_.get();
     sw_options.trace_lane_base = 0;
     sw_options.latency = cfg.obs.latency;
+    sw_options.injector = runtime->injector_.get();
     runtime->sharded_ = std::make_unique<ShardedFeSwitch>(runtime->compiled_, sinks,
                                                           cfg.mgpv, sw_options);
     runtime->shard_replay_obs_.reserve(shards);
@@ -162,11 +187,16 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
           ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/s);
       o.clock = runtime->trace_clock_.get();
       o.clock_lane = s;
+      o.injector = runtime->injector_.get();
+      o.fault_shard = s;
       runtime->shard_replay_obs_.push_back(o);
     }
     return runtime;
   }
   runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, cfg.mgpv);
+  if (runtime->injector_ != nullptr) {
+    runtime->switch_->mutable_cache().set_fault(runtime->injector_.get(), /*shard=*/0);
+  }
   if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
     runtime->switch_->set_obs(FeSwitchObs::Create(runtime->metrics_.get()));
     runtime->switch_->set_mgpv_obs(MgpvObs::Create(runtime->metrics_.get(),
@@ -175,6 +205,7 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     runtime->replay_obs_ =
         ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0);
     runtime->replay_obs_.clock = runtime->trace_clock_.get();
+    runtime->replay_obs_.injector = runtime->injector_.get();
     runtime->config_.replay.obs = &runtime->replay_obs_;
   }
   return runtime;
@@ -203,6 +234,23 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
         metrics_.get(), config_.obs.sample_interval_ms, std::move(hook));
     sampler_->Start();
   }
+  if (injector_ != nullptr) {
+    // Resolve at_packet triggers to trace time with the replayer's own
+    // arithmetic (post-speedup, replica-interleaved), so packet-count and
+    // trace-time trigger points live on one deterministic axis.
+    const auto& packets = trace.packets();
+    const uint32_t amp = std::max<uint32_t>(config_.replay.amplification, 1);
+    const double speedup = config_.replay.speedup > 0.0 ? config_.replay.speedup : 1.0;
+    const uint64_t base_ts = packets.empty() ? 0 : packets.front().timestamp_ns;
+    injector_->ResolvePacketTriggers(
+        static_cast<uint64_t>(packets.size()) * amp, [&](uint64_t id) {
+          const uint64_t scaled = static_cast<uint64_t>(
+              static_cast<double>(packets[id / amp].timestamp_ns - base_ts) / speedup);
+          return scaled + (id % amp) * 8;
+        });
+    injector_->BeginRun(
+        static_cast<uint32_t>(cluster_ != nullptr ? cluster_->size() : 1));
+  }
   RunReport report;
   if (sharded_ != nullptr) {
     std::vector<PacketSink*> sinks;
@@ -226,8 +274,13 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
     report.offered = Replay(trace, config_.replay, *switch_);
     switch_->Flush();
   }
+  Status flush_status = Status::Ok();
   if (cluster_ != nullptr) {
-    cluster_->Flush();  // Barrier: every queue drained, every member flushed.
+    // Barrier: every queue drained, every member flushed (or, with a fault
+    // injector, dead members' residual state abandoned). A deadline hit is
+    // reported in RunReport::fault, not fatal — workers keep draining and
+    // the destructor completes the join.
+    flush_status = cluster_->FlushWithDeadline(cluster_->options().flush_timeout_ms);
     cluster_->UpdateObsGauges();
   } else {
     nic_->Flush();
@@ -253,6 +306,27 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   report.mgpv =
       sharded_ != nullptr ? sharded_->AggregateMgpvStats() : switch_->cache().stats();
   report.nic = cluster_ != nullptr ? cluster_->AggregateStats() : nic_->stats();
+  report.fault.enabled = injector_ != nullptr;
+  if (injector_ != nullptr) {
+    report.fault.stats = injector_->Snapshot();
+    report.fault.cells_processed = report.nic.cells;
+    uint64_t overflow = 0;
+    if (cluster_ != nullptr) {
+      for (size_t i = 0; i < cluster_->size(); ++i) {
+        overflow += cluster_->worker_stats(i).cells_dropped;
+      }
+    }
+    report.fault.overflow_cells_dropped = overflow;
+    report.fault.flush_deadline_exceeded = !flush_status.ok();
+    const FaultStats& fs = report.fault.stats;
+    report.fault.reconciled = fs.cells_offered == report.fault.cells_processed +
+                                                      fs.cells_shed +
+                                                      fs.cells_lost_to_failover + overflow;
+    report.fault.degraded = fs.cells_shed > 0 || fs.cells_lost_to_failover > 0 ||
+                            fs.members_crashed > 0 || fs.groups_abandoned > 0 ||
+                            fs.injected_pool_exhaustions > 0 ||
+                            report.fault.flush_deadline_exceeded;
+  }
   if (cluster_ != nullptr) {
     report.cluster_cost = cluster_->CostReport(config_.nic.group_table_indices,
                                                config_.nic.group_table_width);

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/feature_vector.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "net/replay.h"
 #include "nicsim/fe_nic.h"
 #include "nicsim/nic_cluster.h"
@@ -63,6 +65,24 @@ struct RuntimeConfig {
   // producer handle. Clamped to obs::TraceClock::kMaxLanes.
   uint32_t switch_shards = 1;
 
+  // Deterministic fault injection + degraded-mode failover
+  // (docs/ROBUSTNESS.md). A non-empty plan arms a FaultInjector shared by
+  // every pipeline stage, turns on MGPV graceful overload, and makes Run()
+  // fill RunReport::fault with exact loss accounting. An empty plan leaves
+  // every hook a null-pointer branch: outputs are byte-identical to a build
+  // without the framework.
+  struct FaultConfig {
+    FaultPlan plan;
+    // Cluster flush-barrier / shutdown-join deadline (0 = wait forever).
+    uint64_t flush_timeout_ms = 0;
+    // Worker-liveness watchdog; 0 interval = off.
+    uint32_t watchdog_interval_ms = 0;
+    uint32_t watchdog_timeout_ms = 200;
+
+    bool enabled() const { return !plan.empty(); }
+  };
+  FaultConfig fault;
+
   // Observability (src/obs). Everything defaults off: no registry, recorder,
   // or sampler is created, and the pipeline pays only null-handle branches.
   struct ObsConfig {
@@ -111,6 +131,24 @@ struct RunReport {
   // Feature-vector output rate (the ~Gbps "generate feature vectors" rate
   // of Fig 9), assuming 4-byte feature values.
   double feature_output_gbps = 0.0;
+
+  // Fault-injection accounting (config.fault.enabled() only). The exact
+  // reconciliation the chaos tests assert:
+  //   stats.cells_offered == cells_processed + stats.cells_shed
+  //                          + stats.cells_lost_to_failover
+  //                          + overflow_cells_dropped
+  struct FaultReport {
+    bool enabled = false;
+    FaultStats stats;
+    uint64_t cells_processed = 0;        // Cluster AggregateStats().cells.
+    uint64_t overflow_cells_dropped = 0;  // drop_on_overflow / push-timeout drops.
+    bool reconciled = true;
+    bool flush_deadline_exceeded = false;
+    // Did any fault actually bite? (sheds, losses, crashes, abandoned
+    // groups, injected pool failures, or a flush deadline.)
+    bool degraded = false;
+  };
+  FaultReport fault;
 
   // Observability summary (all zero when config.obs is fully disabled).
   struct ObsSummary {
@@ -177,6 +215,9 @@ class SuperFeRuntime {
   SwitchResourceUsage SwitchResources() const;
   double NicMemoryUtilization() const;
 
+  // Non-null only when config.fault.enabled().
+  FaultInjector* fault_injector() const { return injector_.get(); }
+
   // Observability access (null unless the matching ObsConfig flag is set).
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
   obs::TraceRecorder* trace_recorder() const { return trace_.get(); }
@@ -214,6 +255,8 @@ class SuperFeRuntime {
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::SnapshotSampler> sampler_;  // Per Run; kept for export.
   std::unique_ptr<obs::TraceClock> trace_clock_;   // obs.latency only.
+  // Fault injector precedes the pipeline members that hold hooks into it.
+  std::unique_ptr<FaultInjector> injector_;
   ReplayObs replay_obs_;
   std::vector<ReplayObs> shard_replay_obs_;  // One per shard; sharded mode.
   std::unique_ptr<FeNic> nic_;          // Serial path; must outlive switch_.

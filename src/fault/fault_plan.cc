@@ -1,0 +1,209 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace superfe {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMemberCrash:
+      return "crash";
+    case FaultKind::kWorkerStall:
+      return "stall";
+    case FaultKind::kQueueSaturation:
+      return "queue_sat";
+    case FaultKind::kPoolExhaustion:
+      return "pool_exhaust";
+    case FaultKind::kClockSkew:
+      return "clock_skew";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ParseKind(const std::string& word, FaultKind* kind) {
+  for (const FaultKind k :
+       {FaultKind::kMemberCrash, FaultKind::kWorkerStall, FaultKind::kQueueSaturation,
+        FaultKind::kPoolExhaustion, FaultKind::kClockSkew}) {
+    if (word == FaultKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+// "at_ms" + 3 suffix scales; returns 0 multiplier when `key` doesn't start
+// with `prefix` followed by a recognized unit.
+uint64_t UnitScale(const std::string& key, const std::string& prefix) {
+  if (key.size() <= prefix.size() + 1 || key.compare(0, prefix.size(), prefix) != 0 ||
+      key[prefix.size()] != '_') {
+    return 0;
+  }
+  const std::string unit = key.substr(prefix.size() + 1);
+  if (unit == "ns") return 1;
+  if (unit == "us") return 1000;
+  if (unit == "ms") return 1000000;
+  if (unit == "s") return 1000000000;
+  return 0;
+}
+
+bool ParseU64(const std::string& value, uint64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseI64(const std::string& value, int64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) {
+      continue;  // Blank / comment-only line.
+    }
+    FaultEvent event;
+    if (!ParseKind(word, &event.kind)) {
+      return Status::InvalidArgument("fault plan line " + std::to_string(line_no) +
+                                     ": unknown fault kind '" + word + "'");
+    }
+    while (words >> word) {
+      const size_t eq = word.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault plan line " + std::to_string(line_no) +
+                                       ": expected key=value, got '" + word + "'");
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      uint64_t uval = 0;
+      int64_t ival = 0;
+      uint64_t scale = 0;
+      const auto bad_value = [&] {
+        return Status::InvalidArgument("fault plan line " + std::to_string(line_no) +
+                                       ": bad value for '" + key + "'");
+      };
+      if (key == "member" || key == "shard") {
+        if (!ParseU64(value, &uval)) return bad_value();
+        event.target = static_cast<uint32_t>(uval);
+      } else if (key == "at_packet") {
+        if (!ParseU64(value, &uval)) return bad_value();
+        event.at_packet = uval;
+      } else if ((scale = UnitScale(key, "at")) != 0) {
+        if (!ParseU64(value, &uval)) return bad_value();
+        event.at_ns = uval * scale;
+      } else if ((scale = UnitScale(key, "dur")) != 0) {
+        if (!ParseU64(value, &uval)) return bad_value();
+        event.duration_ns = uval * scale;
+      } else if ((scale = UnitScale(key, "detect")) != 0) {
+        if (!ParseU64(value, &uval)) return bad_value();
+        event.detect_ns = uval * scale;
+      } else if (key == "wall_ms") {
+        if (!ParseU64(value, &uval)) return bad_value();
+        event.stall_wall_ms = uval;
+      } else if ((scale = UnitScale(key, "skew")) != 0) {
+        if (!ParseI64(value, &ival)) return bad_value();
+        event.skew_ns = ival * static_cast<int64_t>(scale);
+      } else {
+        return Status::InvalidArgument("fault plan line " + std::to_string(line_no) +
+                                       ": unknown key '" + key + "'");
+      }
+    }
+    plan.Add(event);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, uint32_t members, uint32_t shards,
+                            uint64_t horizon_ns, uint32_t events) {
+  FaultPlan plan;
+  Rng rng(seed ^ 0xfa017edull);
+  if (horizon_ns == 0) {
+    horizon_ns = 1;
+  }
+  for (uint32_t i = 0; i < events; ++i) {
+    FaultEvent event;
+    event.kind = static_cast<FaultKind>(rng.UniformU64(5));
+    event.at_ns = rng.UniformU64(horizon_ns);
+    switch (event.kind) {
+      case FaultKind::kMemberCrash:
+        event.target = members > 0 ? static_cast<uint32_t>(rng.UniformU64(members)) : 0;
+        event.detect_ns = rng.UniformU64(horizon_ns / 4 + 1);
+        break;
+      case FaultKind::kWorkerStall:
+        event.target = members > 0 ? static_cast<uint32_t>(rng.UniformU64(members)) : 0;
+        event.stall_wall_ms = 1 + rng.UniformU64(20);
+        break;
+      case FaultKind::kQueueSaturation:
+        event.target = members > 0 ? static_cast<uint32_t>(rng.UniformU64(members)) : 0;
+        event.duration_ns = rng.UniformU64(horizon_ns / 2 + 1);
+        break;
+      case FaultKind::kPoolExhaustion:
+        event.target = shards > 0 ? static_cast<uint32_t>(rng.UniformU64(shards)) : 0;
+        event.duration_ns = rng.UniformU64(horizon_ns / 2 + 1);
+        break;
+      case FaultKind::kClockSkew:
+        event.target = shards > 0 ? static_cast<uint32_t>(rng.UniformU64(shards)) : 0;
+        event.skew_ns = rng.UniformInt(-1000000, 1000000);
+        break;
+    }
+    plan.Add(event);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  for (const FaultEvent& e : events_) {
+    out << FaultKindName(e.kind);
+    const bool shard_target =
+        e.kind == FaultKind::kPoolExhaustion || e.kind == FaultKind::kClockSkew;
+    out << (shard_target ? " shard=" : " member=") << e.target;
+    if (e.at_packet != FaultEvent::kNoPacket) {
+      out << " at_packet=" << e.at_packet;
+    } else {
+      out << " at_ns=" << e.at_ns;
+    }
+    if (e.duration_ns != 0) {
+      out << " dur_ns=" << e.duration_ns;
+    }
+    if (e.detect_ns != 0) {
+      out << " detect_ns=" << e.detect_ns;
+    }
+    if (e.stall_wall_ms != 0) {
+      out << " wall_ms=" << e.stall_wall_ms;
+    }
+    if (e.skew_ns != 0) {
+      out << " skew_ns=" << e.skew_ns;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace superfe

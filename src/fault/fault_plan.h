@@ -1,0 +1,109 @@
+// Deterministic fault plans for the SuperFE pipeline (docs/ROBUSTNESS.md).
+//
+// A FaultPlan is a seeded, fully explicit list of fault events — member
+// crashes, worker stalls, queue saturation, MGPV buffer-pool exhaustion,
+// clock skew — each armed at a trace-time or packet-count point. Faults are
+// *modeled in trace time*: every injection decision is a pure function of
+// the plan and the report/packet timestamps flowing through the pipeline,
+// never of wall-clock scheduling. That is what makes chaos runs
+// bit-reproducible across repeats and thread interleavings (the acceptance
+// bar for the chaos matrix in tests/fault_test.cc).
+//
+// Plans come from three places: FaultPlan::Parse (the `--fault-plan FILE`
+// text format), FaultPlan::Random (seeded generation for fuzz-style chaos
+// sweeps), or programmatic Add() in tests.
+#ifndef SUPERFE_FAULT_FAULT_PLAN_H_
+#define SUPERFE_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace superfe {
+
+enum class FaultKind : uint8_t {
+  kMemberCrash,      // NIC-cluster member fail-stops (link down from the switch).
+  kWorkerStall,      // Worker thread sleeps (wall clock) — watchdog fodder.
+  kQueueSaturation,  // Member's ingest rejects pushes for a trace-time window.
+  kPoolExhaustion,   // MGPV long-buffer pool reads as empty for a window.
+  kClockSkew,        // Shard's trace-clock lane publishes offset timestamps.
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  // Sentinel: "no packet trigger" (the event uses at_ns directly).
+  static constexpr uint64_t kNoPacket = UINT64_MAX;
+
+  FaultKind kind = FaultKind::kMemberCrash;
+  // Cluster member index (crash / stall / queue saturation) or switch shard
+  // index (pool exhaustion / clock skew). Out-of-range targets are inert.
+  uint32_t target = 0;
+  // Trace-time (post-speedup, base-relative) trigger point.
+  uint64_t at_ns = 0;
+  // Packet-count trigger: resolved to at_ns against the replayed trace
+  // before the run (FaultInjector::ResolvePacketTriggers). Takes precedence
+  // over at_ns when set.
+  uint64_t at_packet = kNoPacket;
+  // Window length for queue saturation / pool exhaustion; 0 = open-ended.
+  uint64_t duration_ns = 0;
+  // Crash detection latency: reports evicted in [at_ns, at_ns + detect_ns)
+  // are lost in flight; later ones fail over to survivors.
+  uint64_t detect_ns = 0;
+  // Wall-clock stall length (worker stall only; wall clock by design — the
+  // stall exists to exercise the wall-clock watchdog).
+  uint64_t stall_wall_ms = 0;
+  // Signed lane offset (clock skew only).
+  int64_t skew_ns = 0;
+
+  bool operator==(const FaultEvent& o) const {
+    return kind == o.kind && target == o.target && at_ns == o.at_ns &&
+           at_packet == o.at_packet && duration_ns == o.duration_ns &&
+           detect_ns == o.detect_ns && stall_wall_ms == o.stall_wall_ms &&
+           skew_ns == o.skew_ns;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Parses the line-oriented plan format ('#' comments, blank lines ok):
+  //
+  //   crash      member=1 at_packet=5000 detect_ms=2
+  //   stall      member=0 at_ms=10 wall_ms=50
+  //   queue_sat  member=2 at_packet=2000 dur_ms=5
+  //   pool_exhaust shard=0 at_ms=1 dur_ms=5
+  //   clock_skew shard=1 at_ms=0 skew_us=300
+  //
+  // Keys: member=/shard= (target), at_ns=/at_us=/at_ms=/at_s=/at_packet=,
+  // dur_*=, detect_*=, wall_ms=, skew_*= (signed). Unknown kinds or keys are
+  // errors; targets default to 0.
+  static Result<FaultPlan> Parse(const std::string& text);
+
+  // Seeded random plan: `events` faults drawn uniformly over the kinds,
+  // member/shard ranges, and [0, horizon_ns) trigger times. Deterministic
+  // for a given argument tuple (common/rng.h xoshiro).
+  static FaultPlan Random(uint64_t seed, uint32_t members, uint32_t shards,
+                          uint64_t horizon_ns, uint32_t events = 4);
+
+  // Round-trips through Parse (modulo comments/whitespace).
+  std::string ToString() const;
+
+  void Add(const FaultEvent& event) { events_.push_back(event); }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::vector<FaultEvent>& mutable_events() { return events_; }
+
+  bool operator==(const FaultPlan& o) const { return events_ == o.events_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace superfe
+
+#endif  // SUPERFE_FAULT_FAULT_PLAN_H_

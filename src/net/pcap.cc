@@ -66,7 +66,14 @@ Status WritePcap(const std::string& path, const Trace& trace) {
   return Status::Ok();
 }
 
-Result<Trace> ReadPcap(const std::string& path) {
+Result<Trace> ReadPcap(const std::string& path) { return ReadPcap(path, nullptr); }
+
+Result<Trace> ReadPcap(const std::string& path, PcapReadStats* stats) {
+  PcapReadStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  *stats = PcapReadStats{};
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::NotFound("cannot open: " + path);
@@ -104,24 +111,40 @@ Result<Trace> ReadPcap(const std::string& path) {
     if (got == 0) {
       break;  // Clean EOF.
     }
+    stats->records++;
     if (got != sizeof(rec)) {
-      return Status::InvalidArgument("truncated pcap record header");
+      // Capture cut off mid-record-header (crashed writer, partial copy):
+      // keep the intact prefix.
+      stats->truncated_records++;
+      break;
     }
     const uint32_t ts_sec = GetU32(rec, swap);
     const uint32_t ts_frac = GetU32(rec + 4, swap);
     const uint32_t cap_len = GetU32(rec + 8, swap);
-    const uint32_t orig_len = GetU32(rec + 12, swap);
+    uint32_t orig_len = GetU32(rec + 12, swap);
     if (cap_len > kSnapLen) {
-      return Status::InvalidArgument("pcap record larger than snaplen");
+      // A bogus length means the stream framing is gone — nothing after
+      // this point can be trusted to start on a record boundary.
+      stats->corrupt_records++;
+      return Status::InvalidArgument("pcap record larger than snaplen (" +
+                                     std::to_string(cap_len) + " bytes)");
+    }
+    if (orig_len < cap_len) {
+      // Inconsistent lengths; repair to the bytes actually present.
+      stats->corrupt_records++;
+      orig_len = cap_len;
     }
     std::vector<uint8_t> frame(cap_len);
     if (std::fread(frame.data(), 1, cap_len, file.get()) != cap_len) {
-      return Status::InvalidArgument("truncated pcap frame");
+      stats->truncated_records++;  // Cut off mid-frame: keep the prefix.
+      break;
     }
     auto parsed = ParseFrame(frame.data(), frame.size());
     if (!parsed.ok()) {
+      stats->frames_skipped++;
       continue;  // Skip non-IPv4 frames.
     }
+    stats->frames_decoded++;
     PacketRecord record = std::move(parsed).value();
     record.timestamp_ns =
         static_cast<uint64_t>(ts_sec) * 1000000000ull + (nano ? ts_frac : ts_frac * 1000ull);

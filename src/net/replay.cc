@@ -136,7 +136,19 @@ void DeliverReplica(const PacketRecord& pkt, const ReplayObs* obs, PacketSink& s
   report.span_min_ns = std::min(report.span_min_ns, pkt.timestamp_ns);
   report.span_max_ns = std::max(report.span_max_ns, pkt.timestamp_ns);
   if (obs != nullptr && obs->clock != nullptr) {
-    obs->clock->AdvanceLane(obs->clock_lane, pkt.timestamp_ns);
+    uint64_t clock_ns = pkt.timestamp_ns;
+    if (obs->injector != nullptr) {
+      // Skew only the latency-measurement clock lane, never the packet
+      // record: features stay bit-identical under injected clock skew.
+      const int64_t skew = obs->injector->ClockSkewNs(obs->fault_shard, pkt.timestamp_ns);
+      if (skew >= 0) {
+        clock_ns += static_cast<uint64_t>(skew);
+      } else {
+        const uint64_t back = static_cast<uint64_t>(-skew);
+        clock_ns = clock_ns > back ? clock_ns - back : 0;
+      }
+    }
+    obs->clock->AdvanceLane(obs->clock_lane, clock_ns);
   }
   sink.OnPacket(pkt);
   chunk_obs.OnPacket(pkt.wire_bytes);

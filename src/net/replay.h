@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "net/trace.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
@@ -47,6 +48,13 @@ struct ReplayObs {
   // One "replay/batch" trace span (and one counter flush) per this many
   // replayed packets.
   uint32_t span_packets = 8192;
+
+  // Fault injection (not owned): injected clock skew shifts the TraceClock
+  // lane this replayer advances — the *measurement* domain only. Packet
+  // records and their timestamps are untouched, so skew perturbs latency
+  // observations without changing a single feature. Null = no skew.
+  FaultInjector* injector = nullptr;
+  uint32_t fault_shard = 0;
 
   static ReplayObs Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
                           uint32_t trace_lane);

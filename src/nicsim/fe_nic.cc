@@ -216,6 +216,24 @@ void FeNic::Flush() {
   }
 }
 
+uint64_t FeNic::AbandonState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t abandoned = 0;
+  if (!compiled_.nic_program.collect.per_packet) {
+    const Granularity unit = compiled_.nic_program.collect.unit;
+    const auto& grans = compiled_.nic_program.granularities;
+    for (size_t gi = 0; gi < grans.size(); ++gi) {
+      if (grans[gi] == unit) {
+        abandoned += tables_[gi]->size();
+      }
+    }
+  }
+  for (auto& table : tables_) {
+    table->Clear();
+  }
+  return abandoned;
+}
+
 FeNicStats FeNic::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

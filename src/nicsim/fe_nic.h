@@ -81,6 +81,12 @@ class FeNic : public MgpvSink {
   // clears state (end of run).
   void Flush();
 
+  // Degraded-mode counterpart of Flush(): discards all live state *without*
+  // emitting (a crashed member's half-built groups must not leak partial
+  // vectors). Returns the number of collect-unit groups abandoned, which the
+  // cluster feeds into FaultStats::groups_abandoned.
+  uint64_t AbandonState();
+
   // Sweeps the collect-unit table and emits/evicts groups idle for longer
   // than config.idle_timeout_ns (no-op when the timeout is 0 or collection
   // is per-packet). Called internally per report; exposed for tests.

@@ -80,6 +80,37 @@ class BoundedMpscQueue {
     AfterDataPush();
   }
 
+  // Bounded blocking push: waits for room up to `timeout_ms` milliseconds,
+  // then gives up. Returns false (item untouched) on deadline. A push that
+  // found the queue full is counted in blocked_pushes() whether or not it
+  // eventually succeeds, mirroring PushBlocking.
+  bool PushBlockingFor(T&& item, uint64_t timeout_ms) {
+    if (TryPushRing(item)) {
+      fast_pushes_.fetch_add(1, std::memory_order_relaxed);
+      AfterDataPush();
+      return true;
+    }
+    blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(stall_counter_);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::unique_lock<std::mutex> lock(mu_);
+    producers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    bool pushed = false;
+    while (!(pushed = TryPushRing(item))) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      not_full_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    producers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    lock.unlock();
+    if (pushed) {
+      AfterDataPush();
+    }
+    return pushed;
+  }
+
   // Non-blocking push; returns false (item untouched) when full.
   bool TryPush(T&& item) {
     if (!TryPushRing(item)) {

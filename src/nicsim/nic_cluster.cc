@@ -1,9 +1,28 @@
 #include "nicsim/nic_cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
+#include "common/logging.h"
+
 namespace superfe {
+
+namespace {
+
+// Wall-clock steady timestamp for worker heartbeats / watchdog staleness.
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Injected queue saturation: attempts before the report is shed. The
+// saturation window is trace-time, so the retries deterministically fail
+// inside it — the loop models bounded retry/backoff, not a real race.
+constexpr int kSaturationRetries = 3;
+
+}  // namespace
 
 Result<std::unique_ptr<NicCluster>> NicCluster::Create(const CompiledPolicy& compiled,
                                                        const FeNicConfig& config,
@@ -101,23 +120,76 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
       }
     }
   }
+  if (options_.metrics != nullptr) {
+    obs_watchdog_stalls_ = options_.metrics->GetCounter(
+        "superfe_cluster_watchdog_stalls_total", {},
+        "Workers the watchdog saw with queued messages but no progress");
+  }
   default_producer_.reset(new Producer(this, options_.trace_lane_base));
   // Spawn only after every queue exists: a worker never touches a sibling's
   // state, but WorkerLoop indexes workers_ which must be fully built.
+  const uint64_t now_ns = SteadyNowNs();
+  for (auto& worker : workers_) {
+    worker->last_progress_ns.store(now_ns, std::memory_order_relaxed);
+  }
   for (size_t i = 0; i < nics_.size(); ++i) {
     workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
 NicCluster::~NicCluster() {
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_thread_.join();
+  }
   if (workers_.empty()) {
     return;
   }
   default_producer_->Close();
+  // Release any survivor parked on a handoff fence whose mark will never be
+  // processed (e.g. teardown after an abandoned flush): shutdown must not
+  // wedge behind a fence.
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    fence_shutdown_.store(true, std::memory_order_relaxed);
+  }
+  fence_cv_.notify_all();
   for (auto& worker : workers_) {
     WorkerMessage stop;
     stop.kind = WorkerMessage::Kind::kStop;
     worker->queue.PushUnbounded(std::move(stop));
+  }
+  // Diagnose-then-join: the join itself must stay blocking (a detached
+  // worker would touch freed cluster state), but with a flush timeout
+  // configured we first wait that long for clean exits and dump per-worker
+  // progress if any worker is still wedged, so a hung shutdown is at least
+  // attributable.
+  if (options_.flush_timeout_ms > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.flush_timeout_ms);
+    bool all_exited = false;
+    while (!all_exited && std::chrono::steady_clock::now() < deadline) {
+      all_exited = true;
+      for (auto& worker : workers_) {
+        if (!worker->exited.load(std::memory_order_acquire)) {
+          all_exited = false;
+          break;
+        }
+      }
+      if (!all_exited) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (!all_exited) {
+      DumpStallDiagnostics("shutdown join deadline exceeded");
+    }
   }
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) {
@@ -128,12 +200,26 @@ NicCluster::~NicCluster() {
 
 void NicCluster::WorkerLoop(size_t index) {
   FeNic& nic = *nics_[index];
+  Worker& self = *workers_[index];
+  FaultInjector* injector = options_.injector;
   obs::TraceRecorder* trace = options_.trace;
   const size_t lane = options_.worker_lane_base + index;
   for (;;) {
-    WorkerMessage msg = workers_[index]->queue.Pop();
+    WorkerMessage msg = self.queue.Pop();
     switch (msg.kind) {
       case WorkerMessage::Kind::kReports: {
+        if (injector != nullptr && !msg.reports.empty()) {
+          // Injected stall: wall-clock sleep before processing. Affects
+          // only scheduling (watchdog fodder), never which reports flow.
+          const uint64_t stall_ms = injector->TakeStallMs(
+              static_cast<uint32_t>(index), msg.reports.front().evict_ns);
+          if (stall_ms > 0) {
+            if (trace != nullptr) {
+              trace->Instant(lane, "fault", "worker_stall", "ms", stall_ms);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+          }
+        }
         obs::TraceRecorder::Span span(trace, lane, "worker", "process_batch");
         span.SetArg("reports", msg.reports.size());
         obs::TraceClock* clock = options_.latency_clock;
@@ -150,7 +236,7 @@ void NicCluster::WorkerLoop(size_t index) {
         // defensive only.
         const uint64_t dequeue_ns = clock->Now();
         for (const auto& report : msg.reports) {
-          obs::Observe(workers_[index]->obs_queue_wait,
+          obs::Observe(self.obs_queue_wait,
                        dequeue_ns > report.evict_ns ? dequeue_ns - report.evict_ns : 0);
           const uint64_t before_ns = clock->Now();
           nic.OnMgpv(report);
@@ -165,10 +251,40 @@ void NicCluster::WorkerLoop(size_t index) {
       case WorkerMessage::Kind::kSync:
         nic.OnFgSync(msg.sync);
         break;
+      case WorkerMessage::Kind::kFenceMark: {
+        std::lock_guard<std::mutex> lock(fence_mu_);
+        fence_marks_.insert(msg.fence_id);
+        fence_cv_.notify_all();
+        break;
+      }
+      case WorkerMessage::Kind::kFenceWait: {
+        // Park until the dead member's worker has drained everything ahead
+        // of the matching mark — then the failed-over range may flow here
+        // without any group's reports overtaking each other. The wait-for
+        // graph between members is acyclic (mutual failover would need each
+        // member to crash before the other was detected), so this cannot
+        // deadlock; fence_shutdown_ releases us at teardown regardless.
+        std::unique_lock<std::mutex> lock(fence_mu_);
+        fence_cv_.wait(lock, [&] {
+          return fence_marks_.count(msg.fence_id) > 0 ||
+                 fence_shutdown_.load(std::memory_order_relaxed);
+        });
+        fence_marks_.erase(msg.fence_id);
+        break;
+      }
       case WorkerMessage::Kind::kFlush: {
         {
           obs::TraceRecorder::Span span(trace, lane, "worker", "member_flush");
-          nic.Flush();
+          if (msg.abandon) {
+            // Crashed member: its residual half-built groups must not leak
+            // partial vectors — discard and account instead of emitting.
+            const uint64_t groups = nic.AbandonState();
+            if (injector != nullptr) {
+              injector->NoteAbandonedGroups(groups);
+            }
+          } else {
+            nic.Flush();
+          }
         }
         std::lock_guard<std::mutex> lock(flush_mu_);
         --flush_pending_;
@@ -176,8 +292,11 @@ void NicCluster::WorkerLoop(size_t index) {
         break;
       }
       case WorkerMessage::Kind::kStop:
+        self.exited.store(true, std::memory_order_release);
         return;
     }
+    self.messages_processed.fetch_add(1, std::memory_order_relaxed);
+    self.last_progress_ns.store(SteadyNowNs(), std::memory_order_relaxed);
   }
 }
 
@@ -205,6 +324,27 @@ void NicCluster::EnqueueBatch(size_t i, std::vector<MgpvReport>&& batch,
       obs::Inc(worker.obs_cells_dropped, batch_cells);
       if (options_.trace != nullptr) {
         options_.trace->Instant(trace_lane, "cluster", "queue_drop", "reports",
+                                batch_reports);
+      }
+      return;
+    }
+  } else if (options_.push_timeout_ms > 0) {
+    // Bounded backpressure: wait for room up to the timeout, then drop into
+    // the same overflow counters drop_on_overflow uses (the reconciliation
+    // treats both as the overflow bucket).
+    if (options_.trace != nullptr && worker.queue.size() >= worker.queue.capacity()) {
+      options_.trace->Instant(trace_lane, "cluster", "queue_stall", "worker", i);
+    }
+    if (!worker.queue.PushBlockingFor(std::move(msg), options_.push_timeout_ms)) {
+      worker.reports_dropped.fetch_add(batch_reports, std::memory_order_relaxed);
+      worker.cells_dropped.fetch_add(batch_cells, std::memory_order_relaxed);
+      obs::Inc(worker.obs_reports_dropped, batch_reports);
+      obs::Inc(worker.obs_cells_dropped, batch_cells);
+      SFE_WLOG() << "cluster: push to worker " << i << " timed out after "
+                 << options_.push_timeout_ms << " ms; dropped " << batch_reports
+                 << " reports (" << batch_cells << " cells)";
+      if (options_.trace != nullptr) {
+        options_.trace->Instant(trace_lane, "cluster", "queue_push_timeout", "reports",
                                 batch_reports);
       }
       return;
@@ -257,8 +397,66 @@ std::unique_ptr<NicCluster::Producer> NicCluster::MakeProducer(uint32_t trace_la
   return std::unique_ptr<Producer>(new Producer(this, trace_lane));
 }
 
+bool NicCluster::Producer::FaultRoute(const MgpvReport& report, size_t& target) {
+  FaultInjector* injector = cluster_->options_.injector;
+  const uint32_t members = static_cast<uint32_t>(cluster_->nics_.size());
+  injector->NoteOffered(1, report.cells.size());
+  if (injector->AnyMemberFaults()) {
+    const FaultInjector::RouteDecision decision = injector->RouteFor(
+        static_cast<uint32_t>(target), report.hash, report.evict_ns, members);
+    switch (decision.action) {
+      case FaultInjector::RouteDecision::Action::kPrimary:
+        break;
+      case FaultInjector::RouteDecision::Action::kLost:
+        // Crash not yet detected: the report was already "sent" to the dead
+        // member — lost in flight, counted, never delivered.
+        injector->NoteLost(1, report.cells.size(), report.hash);
+        return false;
+      case FaultInjector::RouteDecision::Action::kShed:
+        injector->NoteShed(1, report.cells.size());
+        return false;
+      case FaultInjector::RouteDecision::Action::kReroute: {
+        const uint64_t pair = static_cast<uint64_t>(target) * members + decision.target;
+        if (fenced_.insert(pair).second) {
+          // First handoff on this (from, to) edge: push out everything this
+          // producer staged for either side, then fence, so the survivor
+          // processes the dead member's backlog before any rerouted report.
+          if (!pending_[target].empty()) {
+            cluster_->EnqueueBatch(target, std::move(pending_[target]), trace_lane_);
+            pending_[target].clear();
+          }
+          if (!pending_[decision.target].empty()) {
+            cluster_->EnqueueBatch(decision.target, std::move(pending_[decision.target]),
+                                   trace_lane_);
+            pending_[decision.target].clear();
+          }
+          cluster_->PushFence(target, decision.target, trace_lane_);
+          injector->NoteFence();
+        }
+        injector->NoteFailover(1, report.cells.size(), report.hash);
+        target = decision.target;
+        break;
+      }
+    }
+  }
+  if (injector->QueueSaturated(static_cast<uint32_t>(target), report.evict_ns)) {
+    // The injected saturation window is trace-time, so every retry inside
+    // it fails: bounded retry/backoff, then shed — never block unbounded.
+    for (int attempt = 0; attempt < kSaturationRetries; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::microseconds(1u << attempt));
+    }
+    injector->NoteSaturatedPush(kSaturationRetries);
+    injector->NoteShed(1, report.cells.size());
+    return false;
+  }
+  return true;
+}
+
 void NicCluster::Producer::OnMgpv(const MgpvReport& report) {
-  const size_t target = report.hash % cluster_->nics_.size();
+  size_t target = report.hash % cluster_->nics_.size();
+  if (cluster_->options_.injector != nullptr && !FaultRoute(report, target)) {
+    return;
+  }
   std::vector<MgpvReport>& pending = pending_[target];
   pending.push_back(report);
   if (pending.size() >= cluster_->options_.enqueue_batch) {
@@ -284,11 +482,62 @@ void NicCluster::Producer::Close() {
   }
 }
 
+void NicCluster::PushFence(size_t from, size_t to, uint32_t trace_lane) {
+  const uint64_t id = next_fence_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  WorkerMessage mark;
+  mark.kind = WorkerMessage::Kind::kFenceMark;
+  mark.fence_id = id;
+  workers_[from]->queue.PushUnbounded(std::move(mark));
+  WorkerMessage wait;
+  wait.kind = WorkerMessage::Kind::kFenceWait;
+  wait.fence_id = id;
+  workers_[to]->queue.PushUnbounded(std::move(wait));
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(trace_lane, "fault", "failover_fence", "from", from);
+  }
+}
+
+bool NicCluster::SerialFaultRoute(const MgpvReport& report, size_t& target) {
+  // Same decisions as Producer::FaultRoute but without fences: inline
+  // dispatch processes reports in arrival order, so the handoff is already
+  // order-preserving.
+  FaultInjector* injector = options_.injector;
+  injector->NoteOffered(1, report.cells.size());
+  if (injector->AnyMemberFaults()) {
+    const FaultInjector::RouteDecision decision =
+        injector->RouteFor(static_cast<uint32_t>(target), report.hash, report.evict_ns,
+                           static_cast<uint32_t>(nics_.size()));
+    switch (decision.action) {
+      case FaultInjector::RouteDecision::Action::kPrimary:
+        break;
+      case FaultInjector::RouteDecision::Action::kLost:
+        injector->NoteLost(1, report.cells.size(), report.hash);
+        return false;
+      case FaultInjector::RouteDecision::Action::kShed:
+        injector->NoteShed(1, report.cells.size());
+        return false;
+      case FaultInjector::RouteDecision::Action::kReroute:
+        injector->NoteFailover(1, report.cells.size(), report.hash);
+        target = decision.target;
+        break;
+    }
+  }
+  if (injector->QueueSaturated(static_cast<uint32_t>(target), report.evict_ns)) {
+    injector->NoteSaturatedPush(kSaturationRetries);
+    injector->NoteShed(1, report.cells.size());
+    return false;
+  }
+  return true;
+}
+
 void NicCluster::OnMgpv(const MgpvReport& report) {
   // Route by the switch-computed hash: every report of a CG group reaches
   // the same NIC, so per-group state never splits across members.
   if (workers_.empty()) {
-    const size_t target = report.hash % nics_.size();
+    size_t target = report.hash % nics_.size();
+    if (options_.injector != nullptr && !SerialFaultRoute(report, target)) {
+      return;
+    }
     obs::TraceClock* clock = options_.latency_clock;
     if (clock == nullptr) {
       nics_[target]->OnMgpv(report);
@@ -320,11 +569,37 @@ void NicCluster::OnFgSync(const FgSyncMessage& sync) {
 }
 
 void NicCluster::Flush() {
-  if (workers_.empty()) {
-    for (auto& nic : nics_) {
-      nic->Flush();
-    }
+  const Status status = FlushWithDeadline(options_.flush_timeout_ms);
+  if (!status.ok()) {
+    SFE_WLOG() << "cluster flush: " << status.ToString();
+  }
+}
+
+void NicCluster::AccountCrashedMembers() {
+  FaultInjector* injector = options_.injector;
+  if (injector == nullptr || crashes_accounted_.exchange(true)) {
     return;
+  }
+  for (size_t i = 0; i < nics_.size(); ++i) {
+    if (injector->MemberDeadAtFlush(static_cast<uint32_t>(i))) {
+      injector->NoteMemberCrashed();
+    }
+  }
+}
+
+Status NicCluster::FlushWithDeadline(uint64_t timeout_ms) {
+  FaultInjector* injector = options_.injector;
+  if (workers_.empty()) {
+    AccountCrashedMembers();
+    for (size_t i = 0; i < nics_.size(); ++i) {
+      if (injector != nullptr && injector->MemberDeadAtFlush(static_cast<uint32_t>(i))) {
+        const uint64_t groups = nics_[i]->AbandonState();
+        injector->NoteAbandonedGroups(groups);
+      } else {
+        nics_[i]->Flush();
+      }
+    }
+    return Status::Ok();
   }
   // Barrier: stage-out everything, append a flush marker to every queue,
   // and wait until each worker has drained its queue *and* run its member's
@@ -333,17 +608,105 @@ void NicCluster::Flush() {
   obs::TraceRecorder::Span span(options_.trace, options_.trace_lane_base, "cluster",
                                 "flush_barrier");
   default_producer_->Close();
+  AccountCrashedMembers();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    // A previous barrier that hit its deadline may still be draining; this
+    // one starts from zero or gives up under the same deadline.
+    if (timeout_ms == 0) {
+      flush_cv_.wait(lock, [&] { return flush_pending_ == 0; });
+    } else if (!flush_cv_.wait_until(lock, deadline, [&] { return flush_pending_ == 0; })) {
+      lock.unlock();
+      DumpStallDiagnostics("flush deadline exceeded (previous barrier still draining)");
+      if (injector != nullptr) {
+        injector->NoteFlushDeadline();
+      }
+      return Status::DeadlineExceeded("cluster flush barrier timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
     flush_pending_ = workers_.size();
   }
-  for (auto& worker : workers_) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
     WorkerMessage msg;
     msg.kind = WorkerMessage::Kind::kFlush;
-    worker->queue.PushUnbounded(std::move(msg));
+    msg.abandon =
+        injector != nullptr && injector->MemberDeadAtFlush(static_cast<uint32_t>(i));
+    workers_[i]->queue.PushUnbounded(std::move(msg));
   }
   std::unique_lock<std::mutex> lock(flush_mu_);
-  flush_cv_.wait(lock, [&] { return flush_pending_ == 0; });
+  if (timeout_ms == 0) {
+    flush_cv_.wait(lock, [&] { return flush_pending_ == 0; });
+    return Status::Ok();
+  }
+  if (!flush_cv_.wait_until(lock, deadline, [&] { return flush_pending_ == 0; })) {
+    lock.unlock();
+    DumpStallDiagnostics("flush deadline exceeded");
+    if (injector != nullptr) {
+      injector->NoteFlushDeadline();
+    }
+    return Status::DeadlineExceeded("cluster flush barrier timed out after " +
+                                    std::to_string(timeout_ms) + " ms");
+  }
+  return Status::Ok();
+}
+
+void NicCluster::WatchdogLoop() {
+  std::vector<bool> latched(workers_.size(), false);
+  const uint64_t timeout_ns =
+      static_cast<uint64_t>(options_.watchdog_timeout_ms) * 1000000ull;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock,
+                          std::chrono::milliseconds(options_.watchdog_interval_ms));
+    if (watchdog_stop_) {
+      break;
+    }
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker& worker = *workers_[i];
+      const size_t depth = worker.queue.size();
+      const uint64_t last = worker.last_progress_ns.load(std::memory_order_relaxed);
+      const uint64_t now = SteadyNowNs();
+      // A heartbeat lapse only matters while messages are queued: an idle
+      // worker legitimately makes no progress.
+      const bool stalled = depth > 0 && now > last && now - last > timeout_ns;
+      if (stalled && !latched[i]) {
+        latched[i] = true;  // Edge-triggered: one event per stall episode.
+        SFE_WLOG() << "cluster watchdog: worker " << i << " stalled (queue depth "
+                   << depth << ", no progress for " << (now - last) / 1000000ull
+                   << " ms)";
+        obs::Inc(obs_watchdog_stalls_);
+        if (options_.injector != nullptr) {
+          options_.injector->NoteWatchdogStall();
+        }
+        if (options_.trace != nullptr) {
+          options_.trace->Instant(options_.trace_lane_base, "fault", "watchdog_stall",
+                                  "worker", i);
+        }
+      } else if (!stalled) {
+        latched[i] = false;
+      }
+    }
+  }
+}
+
+void NicCluster::DumpStallDiagnostics(const char* why) {
+  const uint64_t now = SteadyNowNs();
+  SFE_WLOG() << "cluster diagnostics (" << why << "), " << workers_.size()
+             << " workers:";
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& worker = *workers_[i];
+    const uint64_t last = worker.last_progress_ns.load(std::memory_order_relaxed);
+    SFE_WLOG() << "  worker " << i << ": queue depth " << worker.queue.size()
+               << " (watermark " << worker.queue.high_watermark() << "), enqueued "
+               << worker.reports_enqueued.load(std::memory_order_relaxed)
+               << " reports / processed "
+               << worker.messages_processed.load(std::memory_order_relaxed)
+               << " messages, last progress "
+               << (now > last ? (now - last) / 1000000ull : 0) << " ms ago"
+               << (worker.exited.load(std::memory_order_acquire) ? ", exited" : "");
+  }
 }
 
 void NicCluster::UpdateObsGauges() {

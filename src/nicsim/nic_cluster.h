@@ -32,8 +32,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
+#include "fault/fault_injector.h"
 #include "nicsim/fe_nic.h"
 #include "nicsim/mpsc_queue.h"
 #include "obs/trace.h"
@@ -77,6 +80,34 @@ struct NicClusterOptions {
   // service time, and end-to-end ingest->emit latency — all in trace-time
   // ns, so they compose with the MGPV residency measurements.
   obs::TraceClock* latency_clock = nullptr;
+
+  // Fault-injection + failover wiring (docs/ROBUSTNESS.md; not owned).
+  // With an injector, producers consult RouteFor per report: crashed
+  // members' CG-hash ranges fail over to survivors via rendezvous hashing
+  // (order-preserving handoff fences), reports in the crash-detection window
+  // are counted lost, and injected queue saturation runs a bounded
+  // retry/backoff loop before shedding. Null = every hook compiles to one
+  // predictable untaken branch.
+  FaultInjector* injector = nullptr;
+
+  // Flush()/FlushWithDeadline() barrier timeout in wall-clock ms; on expiry
+  // the barrier dumps per-worker queue depths + last-progress ages and
+  // returns Status::DeadlineExceeded. Also bounds the destructor's wait for
+  // worker exit before it joins. 0 = wait forever (historical behavior).
+  uint64_t flush_timeout_ms = 0;
+
+  // Watchdog: with a nonzero interval a monitor thread checks each worker
+  // every `watchdog_interval_ms`; a worker with queued messages and no
+  // progress for `watchdog_timeout_ms` raises an edge-triggered stall event
+  // (log + superfe_cluster_watchdog_stalls_total + FaultStats). 0 = off.
+  uint32_t watchdog_interval_ms = 0;
+  uint32_t watchdog_timeout_ms = 200;
+
+  // Bounded producer push: instead of blocking indefinitely on a full
+  // worker queue, wait at most this many ms and then drop the batch into
+  // the overflow-drop counters (reports_dropped/cells_dropped). 0 keeps the
+  // lossless unbounded PushBlocking. Ignored with drop_on_overflow.
+  uint64_t push_timeout_ms = 0;
 };
 
 // Per-worker pipeline counters (MgpvStats-style; all zero in serial mode).
@@ -158,9 +189,17 @@ class NicCluster : public MgpvSink {
     friend class NicCluster;
     Producer(NicCluster* cluster, uint32_t trace_lane);
 
+    // Routes one report through the fault hooks (injector present). Returns
+    // false when the report was consumed (lost / shed) and must not be
+    // staged; otherwise `target` holds the (possibly failed-over) member.
+    bool FaultRoute(const MgpvReport& report, size_t& target);
+
     NicCluster* cluster_;
     uint32_t trace_lane_;
     std::vector<std::vector<MgpvReport>> pending_;  // One batch per member.
+    // (from, to) member pairs this producer has already fenced — one
+    // handoff fence per pair is enough to order the whole failed-over range.
+    std::unordered_set<uint64_t> fenced_;
   };
 
   // New feeding-thread handle emitting trace instants on `trace_lane`
@@ -174,7 +213,17 @@ class NicCluster : public MgpvSink {
 
   // Drains all queues, flushes every member on its owner thread, and
   // returns once the whole cluster is quiescent (barrier in parallel mode).
+  // Uses options().flush_timeout_ms; a deadline hit is logged and ignored.
   void Flush();
+
+  // Flush() with an explicit wall-clock deadline (0 = wait forever). On
+  // expiry: dumps per-worker queue depths / last-progress ages via SFE_WLOG,
+  // records the event in FaultStats, and returns Status::DeadlineExceeded —
+  // workers keep draining in the background; a later barrier (or the
+  // destructor) picks up where this one gave up. With a fault injector,
+  // members dead at flush time abandon their residual state instead of
+  // emitting it (counted in groups_abandoned).
+  Status FlushWithDeadline(uint64_t timeout_ms);
 
   size_t size() const { return nics_.size(); }
   const FeNic& nic(size_t i) const { return *nics_[i]; }
@@ -213,10 +262,17 @@ class NicCluster : public MgpvSink {
 
  private:
   struct WorkerMessage {
-    enum class Kind { kReports, kSync, kFlush, kStop };
+    // kFenceMark / kFenceWait implement the order-preserving failover
+    // handoff: the mark lands in the dead member's queue after every report
+    // a producer routed there, the wait in the survivor's queue before any
+    // rerouted report — the survivor parks until the mark is processed, so a
+    // group's reports never overtake each other across the handoff.
+    enum class Kind { kReports, kSync, kFlush, kStop, kFenceMark, kFenceWait };
     Kind kind = Kind::kReports;
     std::vector<MgpvReport> reports;
     FgSyncMessage sync;
+    uint64_t fence_id = 0;  // kFenceMark / kFenceWait.
+    bool abandon = false;   // kFlush: discard state instead of emitting.
   };
 
   struct Worker {
@@ -224,6 +280,11 @@ class NicCluster : public MgpvSink {
 
     BoundedMpscQueue<WorkerMessage> queue;
     std::thread thread;
+
+    // Worker-written liveness signals read by the watchdog / diagnostics.
+    std::atomic<uint64_t> last_progress_ns{0};  // steady_clock ns.
+    std::atomic<uint64_t> messages_processed{0};
+    std::atomic<bool> exited{false};
 
     // Producer-written counters; atomics so worker_stats() can read them
     // mid-run without tearing (and so concurrent Producers compose).
@@ -266,6 +327,18 @@ class NicCluster : public MgpvSink {
              std::unique_ptr<SerializingSink> serializing_sink);
 
   void WorkerLoop(size_t index);
+  void WatchdogLoop();
+  // Logs every worker's queue depth, watermark, enqueue/process counts, and
+  // last-progress age (flush-deadline and shutdown diagnostics).
+  void DumpStallDiagnostics(const char* why);
+  // Issues one order-preserving handoff fence from member `from` (dead) to
+  // `to` (survivor). Multi-producer-safe; ids are globally unique.
+  void PushFence(size_t from, size_t to, uint32_t trace_lane);
+  // Counts members dead at flush into FaultStats exactly once per cluster.
+  void AccountCrashedMembers();
+  // Serial-mode fault routing (same decisions as Producer::FaultRoute,
+  // minus fences — inline dispatch already preserves order).
+  bool SerialFaultRoute(const MgpvReport& report, size_t& target);
   // Enqueues one producer's staged batch for member `i` (moves it out; the
   // caller's vector is left empty). Multi-producer-safe.
   void EnqueueBatch(size_t i, std::vector<MgpvReport>&& batch, uint32_t trace_lane);
@@ -288,6 +361,24 @@ class NicCluster : public MgpvSink {
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;
   size_t flush_pending_ = 0;
+
+  // Failover fence rendezvous (separate from the flush barrier so a parked
+  // survivor never interferes with flush accounting). `fence_shutdown_`
+  // releases any parked waiter at destruction so shutdown cannot wedge.
+  std::mutex fence_mu_;
+  std::condition_variable fence_cv_;
+  std::unordered_set<uint64_t> fence_marks_;
+  std::atomic<uint64_t> next_fence_id_{0};
+  std::atomic<bool> fence_shutdown_{false};
+
+  // Watchdog monitor (parallel mode, watchdog_interval_ms > 0).
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  obs::Counter* obs_watchdog_stalls_ = nullptr;
+
+  std::atomic<bool> crashes_accounted_{false};
 };
 
 }  // namespace superfe

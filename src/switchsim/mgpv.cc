@@ -190,17 +190,49 @@ void MgpvCache::AgeScan() {
   if (config_.aging_timeout_ns == 0) {
     return;
   }
+  // Under pool pressure the graceful-overload mode tightens the aging
+  // timeout so idle batches drain (and release long buffers) sooner.
+  uint64_t timeout_ns = config_.aging_timeout_ns;
+  if (config_.graceful_overload && free_long_.empty() &&
+      config_.pressure_aging_divisor > 1) {
+    timeout_ns /= config_.pressure_aging_divisor;
+  }
   for (uint32_t i = 0; i < config_.aging_scan_per_packet; ++i) {
     Entry& entry = entries_[scan_cursor_];
     scan_cursor_ = (scan_cursor_ + 1) % config_.short_buffers;
     if (entry.valid && now_ns_ > entry.last_access_ns &&
-        now_ns_ - entry.last_access_ns > config_.aging_timeout_ns) {
+        now_ns_ - entry.last_access_ns > timeout_ns) {
       EvictCells(entry, EvictReason::kAging);
       entry.valid = false;
       --live_entries_;
       obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
     }
   }
+}
+
+bool MgpvCache::PressureEvict(const Entry& current) {
+  // Priority eviction: among the next pressure_evict_scan entries, evict the
+  // stalest one that owns a long buffer (releasing it for the current,
+  // actively growing batch). Deterministic — the cursor and staleness depend
+  // only on the packet stream.
+  Entry* victim = nullptr;
+  for (uint32_t i = 0; i < config_.pressure_evict_scan; ++i) {
+    Entry& entry = entries_[pressure_cursor_];
+    pressure_cursor_ = (pressure_cursor_ + 1) % config_.short_buffers;
+    if (entry.valid && entry.long_index >= 0 && &entry != &current &&
+        (victim == nullptr || entry.last_access_ns < victim->last_access_ns)) {
+      victim = &entry;
+    }
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  EvictCells(*victim, EvictReason::kAging);
+  victim->valid = false;
+  --live_entries_;
+  obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
+  stats_.pressure_evictions++;
+  return true;
 }
 
 void MgpvCache::Insert(const PacketRecord& pkt) {
@@ -252,15 +284,30 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
     if (entry.short_cells.size() == config_.short_size && entry.long_index < 0) {
       // Short buffer just filled: likely a long flow; try to grab a long
       // buffer from the stack.
-      if (!free_long_.empty()) {
-        entry.long_index = static_cast<int32_t>(free_long_.back());
-        free_long_.pop_back();
-        stats_.long_allocs++;
-        obs::Inc(obs_.long_allocs);
-      } else {
+      if (fault_ != nullptr && fault_->PoolExhausted(fault_shard_, now_ns_)) {
+        // Injected pool exhaustion: the alloc fails regardless of the real
+        // pool state (deterministic — the window is trace-time).
         stats_.long_alloc_failures++;
+        stats_.injected_pool_failures++;
         obs::Inc(obs_.long_alloc_failures);
+        fault_->NoteInjectedPoolExhaustion();
         EvictCells(entry, EvictReason::kShortFull);
+      } else {
+        if (free_long_.empty() && config_.graceful_overload) {
+          // Real exhaustion: shed load gracefully — evict the stalest
+          // long-buffer holder to free a buffer for this growing batch.
+          PressureEvict(entry);
+        }
+        if (!free_long_.empty()) {
+          entry.long_index = static_cast<int32_t>(free_long_.back());
+          free_long_.pop_back();
+          stats_.long_allocs++;
+          obs::Inc(obs_.long_allocs);
+        } else {
+          stats_.long_alloc_failures++;
+          obs::Inc(obs_.long_alloc_failures);
+          EvictCells(entry, EvictReason::kShortFull);
+        }
       }
     }
   } else if (entry.long_index >= 0) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -83,6 +84,19 @@ struct MgpvConfig {
   bool multi_granularity = false;
   uint32_t metadata_bytes_per_cell = 7;
 
+  // Graceful overload shedding (docs/ROBUSTNESS.md). Off by default so the
+  // cache's eviction sequence stays byte-identical to the historical
+  // behavior; fault-plan runs turn it on. While the long-buffer pool is
+  // empty: (a) the aging scan tightens its timeout by
+  // `pressure_aging_divisor` so idle batches drain sooner, and (b) a failed
+  // long alloc first tries a priority eviction — scan up to
+  // `pressure_evict_scan` entries and evict the stalest long-buffer holder
+  // (counted in MgpvStats::pressure_evictions, cause kAging) — before
+  // falling back to the short-full eviction.
+  bool graceful_overload = false;
+  uint32_t pressure_aging_divisor = 4;
+  uint32_t pressure_evict_scan = 16;
+
   // Total switch SRAM footprint of this cache instance (Fig 13 metric).
   uint64_t MemoryFootprintBytes() const;
 };
@@ -101,6 +115,10 @@ struct MgpvStats {
 
   uint64_t long_allocs = 0;
   uint64_t long_alloc_failures = 0;
+
+  // Degraded-mode accounting (zero unless graceful_overload / a fault plan).
+  uint64_t pressure_evictions = 0;      // Priority evictions under pool pressure.
+  uint64_t injected_pool_failures = 0;  // Long allocs failed by fault injection.
 
   // Fraction of original packet *rate* still crossing to the NIC
   // (reports / packets). Fig 12's "receiving rate" metric.
@@ -133,6 +151,14 @@ class MgpvCache {
   // Installs observability handles. Call before traffic; the cache is
   // single-threaded, so this is only a wiring-time setter.
   void set_obs(const MgpvObs& obs) { obs_ = obs; }
+
+  // Fault-injection wiring (not owned; wiring-time setter). With an
+  // injector, long allocs inside an injected pool-exhaustion window for
+  // `shard` fail deterministically (counted in injected_pool_failures).
+  void set_fault(FaultInjector* injector, uint32_t shard) {
+    fault_ = injector;
+    fault_shard_ = shard;
+  }
 
   // Occupied entries / total entries.
   double Occupancy() const;
@@ -171,6 +197,11 @@ class MgpvCache {
   // entries.
   void AgeScan();
 
+  // Graceful-overload priority eviction: scans up to pressure_evict_scan
+  // entries and evicts the stalest long-buffer holder other than `current`,
+  // freeing its long buffer for reuse. Returns true when one was evicted.
+  bool PressureEvict(const Entry& current);
+
   MgpvConfig config_;
   MgpvSink* sink_;
   MgpvStats stats_;
@@ -184,6 +215,10 @@ class MgpvCache {
 
   uint64_t now_ns_ = 0;
   uint32_t scan_cursor_ = 0;
+  uint32_t pressure_cursor_ = 0;  // Separate cursor for PressureEvict scans.
+
+  FaultInjector* fault_ = nullptr;
+  uint32_t fault_shard_ = 0;
 };
 
 }  // namespace superfe

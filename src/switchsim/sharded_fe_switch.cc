@@ -17,6 +17,9 @@ ShardedFeSwitch::ShardedFeSwitch(const CompiledPolicy& compiled,
     sw->set_mgpv_obs(MgpvObs::Create(options.metrics, options.trace,
                                      options.trace_lane_base + static_cast<uint32_t>(s),
                                      options.latency, shard_label));
+    if (options.injector != nullptr) {
+      sw->mutable_cache().set_fault(options.injector, static_cast<uint32_t>(s));
+    }
     shards_.push_back(std::move(sw));
   }
 }
@@ -59,6 +62,8 @@ MgpvStats ShardedFeSwitch::AggregateMgpvStats() const {
     }
     total.long_allocs += s.long_allocs;
     total.long_alloc_failures += s.long_alloc_failures;
+    total.pressure_evictions += s.pressure_evictions;
+    total.injected_pool_failures += s.injected_pool_failures;
   }
   return total;
 }

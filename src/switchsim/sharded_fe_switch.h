@@ -25,6 +25,9 @@ struct ShardedSwitchOptions {
   // trace_lane_base + s (one lane per producer thread).
   uint32_t trace_lane_base = 0;
   bool latency = false;
+  // Fault-injection wiring (not owned): shard s's MGPV cache consults
+  // injector->PoolExhausted(s, now) on long allocs. Null = no hooks.
+  FaultInjector* injector = nullptr;
 };
 
 class ShardedFeSwitch {

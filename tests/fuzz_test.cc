@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "apps/policies.h"
 #include "common/rng.h"
 #include "net/pcap.h"
+#include "net/wire.h"
 #include "policy/compile.h"
 #include "policy/parser.h"
 
@@ -122,6 +125,146 @@ TEST(PcapFuzzTest, TruncatedValidFileRejectedCleanly) {
     (void)loaded;
   }
   std::remove(path.c_str());
+  SUCCEED();
+}
+
+namespace pcap_bytes {
+
+// Little-endian nanosecond pcap global header.
+std::string GlobalHeader() {
+  std::string h(24, '\0');
+  const uint32_t magic = 0xa1b23c4d;
+  const uint32_t snaplen = 65535;
+  const uint32_t linktype = 1;
+  std::memcpy(&h[0], &magic, 4);
+  h[4] = 2;  // Major.
+  h[6] = 4;  // Minor.
+  std::memcpy(&h[16], &snaplen, 4);
+  std::memcpy(&h[20], &linktype, 4);
+  return h;
+}
+
+std::string RecordHeader(uint32_t cap_len, uint32_t orig_len) {
+  std::string r(16, '\0');
+  std::memcpy(&r[8], &cap_len, 4);
+  std::memcpy(&r[12], &orig_len, 4);
+  return r;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace pcap_bytes
+
+TEST(PcapFuzzTest, TruncatedTailKeepsIntactPrefix) {
+  // A capture cut off mid-stream (crashed writer) must yield the intact
+  // prefix plus an exact truncation count, not an error.
+  Trace trace;
+  PacketRecord pkt;
+  pkt.tuple = {MakeIp(1, 2, 3, 4), MakeIp(5, 6, 7, 8), 10, 20, kProtoTcp};
+  pkt.wire_bytes = 100;
+  for (int i = 0; i < 5; ++i) {
+    pkt.timestamp_ns = i * 1000;
+    trace.Add(pkt);
+  }
+  const std::string path = ::testing::TempDir() + "/superfe_tail.pcap";
+  ASSERT_TRUE(WritePcap(path, trace).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const size_t record_bytes = (full.size() - 24) / 5;
+  for (size_t keep = 0; keep < 5; ++keep) {
+    // Cut halfway into record `keep` — records [0, keep) stay intact.
+    const size_t len = 24 + keep * record_bytes + record_bytes / 2;
+    pcap_bytes::WriteFile(path, full.substr(0, len));
+    PcapReadStats stats;
+    auto loaded = ReadPcap(path, &stats);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->size(), keep);
+    EXPECT_EQ(stats.frames_decoded, keep);
+    EXPECT_EQ(stats.truncated_records, 1u);
+    EXPECT_EQ(stats.corrupt_records, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PcapFuzzTest, OversizedCapLenFailsAndCounts) {
+  const std::string path = ::testing::TempDir() + "/superfe_oversized.pcap";
+  pcap_bytes::WriteFile(path, pcap_bytes::GlobalHeader() +
+                                  pcap_bytes::RecordHeader(1u << 20, 1u << 20));
+  PcapReadStats stats;
+  auto loaded = ReadPcap(path, &stats);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(stats.corrupt_records, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PcapFuzzTest, InconsistentOrigLenRepairedAndCounted) {
+  // orig_len < cap_len is impossible for a real capture; the reader clamps
+  // wire bytes to the bytes present and counts the record corrupt.
+  Trace trace;
+  PacketRecord pkt;
+  pkt.tuple = {MakeIp(9, 9, 9, 9), MakeIp(8, 8, 8, 8), 1234, 443, kProtoTcp};
+  pkt.wire_bytes = 200;
+  pkt.timestamp_ns = 5000;
+  trace.Add(pkt);
+  const std::string path = ::testing::TempDir() + "/superfe_origlen.pcap";
+  ASSERT_TRUE(WritePcap(path, trace).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const uint32_t bogus_orig = 1;  // Less than the encoded frame's cap_len.
+  std::memcpy(&full[24 + 12], &bogus_orig, 4);
+  pcap_bytes::WriteFile(path, full);
+  PcapReadStats stats;
+  auto loaded = ReadPcap(path, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  uint32_t cap_len;
+  std::memcpy(&cap_len, &full[24 + 8], 4);
+  EXPECT_EQ(loaded->packets()[0].wire_bytes, cap_len);
+  EXPECT_EQ(stats.corrupt_records, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PcapFuzzTest, RandomRecordsAfterValidHeaderNeverCrash) {
+  // Valid global header, garbage record stream: every outcome must be a
+  // clean ok()/error, and the stats buckets must cover what was seen.
+  Rng rng(0xf025);
+  const std::string path = ::testing::TempDir() + "/superfe_randrec.pcap";
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::string bytes = pcap_bytes::GlobalHeader();
+    const size_t len = rng.UniformU64(512);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    pcap_bytes::WriteFile(path, bytes);
+    PcapReadStats stats;
+    auto loaded = ReadPcap(path, &stats);
+    if (loaded.ok()) {
+      EXPECT_EQ(stats.frames_decoded + stats.frames_skipped +
+                    stats.truncated_records + stats.corrupt_records,
+                stats.records);
+    }
+  }
+  std::remove(path.c_str());
+  SUCCEED();
+}
+
+TEST(WireFuzzTest, TruncatedFramesNeverCrash) {
+  PacketRecord pkt;
+  pkt.tuple = {MakeIp(1, 2, 3, 4), MakeIp(5, 6, 7, 8), 10, 20, kProtoTcp};
+  pkt.wire_bytes = 1200;
+  pkt.timestamp_ns = 42;
+  const std::vector<uint8_t> frame = EncodeFrame(pkt);
+  for (size_t len = 0; len <= frame.size(); ++len) {
+    auto parsed = ParseFrame(frame.data(), len);
+    if (len == frame.size()) {
+      EXPECT_TRUE(parsed.ok());
+    }
+  }
   SUCCEED();
 }
 

@@ -8,6 +8,19 @@
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--sample-interval-ms N]
 //               [--latency-report] [--samples-out FILE]
+//               [--fault-plan FILE] [--flush-timeout-ms N] [--watchdog-ms N]
+//
+// Exit codes:
+//   0  success
+//   1  export/output write failure
+//   2  usage error
+//   3  invalid configuration (policy parse/compile error, bad fault plan,
+//      unknown profile)
+//   4  unreadable trace (pcap open/decode failure)
+//   5  degraded completion (a fault plan ran and the pipeline shed/lost/
+//      abandoned work or missed a flush deadline — outputs are still the
+//      exact reconciled remainder)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,9 +49,19 @@ int Usage() {
                "                   [--trace-out FILE]     Chrome trace JSON (Perfetto)\n"
                "                   [--sample-interval-ms N]  snapshot period (default 2)\n"
                "                   [--latency-report]     per-stage latency breakdown\n"
-               "                   [--samples-out FILE]   sampler time series as JSON\n");
+               "                   [--samples-out FILE]   sampler time series as JSON\n"
+               "                   [--fault-plan FILE]    deterministic fault plan\n"
+               "                                          (docs/ROBUSTNESS.md format)\n"
+               "                   [--flush-timeout-ms N] cluster flush/join deadline\n"
+               "                   [--watchdog-ms N]      worker stall watchdog timeout\n");
   return 2;
 }
+
+// Exit codes (see file header).
+constexpr int kExitExportFailure = 1;
+constexpr int kExitInvalidConfig = 3;
+constexpr int kExitUnreadableTrace = 4;
+constexpr int kExitDegraded = 5;
 
 class CsvSink : public FeatureSink {
  public:
@@ -143,6 +166,9 @@ int main(int argc, char** argv) {
   std::string samples_out_path;
   uint32_t sample_interval_ms = 2;
   bool latency_report = false;
+  std::string fault_plan_path;
+  uint64_t flush_timeout_ms = 0;
+  uint32_t watchdog_ms = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
       pcap_path = argv[++i];
@@ -172,6 +198,12 @@ int main(int argc, char** argv) {
       latency_report = true;
     } else if (std::strcmp(argv[i], "--samples-out") == 0 && i + 1 < argc) {
       samples_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      fault_plan_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flush-timeout-ms") == 0 && i + 1 < argc) {
+      flush_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+      watchdog_ms = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage();
     }
@@ -180,24 +212,33 @@ int main(int argc, char** argv) {
   std::ifstream in(policy_path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", policy_path.c_str());
-    return 1;
+    return kExitInvalidConfig;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
   auto policy = ParsePolicy(policy_path, buffer.str());
   if (!policy.ok()) {
     std::fprintf(stderr, "parse error: %s\n", policy.status().ToString().c_str());
-    return 1;
+    return kExitInvalidConfig;
   }
 
   Trace trace;
   if (!pcap_path.empty()) {
-    auto loaded = ReadPcap(pcap_path);
+    PcapReadStats pcap_stats;
+    auto loaded = ReadPcap(pcap_path, &pcap_stats);
     if (!loaded.ok()) {
       std::fprintf(stderr, "pcap error: %s\n", loaded.status().ToString().c_str());
-      return 1;
+      return kExitUnreadableTrace;
     }
     trace = std::move(loaded).value();
+    if (pcap_stats.truncated_records > 0 || pcap_stats.corrupt_records > 0) {
+      std::fprintf(stderr,
+                   "pcap: tolerated %llu truncated / %llu corrupt records "
+                   "(%llu frames decoded)\n",
+                   (unsigned long long)pcap_stats.truncated_records,
+                   (unsigned long long)pcap_stats.corrupt_records,
+                   (unsigned long long)pcap_stats.frames_decoded);
+    }
   } else {
     TraceProfile profile = EnterpriseProfile();
     if (profile_name == "mawi") {
@@ -206,7 +247,7 @@ int main(int argc, char** argv) {
       profile = CampusProfile();
     } else if (profile_name != "enterprise") {
       std::fprintf(stderr, "unknown profile '%s'\n", profile_name.c_str());
-      return 1;
+      return kExitInvalidConfig;
     }
     trace = GenerateTrace(profile, packets, seed);
   }
@@ -221,10 +262,31 @@ int main(int argc, char** argv) {
   }
   config.obs.trace = !trace_out_path.empty();
   config.obs.latency = latency_report;
+  if (!fault_plan_path.empty()) {
+    std::ifstream plan_in(fault_plan_path);
+    if (!plan_in) {
+      std::fprintf(stderr, "cannot read fault plan %s\n", fault_plan_path.c_str());
+      return kExitInvalidConfig;
+    }
+    std::stringstream plan_buffer;
+    plan_buffer << plan_in.rdbuf();
+    auto plan = FaultPlan::Parse(plan_buffer.str());
+    if (!plan.ok()) {
+      std::fprintf(stderr, "fault plan error: %s\n", plan.status().ToString().c_str());
+      return kExitInvalidConfig;
+    }
+    config.fault.plan = std::move(plan).value();
+  }
+  config.fault.flush_timeout_ms = flush_timeout_ms;
+  if (watchdog_ms > 0) {
+    // Poll a few times per timeout so a stall is caught promptly.
+    config.fault.watchdog_timeout_ms = watchdog_ms;
+    config.fault.watchdog_interval_ms = std::max<uint32_t>(watchdog_ms / 4, 1);
+  }
   auto runtime = SuperFeRuntime::Create(*policy, config);
   if (!runtime.ok()) {
     std::fprintf(stderr, "compile error: %s\n", runtime.status().ToString().c_str());
-    return 1;
+    return kExitInvalidConfig;
   }
 
   std::ofstream file;
@@ -233,7 +295,7 @@ int main(int argc, char** argv) {
     file.open(out_path);
     if (!file) {
       std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-      return 1;
+      return kExitExportFailure;
     }
     out = &file;
   }
@@ -304,5 +366,33 @@ int main(int argc, char** argv) {
   if (latency_report && run.latency.enabled) {
     PrintLatencyBreakdown(run.latency);
   }
-  return exports_ok ? 0 : 1;
+  if (run.fault.enabled) {
+    const FaultStats& fs = run.fault.stats;
+    std::fprintf(stderr,
+                 "fault: offered %llu cells = processed %llu + shed %llu + lost %llu "
+                 "+ overflow %llu -> %s\n"
+                 "fault: failed over %llu reports (%llu groups) | crashed members %llu | "
+                 "abandoned groups %llu | pool exhaustions %llu | fences %llu\n"
+                 "fault: stalls injected %llu | watchdog events %llu | "
+                 "flush deadline %s\n",
+                 (unsigned long long)fs.cells_offered,
+                 (unsigned long long)run.fault.cells_processed,
+                 (unsigned long long)fs.cells_shed,
+                 (unsigned long long)fs.cells_lost_to_failover,
+                 (unsigned long long)run.fault.overflow_cells_dropped,
+                 run.fault.reconciled ? "reconciled" : "NOT RECONCILED",
+                 (unsigned long long)fs.reports_failed_over,
+                 (unsigned long long)fs.groups_failed_over,
+                 (unsigned long long)fs.members_crashed,
+                 (unsigned long long)fs.groups_abandoned,
+                 (unsigned long long)fs.injected_pool_exhaustions,
+                 (unsigned long long)fs.failover_fences,
+                 (unsigned long long)fs.stalls_injected,
+                 (unsigned long long)fs.watchdog_stall_events,
+                 run.fault.flush_deadline_exceeded ? "EXCEEDED" : "met");
+  }
+  if (!exports_ok) {
+    return kExitExportFailure;
+  }
+  return run.fault.enabled && run.fault.degraded ? kExitDegraded : 0;
 }
