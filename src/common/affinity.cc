@@ -1,0 +1,54 @@
+#include "common/affinity.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace superfe {
+namespace {
+
+std::atomic<bool> g_pin_warned{false};
+
+void WarnOnce(const char* why) {
+  if (!g_pin_warned.exchange(true)) {
+    SFE_WLOG() << "thread pinning unavailable (" << why << "); --pin-threads is a no-op";
+  }
+}
+
+}  // namespace
+
+uint32_t CpuCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+#if defined(__linux__)
+
+bool PinCurrentThreadToCpu(uint32_t cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CpuCount(), &set);
+  const int rc = pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  if (rc != 0) {
+    WarnOnce("pthread_setaffinity_np failed");
+    return false;
+  }
+  return true;
+}
+
+#else  // !__linux__
+
+bool PinCurrentThreadToCpu(uint32_t /*cpu*/) {
+  WarnOnce("no affinity API on this platform");
+  return false;
+}
+
+#endif
+
+}  // namespace superfe

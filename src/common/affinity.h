@@ -1,0 +1,28 @@
+// CPU affinity for the sharded pipeline (--pin-threads).
+//
+// The sharded replay driver and the NIC-cluster workers are long-lived
+// threads with hot per-shard/per-member state; letting the scheduler migrate
+// them across cores churns L1/L2 and (on multi-socket hosts) bounces state
+// across NUMA nodes. PinCurrentThreadToCpu pins the calling thread to one
+// logical CPU so a shard's replay thread and its preferred NIC members stay
+// co-resident. Pinning is best-effort: on hosts without an affinity API (or
+// when the syscall fails) it logs one warning and becomes a no-op, so the
+// knob is always safe to pass — including single-CPU CI runners.
+#ifndef SUPERFE_COMMON_AFFINITY_H_
+#define SUPERFE_COMMON_AFFINITY_H_
+
+#include <cstdint>
+
+namespace superfe {
+
+// Logical CPUs available to this process (>= 1; 1 on failure).
+uint32_t CpuCount();
+
+// Pins the calling thread to logical CPU `cpu % CpuCount()`. Returns true
+// when the pin took effect, false on unsupported hosts or syscall failure
+// (warned once per process, then silent).
+bool PinCurrentThreadToCpu(uint32_t cpu);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_AFFINITY_H_

@@ -63,6 +63,7 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   }
   cfg.switch_shards = std::min(std::max<uint32_t>(cfg.switch_shards, 1),
                                obs::TraceClock::kMaxLanes);
+  cfg.replay.pin_threads = cfg.replay.pin_threads || cfg.pin_threads;
   if (cfg.fault.enabled()) {
     // A fault plan implies degraded-mode survival: arm MGPV's graceful
     // overload response. (The default stays off so empty-plan runs are
@@ -111,6 +112,7 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   if (cfg.worker_threads > 0 || serial_fault_cluster) {
     NicClusterOptions options = cfg.cluster;
     options.parallel = cfg.worker_threads > 0;
+    options.pin_threads = options.pin_threads || cfg.pin_threads;
     options.metrics = runtime->metrics_.get();
     options.trace = runtime->trace_.get();
     options.trace_lane_base = 0;

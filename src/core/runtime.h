@@ -65,6 +65,15 @@ struct RuntimeConfig {
   // producer handle. Clamped to obs::TraceClock::kMaxLanes.
   uint32_t switch_shards = 1;
 
+  // CPU affinity for the parallel pipeline (--pin-threads): pin replay
+  // shard s and NIC worker s to logical CPU s % CpuCount, so each shard
+  // thread and the members its CG range feeds stay on the same core/NUMA
+  // node. Best-effort (src/common/affinity): where pinning is unsupported
+  // it degrades to a no-op with one logged warning — safe on any host,
+  // including single-CPU CI runners. Forwards into replay.pin_threads and
+  // cluster.pin_threads.
+  bool pin_threads = false;
+
   // Deterministic fault injection + degraded-mode failover
   // (docs/ROBUSTNESS.md). A non-empty plan arms a FaultInjector shared by
   // every pipeline stage, turns on MGPV graceful overload, and makes Run()

@@ -37,7 +37,7 @@ void SoftwareExtractor::ProcessPacket(const PacketRecord& pkt, FeatureSink* sink
   const auto& grans = compiled_.nic_program.granularities;
   std::array<GroupState*, 4> touched{};
   for (size_t gi = 0; gi < grans.size(); ++gi) {
-    const GroupKey key = GroupKey::FromFgTuple(cell.fg_tuple, cell.direction, grans[gi]);
+    const GroupKey key = GroupKey::FromFgTuple(cell.fg_tuple, grans[gi]);
     bool via_dram = false;
     GroupState& group = tables_[gi]->FindOrCreate(
         key, key.Hash(), [&] { return GroupState::Make(plan_, gi, options_); }, via_dram);
@@ -47,8 +47,7 @@ void SoftwareExtractor::ProcessPacket(const PacketRecord& pkt, FeatureSink* sink
 
   if (compiled_.nic_program.collect.per_packet && sink != nullptr) {
     FeatureVector vector;
-    vector.group =
-        GroupKey::FromFgTuple(cell.fg_tuple, cell.direction, compiled_.switch_program.fg());
+    vector.group = GroupKey::FromFgTuple(cell.fg_tuple, compiled_.switch_program.fg());
     vector.timestamp_ns = pkt.timestamp_ns;
     vector.values.reserve(compiled_.nic_program.FeatureDimension());
     for (size_t gi = 0; gi < grans.size(); ++gi) {
@@ -80,8 +79,7 @@ void SoftwareExtractor::Flush(FeatureSink* sink) {
             EmitGroupFeatures(plan_, gj, group, vector.values);
             continue;
           }
-          const GroupKey sibling_key =
-              GroupKey::FromFgTuple(group.last_fg_tuple, group.last_direction, grans[gj]);
+          const GroupKey sibling_key = GroupKey::FromFgTuple(group.last_fg_tuple, grans[gj]);
           GroupState* sibling = tables_[gj]->Find(sibling_key, sibling_key.Hash());
           if (sibling != nullptr) {
             EmitGroupFeatures(plan_, gj, *sibling, vector.values);

@@ -5,13 +5,10 @@
 namespace superfe {
 
 uint64_t PacketRecord::ChannelKey() const {
-  // Canonicalize the IP pair so both directions share a key.
-  uint32_t a = tuple.src_ip;
-  uint32_t b = tuple.dst_ip;
-  if (a > b) {
-    std::swap(a, b);
-  }
-  return (static_cast<uint64_t>(a) << 32) | b;
+  // Ordered (initiator, responder) pair: both directions share a key, and
+  // the key nests inside the initiator host key (see group_key.cc).
+  const FiveTuple initiator = InitiatorTuple();
+  return (static_cast<uint64_t>(initiator.src_ip) << 32) | initiator.dst_ip;
 }
 
 std::string PacketRecord::ToString() const {

@@ -40,11 +40,19 @@ struct PacketRecord {
   bool is_tcp() const { return tuple.protocol == kProtoTcp; }
   bool is_udp() const { return tuple.protocol == kProtoUdp; }
 
+  // The five-tuple as sent by the flow initiator (forward packets already
+  // are; backward packets are reversed back). Every grouping key below is
+  // derived from this orientation, matching GroupKey's initiator-oriented
+  // chain.
+  FiveTuple InitiatorTuple() const {
+    return direction == Direction::kForward ? tuple : tuple.Reversed();
+  }
+
   // Grouping keys for the SuperFE granularities (Table 5). `host` groups by
-  // source IP; `channel` by the IP pair; `socket`/`flow` by the five-tuple.
-  // Direction-aware granularities use the canonical (bidirectional) key so
+  // the initiator's IP; `channel` by the ordered (initiator, responder) IP
+  // pair; `socket`/`flow` by the five-tuple. Initiator orientation makes
   // both directions of a conversation land in the same group.
-  uint64_t HostKey() const { return tuple.src_ip; }
+  uint64_t HostKey() const { return InitiatorTuple().src_ip; }
   uint64_t ChannelKey() const;
   FiveTuple SocketKey() const { return tuple.Canonical(); }
   FiveTuple FlowKey() const { return tuple.Canonical(); }

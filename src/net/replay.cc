@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/affinity.h"
 #include "net/trace_gen.h"
 
 namespace superfe {
@@ -210,6 +211,9 @@ ReplayReport ParallelReplay(const Trace& trace, const ReplayOptions& options,
   for (size_t s = 0; s < shards; ++s) {
     const ReplayObs* obs = s < shard_obs.size() ? shard_obs[s] : nullptr;
     threads.emplace_back([&, s, obs] {
+      if (options.pin_threads) {
+        PinCurrentThreadToCpu(static_cast<uint32_t>(s));
+      }
       ReplayChunkObs chunk_obs(obs);
       for (const uint64_t id : shard_ids[s]) {
         const PacketRecord pkt =

@@ -79,6 +79,13 @@ struct ReplayOptions {
 
   // Optional observability wiring (not owned; must outlive the replay).
   const ReplayObs* obs = nullptr;
+
+  // Pin each ParallelReplay shard thread to logical CPU (shard % CpuCount)
+  // — the same slot the NIC cluster pins worker threads to, keeping a
+  // shard's producer and its preferred members co-resident. Best-effort:
+  // no-op (with one logged warning) where pinning is unsupported. Ignored
+  // by the serial Replay().
+  bool pin_threads = false;
 };
 
 struct ReplayReport {

@@ -107,10 +107,10 @@ void FeNic::OnMgpv(const MgpvReport& report) {
     CellWork work = base_cell_work_;
 
     // Locate and update the group at every granularity in the chain. The
-    // cell's FG tuple plus direction derives every key (§5.1).
+    // cell's initiator-oriented FG tuple derives every key (§5.1).
     std::array<GroupState*, 4> touched{};
     for (size_t gi = 0; gi < grans.size(); ++gi) {
-      const GroupKey key = GroupKey::FromFgTuple(cell.fg_tuple, cell.direction, grans[gi]);
+      const GroupKey key = GroupKey::FromFgTuple(cell.fg_tuple, grans[gi]);
       const uint32_t hash = key.Hash();
       bool via_dram = false;
       GroupState& group = tables_[gi]->FindOrCreate(
@@ -128,8 +128,7 @@ void FeNic::OnMgpv(const MgpvReport& report) {
 
     if (per_packet) {
       FeatureVector vector;
-      vector.group = GroupKey::FromFgTuple(cell.fg_tuple, cell.direction,
-                                           compiled_.switch_program.fg());
+      vector.group = GroupKey::FromFgTuple(cell.fg_tuple, compiled_.switch_program.fg());
       vector.timestamp_ns = cell.full_timestamp_ns;
       vector.values.reserve(compiled_.nic_program.FeatureDimension());
       for (size_t gi = 0; gi < grans.size(); ++gi) {
@@ -155,8 +154,7 @@ void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {
       continue;
     }
     // Sibling granularity: derive its key from the unit group's last packet.
-    const GroupKey sibling_key =
-        GroupKey::FromFgTuple(unit_group.last_fg_tuple, unit_group.last_direction, grans[gi]);
+    const GroupKey sibling_key = GroupKey::FromFgTuple(unit_group.last_fg_tuple, grans[gi]);
     GroupState* sibling = tables_[gi]->Find(sibling_key, sibling_key.Hash());
     if (sibling != nullptr) {
       EmitGroupFeatures(plan_, gi, *sibling, vector.values);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "common/affinity.h"
 #include "common/logging.h"
 
 namespace superfe {
@@ -199,6 +200,9 @@ NicCluster::~NicCluster() {
 }
 
 void NicCluster::WorkerLoop(size_t index) {
+  if (options_.pin_threads) {
+    PinCurrentThreadToCpu(static_cast<uint32_t>(index));
+  }
   FeNic& nic = *nics_[index];
   Worker& self = *workers_[index];
   FaultInjector* injector = options_.injector;

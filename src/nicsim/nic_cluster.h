@@ -47,6 +47,12 @@ struct NicClusterOptions {
   // Spawn one worker thread per member; false keeps inline serial dispatch.
   bool parallel = false;
 
+  // Pin worker i to logical CPU (i % CpuCount) — the same slot the sharded
+  // replay driver pins shard i's thread to, so a shard and the members its
+  // CG range prefers share a core/NUMA node. Best-effort (common/affinity):
+  // no-op with one logged warning where unsupported. Parallel mode only.
+  bool pin_threads = false;
+
   // Bound on queued messages per worker. Control messages (FG syncs, flush
   // barriers) bypass the bound — only report batches are subject to it.
   size_t queue_capacity = 256;

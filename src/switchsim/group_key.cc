@@ -15,23 +15,26 @@ void PutU32(GroupKey& key, size_t off, uint32_t v) {
   key.bytes[off + 3] = static_cast<uint8_t>(v);
 }
 
-GroupKey HostKey(uint32_t src_ip) {
+// Host key: the initiator's IP, so both directions of a flow share it.
+GroupKey HostKey(uint32_t initiator_ip) {
   GroupKey key;
   key.granularity = Granularity::kHost;
   key.length = 4;
-  PutU32(key, 0, src_ip);
+  PutU32(key, 0, initiator_ip);
   return key;
 }
 
-GroupKey ChannelKey(uint32_t a, uint32_t b) {
-  if (a > b) {
-    std::swap(a, b);
-  }
+// Channel key: the *ordered* (initiator, responder) pair — not min/max
+// canonicalized. Ordering by initiator keeps the granularity chain nested
+// (host ⊇ channel ⊇ socket/flow): a min/max pair {A,B} could mix flows
+// initiated from either end, whose host keys (A vs B) would route to
+// different shards while the channel state expected them together.
+GroupKey ChannelKey(uint32_t initiator_ip, uint32_t responder_ip) {
   GroupKey key;
   key.granularity = Granularity::kChannel;
   key.length = 8;
-  PutU32(key, 0, a);
-  PutU32(key, 4, b);
+  PutU32(key, 0, initiator_ip);
+  PutU32(key, 4, responder_ip);
   return key;
 }
 
@@ -46,27 +49,16 @@ GroupKey TupleKey(const FiveTuple& tuple, Granularity granularity) {
 
 }  // namespace
 
-FiveTuple GroupKey::InitiatorTuple(const PacketRecord& pkt) {
-  return pkt.direction == Direction::kForward ? pkt.tuple : pkt.tuple.Reversed();
-}
+FiveTuple GroupKey::InitiatorTuple(const PacketRecord& pkt) { return pkt.InitiatorTuple(); }
 
 GroupKey GroupKey::ForPacket(const PacketRecord& pkt, Granularity granularity) {
-  switch (granularity) {
-    case Granularity::kHost:
-      return HostKey(pkt.tuple.src_ip);
-    case Granularity::kChannel:
-      return ChannelKey(pkt.tuple.src_ip, pkt.tuple.dst_ip);
-    case Granularity::kSocket:
-    case Granularity::kFlow:
-      return TupleKey(InitiatorTuple(pkt), granularity);
-  }
-  return {};
+  return FromFgTuple(InitiatorTuple(pkt), granularity);
 }
 
-GroupKey GroupKey::FromFgTuple(const FiveTuple& fg, Direction dir, Granularity granularity) {
+GroupKey GroupKey::FromFgTuple(const FiveTuple& fg, Granularity granularity) {
   switch (granularity) {
     case Granularity::kHost:
-      return HostKey(dir == Direction::kForward ? fg.src_ip : fg.dst_ip);
+      return HostKey(fg.src_ip);
     case Granularity::kChannel:
       return ChannelKey(fg.src_ip, fg.dst_ip);
     case Granularity::kSocket:

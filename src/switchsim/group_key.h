@@ -1,10 +1,16 @@
 // Group keys for the SuperFE granularities, in the byte layout the switch
 // hash units consume.
 //
-// The finest-granularity (FG) key is stored in *initiator orientation*: the
-// five-tuple as sent by the flow initiator. Every coarser key is derivable
-// from the FG key plus the packet's direction bit, which is what lets MGPV
-// store each packet's metadata once and re-split on the NIC (§5.1).
+// Every key is stored in *initiator orientation*: the finest-granularity
+// (FG) key is the five-tuple as sent by the flow initiator, the channel key
+// is the ordered (initiator, responder) IP pair, and the host key is the
+// initiator's IP. Orienting the whole chain the same way means each coarser
+// key is a prefix-projection of the FG key — both directions of a flow map
+// to the same key at every granularity, so any coarser key is derivable
+// from the FG key alone (no direction bit needed), which is what lets MGPV
+// store each packet's metadata once and re-split on the NIC (§5.1). It also
+// makes CG-hash routing exact under sharding: a group's packets can never
+// straddle shards/members just because the two directions hashed apart.
 #ifndef SUPERFE_SWITCHSIM_GROUP_KEY_H_
 #define SUPERFE_SWITCHSIM_GROUP_KEY_H_
 
@@ -29,17 +35,18 @@ struct GroupKey {
   }
   bool operator!=(const GroupKey& other) const { return !(*this == other); }
 
-  // The key of `granularity` for this packet (host = the packet's source IP;
-  // channel = canonical IP pair; socket/flow = initiator-oriented
-  // five-tuple).
+  // The key of `granularity` for this packet (host = the initiator's IP;
+  // channel = ordered initiator→responder IP pair; socket/flow =
+  // initiator-oriented five-tuple).
   static GroupKey ForPacket(const PacketRecord& pkt, Granularity granularity);
 
   // The initiator-oriented five-tuple of the packet (the FG key stored in
   // the synchronized table).
   static FiveTuple InitiatorTuple(const PacketRecord& pkt);
 
-  // Derives a coarser key from an FG five-tuple plus the packet direction.
-  static GroupKey FromFgTuple(const FiveTuple& fg, Direction dir, Granularity granularity);
+  // Derives a coarser key from an initiator-oriented FG five-tuple. All
+  // granularities project from the FG key alone — no direction needed.
+  static GroupKey FromFgTuple(const FiveTuple& fg, Granularity granularity);
 
   // 32-bit CRC hash, as computed by the Tofino hash engine; the same value
   // is shipped to the NIC (hash-reuse optimization, §6.2).

@@ -178,6 +178,27 @@ void EmitMgpvRegisters(std::ostringstream& out, const SwitchProgram& sw,
   out << "    Register<bit<32>, bit<32>>(1) aging_cursor;\n\n";
 }
 
+// CG hash operands for the host/channel granularities. The simulator keys
+// both on the flow *initiator* (group_key.cc: host = initiator IP, channel
+// = ordered initiator->responder pair), but a stateless data plane cannot
+// know which end initiated a flow, so the generated program falls back to
+// min/max canonicalization of the IP pair — host hashes the smaller
+// address, channel the sorted pair. Both directions of a flow still hash
+// identically (the routing invariant holds on-target); the delta is that
+// flows initiated from opposite ends of one IP pair, distinct groups in the
+// simulator, share a canonical group on the switch (documented in
+// docs/ARCHITECTURE.md, "P4 hash delta").
+void EmitCanonicalPairHash(std::ostringstream& out, bool pair) {
+  out << "        // Initiator unknown in-dataplane: min/max fallback (see\n"
+         "        // docs/ARCHITECTURE.md, \"P4 hash delta\").\n";
+  if (pair) {
+    out << "        meta.cg_index = cg_hash.get({min(hdr.ipv4.src_addr, hdr.ipv4.dst_addr),\n"
+           "                                     max(hdr.ipv4.src_addr, hdr.ipv4.dst_addr)});\n";
+  } else {
+    out << "        meta.cg_index = cg_hash.get({min(hdr.ipv4.src_addr, hdr.ipv4.dst_addr)});\n";
+  }
+}
+
 void EmitIngress(std::ostringstream& out, const SwitchProgram& sw, const MgpvConfig& config) {
   out << "control FeIngress(inout headers_t hdr, inout metadata_t meta,\n"
          "                  in ingress_intrinsic_metadata_t ig_intr_md,\n"
@@ -199,11 +220,10 @@ void EmitIngress(std::ostringstream& out, const SwitchProgram& sw, const MgpvCon
       << GranularityName(sw.fg()) << ".\n";
   switch (sw.cg()) {
     case Granularity::kHost:
-      out << "        meta.cg_index = cg_hash.get({hdr.ipv4.src_addr});\n";
+      EmitCanonicalPairHash(out, /*pair=*/false);
       break;
     case Granularity::kChannel:
-      out << "        meta.cg_index = cg_hash.get({min(hdr.ipv4.src_addr, hdr.ipv4.dst_addr),\n"
-             "                                     max(hdr.ipv4.src_addr, hdr.ipv4.dst_addr)});\n";
+      EmitCanonicalPairHash(out, /*pair=*/true);
       break;
     case Granularity::kSocket:
     case Granularity::kFlow:

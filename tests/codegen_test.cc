@@ -68,8 +68,58 @@ pktstream
   EXPECT_NE(p4.find("fg_key_word_0"), std::string::npos);
   EXPECT_NE(p4.find("CG = host"), std::string::npos);
   EXPECT_NE(p4.find("FG = socket"), std::string::npos);
-  // Host CG hashes only the source address.
-  EXPECT_NE(p4.find("cg_hash.get({hdr.ipv4.src_addr})"), std::string::npos);
+  // Host CG hashes the canonical (min) address: the in-dataplane fallback
+  // for the simulator's initiator key, never the raw source address.
+  EXPECT_NE(p4.find("cg_hash.get({min(hdr.ipv4.src_addr, hdr.ipv4.dst_addr)})"),
+            std::string::npos);
+  EXPECT_EQ(p4.find("cg_hash.get({hdr.ipv4.src_addr})"), std::string::npos);
+}
+
+// Golden CG-hash emission for all three CG granularity classes: host and
+// channel share the min/max canonicalization helper (both directions hash
+// alike), socket/flow hash the raw five-tuple.
+TEST(P4GenTest, CgHashGoldenPerGranularity) {
+  const auto p4_for = [](const char* source) {
+    const CompiledPolicy compiled = CompileSource(source);
+    return GenerateP4(compiled, FeSwitch::DefaultConfig(compiled));
+  };
+
+  const std::string host = p4_for(R"(
+pktstream
+  .groupby(host)
+  .reduce(size, [f_mean])
+  .collect(host)
+)");
+  EXPECT_NE(host.find("CG = host"), std::string::npos);
+  EXPECT_NE(host.find("cg_hash.get({min(hdr.ipv4.src_addr, hdr.ipv4.dst_addr)})"),
+            std::string::npos);
+  EXPECT_NE(host.find("min/max fallback"), std::string::npos);  // Delta documented.
+
+  const std::string channel = p4_for(R"(
+pktstream
+  .groupby(channel)
+  .reduce(size, [f_mean])
+  .collect(channel)
+)");
+  EXPECT_NE(channel.find("CG = channel"), std::string::npos);
+  EXPECT_NE(
+      channel.find("cg_hash.get({min(hdr.ipv4.src_addr, hdr.ipv4.dst_addr),\n"
+                   "                                     max(hdr.ipv4.src_addr, "
+                   "hdr.ipv4.dst_addr)});"),
+      std::string::npos);
+  EXPECT_NE(channel.find("min/max fallback"), std::string::npos);
+
+  const std::string flow = p4_for(R"(
+pktstream
+  .groupby(flow)
+  .reduce(size, [f_mean])
+  .collect(flow)
+)");
+  EXPECT_NE(flow.find("CG = flow"), std::string::npos);
+  EXPECT_NE(flow.find("cg_hash.get({hdr.ipv4.src_addr, hdr.ipv4.dst_addr,"),
+            std::string::npos);
+  // The five-tuple hash needs no canonicalization fallback.
+  EXPECT_EQ(flow.find("min/max fallback"), std::string::npos);
 }
 
 TEST(P4GenTest, SingleGranularityHasNoFgTable) {

@@ -90,17 +90,42 @@ TEST(GroupKeyTest, ToStringIsHex) {
 
 TEST(GroupKeyTest, FromFgTupleDerivesEveryGranularity) {
   const FiveTuple fg{MakeIp(10, 0, 0, 1), MakeIp(10, 0, 0, 2), 1000, 80, kProtoTcp};
-  // Forward packet: host = initiator source.
-  const GroupKey fwd_host = GroupKey::FromFgTuple(fg, Direction::kForward, Granularity::kHost);
-  EXPECT_EQ(fwd_host.length, 4);
-  // Backward packet: host = responder.
-  const GroupKey bwd_host = GroupKey::FromFgTuple(fg, Direction::kBackward, Granularity::kHost);
-  EXPECT_NE(fwd_host, bwd_host);
-  // Channel is direction-invariant.
-  EXPECT_EQ(GroupKey::FromFgTuple(fg, Direction::kForward, Granularity::kChannel),
-            GroupKey::FromFgTuple(fg, Direction::kBackward, Granularity::kChannel));
+  // Host = the initiator's IP (the FG tuple's source side).
+  const GroupKey host = GroupKey::FromFgTuple(fg, Granularity::kHost);
+  EXPECT_EQ(host.length, 4);
+  EXPECT_EQ(host.ToString(), "host:0a000001");
+  // Channel = the ordered (initiator, responder) pair — not min/max.
+  const GroupKey channel = GroupKey::FromFgTuple(fg, Granularity::kChannel);
+  EXPECT_EQ(channel.length, 8);
+  EXPECT_EQ(channel.ToString(), "channel:0a0000010a000002");
   // Socket/flow carry the full tuple.
-  EXPECT_EQ(GroupKey::FromFgTuple(fg, Direction::kForward, Granularity::kSocket).length, 13);
+  EXPECT_EQ(GroupKey::FromFgTuple(fg, Granularity::kSocket).length, 13);
+}
+
+TEST(GroupKeyTest, BothDirectionsOfAFlowShareEveryKey) {
+  // The sharding invariant: forward and reverse packets of one flow map to
+  // identical keys (and hashes, hence shards) at every granularity.
+  PacketRecord fwd;
+  fwd.tuple = {MakeIp(10, 0, 0, 1), MakeIp(192, 168, 0, 9), 1234, 443, kProtoTcp};
+  fwd.direction = Direction::kForward;
+  PacketRecord bwd;
+  bwd.tuple = fwd.tuple.Reversed();
+  bwd.direction = Direction::kBackward;
+  for (Granularity g : {Granularity::kHost, Granularity::kChannel, Granularity::kSocket,
+                        Granularity::kFlow}) {
+    const GroupKey f = GroupKey::ForPacket(fwd, g);
+    const GroupKey b = GroupKey::ForPacket(bwd, g);
+    EXPECT_EQ(f, b) << GranularityName(g);
+    EXPECT_EQ(f.Hash(), b.Hash()) << GranularityName(g);
+  }
+  // A flow initiated from the other end is a *different* host and channel
+  // group (ordered pair), even though the canonical IP set is the same.
+  PacketRecord other = bwd;
+  other.direction = Direction::kForward;
+  EXPECT_NE(GroupKey::ForPacket(fwd, Granularity::kHost),
+            GroupKey::ForPacket(other, Granularity::kHost));
+  EXPECT_NE(GroupKey::ForPacket(fwd, Granularity::kChannel),
+            GroupKey::ForPacket(other, Granularity::kChannel));
 }
 
 TEST(GroupKeyTest, HashDependsOnGranularity) {

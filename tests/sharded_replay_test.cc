@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -39,6 +40,29 @@ pktstream
 )";
 
 Result<Policy> ParseFlowPolicy() { return ParsePolicy("sharded", kFlowStatsPolicy); }
+
+// Host CG over a multi-granularity chain with 2D sibling features at
+// channel: the case that diverged under sharding before host/channel keys
+// were initiator-oriented (both directions of one flow now share every key,
+// so the chain nests inside the CG partition).
+const char* kHostCgPolicy = R"(
+pktstream
+  .groupby(host, channel, socket)
+  .map(one, _, f_one)
+  .reduce(one, [f_sum], host)
+  .reduce(size, [f_mean, f_mag, f_pcc], channel)
+  .reduce(size, [f_sum, f_min, f_max], socket)
+  .collect(pkt)
+)";
+
+// Channel CG: the ordered (initiator, responder) pair partitions the trace.
+const char* kChannelCgPolicy = R"(
+pktstream
+  .groupby(channel, flow)
+  .reduce(size, [f_mag, f_pcc], channel)
+  .reduce(size, [f_sum, f_mean], flow)
+  .collect(flow)
+)";
 
 // Order-independent comparison key: (group key bytes, timestamp, values).
 using VectorKey = std::tuple<int, std::string, uint64_t, std::vector<double>>;
@@ -101,6 +125,132 @@ TEST(ShardedReplayTest, FeatureMultisetMatchesSerialReference) {
       EXPECT_EQ(serial_report.nic.vectors_emitted, report.nic.vectors_emitted);
     }
   }
+}
+
+// CSV lines exactly as tools/superfe_run's CsvSink writes them (default
+// ostream double formatting), sorted — the byte-level comparison the CI
+// export-smoke diff performs.
+std::vector<std::string> SortedCsvLines(const std::vector<FeatureVector>& vectors) {
+  std::vector<std::string> lines;
+  lines.reserve(vectors.size());
+  for (const auto& v : vectors) {
+    std::ostringstream line;
+    line << v.group.ToString() << "," << v.timestamp_ns;
+    for (double value : v.values) {
+      line << "," << value;
+    }
+    lines.push_back(line.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// The acceptance-criteria matrix: a bidirectional trace replayed through
+// every shard/worker shape must match the serial oracle byte-for-byte
+// (after sort) for host-, channel-, and flow-CG policies. No granularity
+// exemptions: initiator-oriented keys make the whole chain nest inside the
+// CG partition.
+TEST(ShardedReplayTest, BidirectionalTraceExactForEveryCgGranularity) {
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 6000, /*seed=*/13);
+  // The profile generates request/response traffic on the same sockets;
+  // make sure both directions are actually present.
+  uint64_t backward = 0;
+  for (const auto& pkt : trace.packets()) {
+    backward += pkt.direction == Direction::kBackward ? 1 : 0;
+  }
+  ASSERT_GT(backward, 0u);
+  ASSERT_LT(backward, trace.size());
+
+  const struct {
+    const char* name;
+    const char* source;
+  } policies[] = {{"host-cg", kHostCgPolicy},
+                  {"channel-cg", kChannelCgPolicy},
+                  {"flow-cg", kFlowStatsPolicy}};
+  for (const auto& p : policies) {
+    auto policy = ParsePolicy(p.name, p.source);
+    ASSERT_TRUE(policy.ok()) << p.name << ": " << policy.status().ToString();
+
+    const auto oracle_vectors = RunPipeline(*policy, trace, 1, 0);
+    ASSERT_FALSE(oracle_vectors.empty()) << p.name;
+    const auto oracle_multiset = SortedMultiset(oracle_vectors);
+    const auto oracle_csv = SortedCsvLines(oracle_vectors);
+
+    for (uint32_t shards : {1u, 2u, 4u}) {
+      for (uint32_t workers : {0u, 1u, 4u}) {
+        const auto got = RunPipeline(*policy, trace, shards, workers);
+        EXPECT_EQ(oracle_multiset, SortedMultiset(got))
+            << p.name << " shards=" << shards << " workers=" << workers;
+        EXPECT_EQ(oracle_csv, SortedCsvLines(got))
+            << p.name << " shards=" << shards << " workers=" << workers;
+      }
+    }
+  }
+}
+
+// Key symmetry at the routing layer: the forward and backward packets of a
+// flow select the same shard for every shard count and every granularity.
+TEST(ShardedReplayTest, BothDirectionsSelectTheSameShard) {
+  PacketRecord fwd;
+  fwd.tuple = {MakeIp(172, 16, 4, 9), MakeIp(10, 9, 8, 7), 50123, 443, kProtoTcp};
+  fwd.direction = Direction::kForward;
+  PacketRecord bwd;
+  bwd.tuple = fwd.tuple.Reversed();
+  bwd.direction = Direction::kBackward;
+
+  for (Granularity g : {Granularity::kHost, Granularity::kChannel, Granularity::kSocket,
+                        Granularity::kFlow}) {
+    const uint32_t fwd_hash = GroupKey::ForPacket(fwd, g).Hash();
+    const uint32_t bwd_hash = GroupKey::ForPacket(bwd, g).Hash();
+    EXPECT_EQ(fwd_hash, bwd_hash) << GranularityName(g);
+    for (uint32_t shards : {2u, 3u, 4u, 7u}) {
+      EXPECT_EQ(fwd_hash % shards, bwd_hash % shards)
+          << GranularityName(g) << " shards=" << shards;
+    }
+  }
+}
+
+// Failover routing keys on the CG hash, so after a member crash both
+// directions of a flow make identical routing decisions — the group fails
+// over as a unit instead of splitting across survivors.
+TEST(ShardedReplayTest, FailoverRoutesBothDirectionsTogether) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kMemberCrash;
+  crash.target = 1;
+  crash.at_ns = 1'000'000;
+  crash.detect_ns = 0;  // Detected immediately: reroutes, no in-flight loss.
+  plan.Add(crash);
+  FaultInjector injector(plan);
+  const uint32_t kMembers = 4;
+  injector.BeginRun(kMembers);
+
+  PacketRecord fwd;
+  fwd.direction = Direction::kForward;
+  PacketRecord bwd;
+  bwd.direction = Direction::kBackward;
+  int rerouted = 0;
+  for (uint32_t host = 0; host < 64; ++host) {
+    fwd.tuple = {MakeIp(10, 0, 0, 1) + host, MakeIp(192, 168, 1, 1) + host, 1000, 80,
+                 kProtoTcp};
+    bwd.tuple = fwd.tuple.Reversed();
+    for (Granularity g : {Granularity::kHost, Granularity::kChannel}) {
+      const uint32_t fwd_hash = GroupKey::ForPacket(fwd, g).Hash();
+      const uint32_t bwd_hash = GroupKey::ForPacket(bwd, g).Hash();
+      ASSERT_EQ(fwd_hash, bwd_hash) << GranularityName(g);
+      const auto f =
+          injector.RouteFor(fwd_hash % kMembers, fwd_hash, /*evict_ns=*/2'000'000, kMembers);
+      const auto b =
+          injector.RouteFor(bwd_hash % kMembers, bwd_hash, /*evict_ns=*/2'000'000, kMembers);
+      EXPECT_EQ(static_cast<int>(f.action), static_cast<int>(b.action));
+      EXPECT_EQ(f.target, b.target);
+      if (f.action == FaultInjector::RouteDecision::Action::kReroute) {
+        ++rerouted;
+        EXPECT_NE(f.target, 1u);  // Never to the dead member.
+      }
+    }
+  }
+  EXPECT_GT(rerouted, 0);  // The crashed member's hash range actually moved.
 }
 
 TEST(ShardedReplayTest, AmplifiedReplayStaysEquivalent) {

@@ -112,9 +112,13 @@ TEST(FiveTupleTest, IpToStringDotted) {
 TEST(PacketRecordTest, ChannelKeySymmetric) {
   PacketRecord a;
   a.tuple = {10, 20, 1, 2, kProtoTcp};
+  a.direction = Direction::kForward;
   PacketRecord b;
-  b.tuple = {20, 10, 2, 1, kProtoTcp};
+  b.tuple = a.tuple.Reversed();
+  b.direction = Direction::kBackward;
   EXPECT_EQ(a.ChannelKey(), b.ChannelKey());
+  EXPECT_EQ(a.HostKey(), b.HostKey());
+  EXPECT_EQ(a.HostKey(), 10u);  // The initiator's IP, from either direction.
 }
 
 TEST(PacketRecordTest, DirectionSign) {

@@ -4,7 +4,7 @@
 //
 //   superfe_run POLICY.sfe [--pcap FILE | --profile mawi|enterprise|campus]
 //               [--packets N] [--seed S] [--out FEATURES.csv] [--report]
-//               [--workers N] [--switch-shards N]
+//               [--workers N] [--switch-shards N] [--pin-threads]
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--sample-interval-ms N]
 //               [--latency-report] [--samples-out FILE]
@@ -44,6 +44,8 @@ int Usage() {
                "                   [--workers N]   (N>0: parallel NIC cluster, N members)\n"
                "                   [--switch-shards N]  (N>1: sharded FE-Switch + parallel\n"
                "                                         replay, one pipe per CG-hash shard)\n"
+               "                   [--pin-threads]      pin shard/worker threads to cores\n"
+               "                                        (best-effort; no-op where unsupported)\n"
                "                   [--metrics-json FILE]  metrics + time series as JSON\n"
                "                   [--metrics-prom FILE]  Prometheus text exposition\n"
                "                   [--trace-out FILE]     Chrome trace JSON (Perfetto)\n"
@@ -160,6 +162,7 @@ int main(int argc, char** argv) {
   bool report = false;
   uint32_t workers = 0;
   uint32_t switch_shards = 1;
+  bool pin_threads = false;
   std::string metrics_json_path;
   std::string metrics_prom_path;
   std::string trace_out_path;
@@ -186,6 +189,8 @@ int main(int argc, char** argv) {
       workers = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--switch-shards") == 0 && i + 1 < argc) {
       switch_shards = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--pin-threads") == 0) {
+      pin_threads = true;
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
@@ -255,6 +260,7 @@ int main(int argc, char** argv) {
   RuntimeConfig config;
   config.worker_threads = workers;
   config.switch_shards = switch_shards;
+  config.pin_threads = pin_threads;
   if (!metrics_json_path.empty() || !metrics_prom_path.empty() ||
       !samples_out_path.empty()) {
     config.obs.metrics = true;
