@@ -2,7 +2,9 @@
 // obs subsystem fully off (the default — instrumented sites pay only a
 // null-handle branch), with the metrics registry on, with metrics + latency
 // histograms (trace-clock publication and per-stage Observe calls), and
-// with metrics + tracing + the snapshot sampler on.
+// with metrics + tracing + the snapshot sampler on. A batch-size sweep
+// compares the batched hot tier (worker-local delta blocks flushed every
+// batch_packets) against the legacy per-packet registry cadence (batch=1).
 //
 // Emits BENCH_obs_overhead.json. Acceptance: the disabled configuration is
 // the shipping default, so "disabled overhead" is definitionally zero here;
@@ -41,6 +43,10 @@ struct Mode {
   bool trace;
   uint32_t sample_interval_ms;
   bool latency = false;
+  // Hot-tier flush cadence; 0 keeps the RuntimeConfig default (4096).
+  // 1 is the legacy per-packet registry cadence the fast path replaced.
+  uint32_t batch_packets = 0;
+  bool profile = false;
 };
 
 double RunOnce(const Policy& policy, const Trace& trace, const Mode& mode) {
@@ -49,6 +55,10 @@ double RunOnce(const Policy& policy, const Trace& trace, const Mode& mode) {
   config.obs.trace = mode.trace;
   config.obs.sample_interval_ms = mode.sample_interval_ms;
   config.obs.latency = mode.latency;
+  config.obs.profile = mode.profile;
+  if (mode.batch_packets > 0) {
+    config.obs.batch_packets = mode.batch_packets;
+  }
   auto runtime = std::move(SuperFeRuntime::Create(policy, config)).value();
   CollectingFeatureSink sink;
   const auto start = std::chrono::steady_clock::now();
@@ -67,7 +77,14 @@ void Run() {
   const Mode modes[] = {
       {"disabled", false, false, 0},
       {"metrics", true, false, 0},
+      // Batch sweep: the default "metrics" row above uses the shipping
+      // hot-tier cadence (4096); batch=1 is the legacy per-packet registry
+      // path the worker-local delta blocks replaced.
+      {"metrics batch=1 (legacy)", true, false, 0, false, 1},
+      {"metrics batch=64", true, false, 0, false, 64},
+      {"metrics batch=1024", true, false, 0, false, 1024},
       {"metrics+latency", true, false, 0, true},
+      {"metrics+latency+profile", true, false, 0, true, 0, true},
       {"metrics+sampler", true, false, 2},
       {"metrics+trace+sampler", true, true, 2},
   };
@@ -137,6 +154,8 @@ void Run() {
     w.FieldBool("trace", mode.trace);
     w.FieldUint("sample_interval_ms", mode.sample_interval_ms);
     w.FieldBool("latency", mode.latency);
+    w.FieldBool("profile", mode.profile);
+    w.FieldUint("batch_packets", mode.batch_packets);
     w.FieldDouble("ms", ms);
     w.FieldDouble("overhead_pct", overhead_pct);
     w.EndObject();
@@ -154,9 +173,14 @@ void Run() {
   std::printf("\nWrote BENCH_obs_overhead.json\n");
   std::printf(
       "\nShape check: 'disabled' is the shipping default (null-handle branches\n"
-      "only); metrics adds one relaxed sharded-counter add per site; latency\n"
-      "adds a clock store per packet plus three relaxed adds per report per\n"
-      "stage; tracing adds a ring write per span/instant on top.\n");
+      "only, no delta blocks allocated, no cycle reads); metrics accumulates\n"
+      "into thread-local plain delta cells and folds into the shared registry\n"
+      "once per batch (default 4096 packets), so overhead should fall as the\n"
+      "batch grows and 'metrics batch=1 (legacy)' should be the most\n"
+      "expensive metrics row; latency adds a clock store per packet plus\n"
+      "per-report histogram-cell observes; profile adds one cycle-counter\n"
+      "read pair per instrumented stage; tracing adds a ring write per\n"
+      "span/instant on top.\n");
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/json_writer.h"
+#include "obs/worker_block.h"
 
 namespace superfe {
 
@@ -29,26 +30,49 @@ class SuperFeRuntime::ForwardingSink : public FeatureSink {
 // dispatch records. There is no queue, hence no queue-wait stage.
 class SuperFeRuntime::SerialLatencySink : public MgpvSink {
  public:
+  // `registry` non-null enables the hot tier (single replay thread only —
+  // the block's cells are plain fields); null keeps the direct relaxed-
+  // atomic observes, which are safe from any number of replay shards.
   SerialLatencySink(MgpvSink* target, obs::TraceClock* clock,
-                    obs::LatencyHistogram* service, obs::LatencyHistogram* e2e)
-      : target_(target), clock_(clock), service_(service), e2e_(e2e) {}
+                    obs::LatencyHistogram* service, obs::LatencyHistogram* e2e,
+                    obs::MetricsRegistry* registry, uint32_t batch_packets)
+      : target_(target), clock_(clock), service_(service), e2e_(e2e) {
+    block_.Init(registry, "serial-sink", batch_packets);
+    service_cell_ = block_.BindLatency(service);
+    e2e_cell_ = block_.BindLatency(e2e);
+  }
 
   void OnMgpv(const MgpvReport& report) override {
     const uint64_t before_ns = clock_->Now();
     target_->OnMgpv(report);
     const uint64_t after_ns = clock_->Now();
-    obs::Observe(service_, after_ns - before_ns);
-    obs::Observe(e2e_, after_ns > report.first_ingest_ns
-                           ? after_ns - report.first_ingest_ns
-                           : 0);
+    const uint64_t service_ns = after_ns - before_ns;
+    const uint64_t e2e_ns = after_ns > report.first_ingest_ns
+                                ? after_ns - report.first_ingest_ns
+                                : 0;
+    if (service_cell_ != nullptr) {
+      obs::Observe(service_cell_, service_ns);
+      obs::Observe(e2e_cell_, e2e_ns);
+      block_.NotePackets(report.cells.size());
+    } else {
+      obs::Observe(service_, service_ns);
+      obs::Observe(e2e_, e2e_ns);
+    }
   }
   void OnFgSync(const FgSyncMessage& sync) override { target_->OnFgSync(sync); }
+
+  // End-of-run fence: fold buffered deltas so post-run breakdown/sampler
+  // reads see exact totals.
+  void FlushObs() { block_.Flush(); }
 
  private:
   MgpvSink* target_;
   obs::TraceClock* clock_;
   obs::LatencyHistogram* service_;
   obs::LatencyHistogram* e2e_;
+  obs::WorkerObsBlock block_;
+  obs::WorkerObsBlock::LatencyCell* service_cell_ = nullptr;
+  obs::WorkerObsBlock::LatencyCell* e2e_cell_ = nullptr;
 };
 
 Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& policy,
@@ -58,9 +82,10 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     return compiled.status();
   }
   RuntimeConfig cfg = config;
-  if (cfg.obs.latency) {
-    cfg.obs.metrics = true;  // Latency histograms live in the registry.
+  if (cfg.obs.latency || cfg.obs.profile) {
+    cfg.obs.metrics = true;  // Latency/cycle instruments live in the registry.
   }
+  cfg.obs.batch_packets = std::max<uint32_t>(cfg.obs.batch_packets, 1);
   cfg.switch_shards = std::min(std::max<uint32_t>(cfg.switch_shards, 1),
                                obs::TraceClock::kMaxLanes);
   cfg.replay.pin_threads = cfg.replay.pin_threads || cfg.pin_threads;
@@ -119,6 +144,8 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     options.worker_lane_base = shards;  // == historical base+1 when shards==1.
     options.latency_clock = runtime->trace_clock_.get();
     options.injector = runtime->injector_.get();
+    options.profile = cfg.obs.profile;
+    options.obs_batch_packets = cfg.obs.batch_packets;
     if (cfg.fault.flush_timeout_ms > 0) {
       options.flush_timeout_ms = cfg.fault.flush_timeout_ms;
     }
@@ -150,12 +177,17 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     }
     runtime->nic_ = std::move(nic).value();
     if (runtime->metrics_ != nullptr) {
-      runtime->nic_->set_obs(FeNicObs::Create(runtime->metrics_.get(), 0));
+      FeNicObs nic_obs = FeNicObs::Create(runtime->metrics_.get(), 0, cfg.obs.profile);
+      nic_obs.flush_packets = cfg.obs.batch_packets;
+      runtime->nic_->set_obs(nic_obs);
     }
     nic_side = runtime->nic_.get();
     if (runtime->trace_clock_ != nullptr) {
       // Interpose the serial service/e2e measurement between MGPV and the
-      // NIC (the cluster does this itself in the parallel path).
+      // NIC (the cluster does this itself in the parallel path). The shim's
+      // hot tier is single-owner, so it only batches when one replay thread
+      // feeds it; sharded serial mode (shards > 1, workers == 0) shares the
+      // shim across replay threads and keeps the direct atomic observes.
       runtime->serial_latency_ = std::make_unique<SerialLatencySink>(
           nic_side, runtime->trace_clock_.get(),
           runtime->metrics_->GetLatencyHistogram(
@@ -163,7 +195,8 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
               "Trace-time elapsed while a NIC worker processed one report"),
           runtime->metrics_->GetLatencyHistogram(
               "superfe_latency_e2e_ns", {},
-              "First packet ingest to feature emit, end to end (trace-time ns)"));
+              "First packet ingest to feature emit, end to end (trace-time ns)"),
+          shards == 1 ? runtime->metrics_.get() : nullptr, cfg.obs.batch_packets);
       nic_side = runtime->serial_latency_.get();
     }
   }
@@ -181,6 +214,8 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     sw_options.trace_lane_base = 0;
     sw_options.latency = cfg.obs.latency;
     sw_options.injector = runtime->injector_.get();
+    sw_options.profile = cfg.obs.profile;
+    sw_options.obs_batch_packets = cfg.obs.batch_packets;
     runtime->sharded_ = std::make_unique<ShardedFeSwitch>(runtime->compiled_, sinks,
                                                           cfg.mgpv, sw_options);
     runtime->shard_replay_obs_.reserve(shards);
@@ -200,10 +235,14 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
     runtime->switch_->mutable_cache().set_fault(runtime->injector_.get(), /*shard=*/0);
   }
   if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
-    runtime->switch_->set_obs(FeSwitchObs::Create(runtime->metrics_.get()));
-    runtime->switch_->set_mgpv_obs(MgpvObs::Create(runtime->metrics_.get(),
-                                                   runtime->trace_.get(), /*trace_lane=*/0,
-                                                   cfg.obs.latency));
+    FeSwitchObs sw_obs = FeSwitchObs::Create(runtime->metrics_.get());
+    sw_obs.flush_packets = cfg.obs.batch_packets;
+    runtime->switch_->set_obs(sw_obs);
+    MgpvObs mgpv_obs = MgpvObs::Create(runtime->metrics_.get(), runtime->trace_.get(),
+                                       /*trace_lane=*/0, cfg.obs.latency,
+                                       /*instance_labels=*/{}, cfg.obs.profile);
+    mgpv_obs.flush_packets = cfg.obs.batch_packets;
+    runtime->switch_->set_mgpv_obs(mgpv_obs);
     runtime->replay_obs_ =
         ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0);
     runtime->replay_obs_.clock = runtime->trace_clock_.get();
@@ -286,6 +325,11 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
     cluster_->UpdateObsGauges();
   } else {
     nic_->Flush();
+  }
+  if (serial_latency_ != nullptr) {
+    // Fold the shim's buffered latency deltas before the sampler's final
+    // capture and the breakdown read below.
+    serial_latency_->FlushObs();
   }
   if (sampler_ != nullptr) {
     sampler_->Stop();
@@ -374,6 +418,29 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
 
 RunReport::LatencyBreakdown SuperFeRuntime::BuildLatencyBreakdown() const {
   RunReport::LatencyBreakdown b;
+  if (metrics_ != nullptr && config_.obs.profile) {
+    // Measured per-stage cycle profile, independent of latency tracking.
+    // Stages a mode never ran (e.g. dequeue in serial) report zero cycles.
+    static const char* const kStages[] = {"dequeue", "mgpv", "feature_kernels",
+                                          "sync_broadcast"};
+    uint64_t stage_cycles[4] = {};
+    uint64_t total = 0;
+    for (int i = 0; i < 4; ++i) {
+      const std::optional<double> v =
+          metrics_->Value("superfe_cycles_total", {{"stage", kStages[i]}});
+      stage_cycles[i] = v.has_value() ? static_cast<uint64_t>(*v) : 0;
+      total += stage_cycles[i];
+    }
+    for (int i = 0; i < 4; ++i) {
+      RunReport::ServiceShare s;
+      s.family = kStages[i];
+      s.cycles = stage_cycles[i];
+      s.fraction =
+          total > 0 ? static_cast<double>(stage_cycles[i]) / static_cast<double>(total)
+                    : 0.0;
+      b.measured_cycle_shares.push_back(s);
+    }
+  }
   if (trace_clock_ == nullptr || metrics_ == nullptr) {
     return b;
   }
@@ -508,6 +575,16 @@ void WriteLatencyBreakdownJson(JsonWriter& writer, const RunReport::LatencyBreak
   for (const auto& s : b.service_shares) {
     writer.BeginObject();
     writer.FieldStr("family", s.family);
+    writer.FieldUint("cycles", s.cycles);
+    writer.FieldDouble("fraction", s.fraction);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("measured_cycle_shares");
+  writer.BeginArray();
+  for (const auto& s : b.measured_cycle_shares) {
+    writer.BeginObject();
+    writer.FieldStr("stage", s.family);
     writer.FieldUint("cycles", s.cycles);
     writer.FieldDouble("fraction", s.fraction);
     writer.EndObject();

@@ -111,6 +111,18 @@ struct RuntimeConfig {
     // end-to-end distributions as superfe_latency_* histograms. Implies
     // `metrics`.
     bool latency = false;
+    // Hot-tier flush cadence (docs/OBSERVABILITY.md, "Hot-path design"):
+    // every per-packet instrumentation site accumulates into a thread-local
+    // WorkerObsBlock and folds into the shared registry once per this many
+    // packets (plus at every flush barrier, failover fence, and shutdown,
+    // so quiescent totals stay exact). 1 restores the legacy per-packet
+    // registry cadence; NIC workers additionally flush per dequeued batch.
+    uint32_t batch_packets = 4096;
+    // Per-stage cycle profiling: bracket dequeue, feature kernels, MGPV
+    // insert, and sync broadcast with cycle-counter reads and export them
+    // as superfe_cycles_total{stage=...}. Implies `metrics`. Off by
+    // default: cycle reads cost a few ns per packet/report.
+    bool profile = false;
   };
   ObsConfig obs;
 };
@@ -188,6 +200,12 @@ struct RunReport {
     // Worker-service attribution by operator family, from the NIC cycle
     // cost model (fractions sum to 1 when any work was accounted).
     std::vector<ServiceShare> service_shares;
+    // Measured counterpart (config.obs.profile): wall cycles by pipeline
+    // stage from the superfe_cycles_total brackets — a real profile of
+    // where worker time went, next to the cost model's estimate. `family`
+    // holds the stage name; fractions are of the measured total. Filled
+    // whenever profiling ran, even if `enabled` (latency tracking) is off.
+    std::vector<ServiceShare> measured_cycle_shares;
   };
   LatencyBreakdown latency;
 };

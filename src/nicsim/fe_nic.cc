@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/cycles.h"
+
 namespace superfe {
 
-FeNicObs FeNicObs::Create(obs::MetricsRegistry* registry, uint32_t nic_index) {
+FeNicObs FeNicObs::Create(obs::MetricsRegistry* registry, uint32_t nic_index,
+                          bool profile) {
   FeNicObs o;
   if (registry == nullptr) {
     return o;
   }
+  o.registry = registry;
+  o.block_name = "nic-" + std::to_string(nic_index);
   const obs::LabelSet labels = {{"nic", std::to_string(nic_index)}};
   o.reports = registry->GetCounter("superfe_nic_reports_total", labels,
                                    "MGPV reports consumed by the NIC");
@@ -21,7 +26,29 @@ FeNicObs FeNicObs::Create(obs::MetricsRegistry* registry, uint32_t nic_index) {
                                            "Feature vectors emitted");
   o.dram_detours = registry->GetCounter("superfe_nic_dram_detours_total", labels,
                                         "Group lookups that spilled to DRAM");
+  if (profile) {
+    o.cycles_feature =
+        registry->GetCounter("superfe_cycles_total", {{"stage", "feature_kernels"}},
+                             "Measured worker cycles by pipeline stage");
+    o.cycles_sync =
+        registry->GetCounter("superfe_cycles_total", {{"stage", "sync_broadcast"}},
+                             "Measured worker cycles by pipeline stage");
+  }
   return o;
+}
+
+void FeNic::set_obs(const FeNicObs& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs_ = obs;
+  block_.Init(obs.registry, obs.block_name, obs.flush_packets);
+  local_ = LocalObs{};
+  local_.reports = block_.BindCounter(obs.reports);
+  local_.cells = block_.BindCounter(obs.cells);
+  local_.fg_syncs = block_.BindCounter(obs.fg_syncs);
+  local_.vectors_emitted = block_.BindCounter(obs.vectors_emitted);
+  local_.dram_detours = block_.BindCounter(obs.dram_detours);
+  local_.cycles_feature = block_.BindCounter(obs.cycles_feature);
+  local_.cycles_sync = block_.BindCounter(obs.cycles_sync);
 }
 
 Result<std::unique_ptr<FeNic>> FeNic::Create(const CompiledPolicy& compiled,
@@ -85,14 +112,21 @@ void FeNic::OnFgSync(const FgSyncMessage& sync) {
   // the sync message itself costs a control-path update.
   (void)sync;
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t cycles_start = local_.cycles_sync != nullptr ? obs::ReadCycles() : 0;
   stats_.fg_syncs++;
-  obs::Inc(obs_.fg_syncs);
+  obs::Inc(local_.fg_syncs);
+  if (local_.cycles_sync != nullptr) {
+    local_.cycles_sync->delta += obs::ReadCycles() - cycles_start;
+  }
 }
 
 void FeNic::OnMgpv(const MgpvReport& report) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Bracket the full report (idle eviction + all feature kernels) for the
+  // {stage="feature_kernels"} cycle profile; skipped when profiling is off.
+  const uint64_t cycles_start = local_.cycles_feature != nullptr ? obs::ReadCycles() : 0;
   stats_.reports++;
-  obs::Inc(obs_.reports);
+  obs::Inc(local_.reports);
   perf_.AccountReport();
   if (!report.cells.empty()) {
     EvictIdleGroupsLocked(report.cells.back().full_timestamp_ns);
@@ -103,7 +137,7 @@ void FeNic::OnMgpv(const MgpvReport& report) {
 
   for (const auto& cell : report.cells) {
     stats_.cells++;
-    obs::Inc(obs_.cells);
+    obs::Inc(local_.cells);
     CellWork work = base_cell_work_;
 
     // Locate and update the group at every granularity in the chain. The
@@ -117,7 +151,7 @@ void FeNic::OnMgpv(const MgpvReport& report) {
           key, hash, [&] { return GroupState::Make(plan_, gi, config_.exec); }, via_dram);
       if (via_dram) {
         stats_.dram_detours++;
-        obs::Inc(obs_.dram_detours);
+        obs::Inc(local_.dram_detours);
         work.mem_accesses += 1;
         work.mem_latency_cycles += config_.arch.dram_latency_cycles;
       }
@@ -135,10 +169,15 @@ void FeNic::OnMgpv(const MgpvReport& report) {
         EmitGroupFeatures(plan_, gi, *touched[gi], vector.values);
       }
       stats_.vectors_emitted++;
-      obs::Inc(obs_.vectors_emitted);
+      obs::Inc(local_.vectors_emitted);
       sink_->OnFeatureVector(std::move(vector));
     }
   }
+  if (local_.cycles_feature != nullptr) {
+    local_.cycles_feature->delta += obs::ReadCycles() - cycles_start;
+  }
+  // Cells count as packets for the auto-flush cadence.
+  block_.NotePackets(report.cells.size());
 }
 
 void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {
@@ -163,7 +202,7 @@ void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {
     }
   }
   stats_.vectors_emitted++;
-  obs::Inc(obs_.vectors_emitted);
+  obs::Inc(local_.vectors_emitted);
   sink_->OnFeatureVector(std::move(vector));
 }
 
@@ -212,6 +251,7 @@ void FeNic::Flush() {
   for (auto& table : tables_) {
     table->Clear();
   }
+  block_.Flush();
 }
 
 uint64_t FeNic::AbandonState() {
@@ -229,6 +269,7 @@ uint64_t FeNic::AbandonState() {
   for (auto& table : tables_) {
     table->Clear();
   }
+  block_.Flush();
   return abandoned;
 }
 

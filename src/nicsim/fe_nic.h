@@ -16,11 +16,13 @@
 #include <array>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/feature_vector.h"
 #include "nicsim/cost_model.h"
 #include "obs/metrics.h"
+#include "obs/worker_block.h"
 #include "nicsim/exec.h"
 #include "nicsim/group_table.h"
 #include "nicsim/placement.h"
@@ -63,8 +65,20 @@ struct FeNicObs {
   obs::Counter* fg_syncs = nullptr;
   obs::Counter* vectors_emitted = nullptr;
   obs::Counter* dram_detours = nullptr;
+  // Measured NIC-side cycles: superfe_cycles_total{stage="feature_kernels"}
+  // brackets OnMgpv, {stage="sync_broadcast"} brackets OnFgSync. Null
+  // unless `profile` was set at Create time.
+  obs::Counter* cycles_feature = nullptr;
+  obs::Counter* cycles_sync = nullptr;
 
-  static FeNicObs Create(obs::MetricsRegistry* registry, uint32_t nic_index);
+  // Cold-tier identity for the NIC's WorkerObsBlock (see MgpvObs). Cells
+  // count as packets for the flush cadence.
+  obs::MetricsRegistry* registry = nullptr;
+  std::string block_name = "nic";
+  uint32_t flush_packets = 4096;
+
+  static FeNicObs Create(obs::MetricsRegistry* registry, uint32_t nic_index,
+                         bool profile = false);
 };
 
 class FeNic : public MgpvSink {
@@ -114,7 +128,7 @@ class FeNic : public MgpvSink {
   std::vector<GroupTableStats> TableStats() const;
 
   // Wiring-time setter (call before the owning thread starts processing).
-  void set_obs(const FeNicObs& obs) { obs_ = obs; }
+  void set_obs(const FeNicObs& obs);
 
  private:
   FeNic(const CompiledPolicy& compiled, const FeNicConfig& config, FeatureSink* sink,
@@ -133,9 +147,24 @@ class FeNic : public MgpvSink {
   ExecPlan plan_;
   PlacementProblem placement_problem_;
   PlacementResult placement_;
+  // Batch-local delta cells for the superfe_nic_* counters. Guarded by mu_
+  // like stats_; the block auto-flushes per flush_packets cells and at
+  // Flush()/AbandonState().
+  struct LocalObs {
+    obs::WorkerObsBlock::CounterCell* reports = nullptr;
+    obs::WorkerObsBlock::CounterCell* cells = nullptr;
+    obs::WorkerObsBlock::CounterCell* fg_syncs = nullptr;
+    obs::WorkerObsBlock::CounterCell* vectors_emitted = nullptr;
+    obs::WorkerObsBlock::CounterCell* dram_detours = nullptr;
+    obs::WorkerObsBlock::CounterCell* cycles_feature = nullptr;
+    obs::WorkerObsBlock::CounterCell* cycles_sync = nullptr;
+  };
+
   NicPerfModel perf_;
   FeNicStats stats_;
   FeNicObs obs_;
+  obs::WorkerObsBlock block_;
+  LocalObs local_;
 
   // Serializes the owner thread's mutations against cross-thread snapshot
   // reads. Uncontended in the one-thread-per-NIC ownership model, so the

@@ -6,6 +6,7 @@
 
 #include "common/affinity.h"
 #include "common/logging.h"
+#include "obs/cycles.h"
 
 namespace superfe {
 
@@ -67,7 +68,10 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
       serializing_sink_(std::move(serializing_sink)) {
   if (options_.metrics != nullptr) {
     for (size_t i = 0; i < nics_.size(); ++i) {
-      nics_[i]->set_obs(FeNicObs::Create(options_.metrics, static_cast<uint32_t>(i)));
+      FeNicObs nic_obs =
+          FeNicObs::Create(options_.metrics, static_cast<uint32_t>(i), options_.profile);
+      nic_obs.flush_packets = options_.obs_batch_packets;
+      nics_[i]->set_obs(nic_obs);
     }
     if (options_.latency_clock != nullptr) {
       lat_service_ = options_.metrics->GetLatencyHistogram(
@@ -125,6 +129,11 @@ NicCluster::NicCluster(std::vector<std::unique_ptr<FeNic>> nics,
     obs_watchdog_stalls_ = options_.metrics->GetCounter(
         "superfe_cluster_watchdog_stalls_total", {},
         "Workers the watchdog saw with queued messages but no progress");
+    if (options_.profile) {
+      obs_cycles_dequeue_ =
+          options_.metrics->GetCounter("superfe_cycles_total", {{"stage", "dequeue"}},
+                                       "Measured worker cycles by pipeline stage");
+    }
   }
   default_producer_.reset(new Producer(this, options_.trace_lane_base));
   // Spawn only after every queue exists: a worker never touches a sibling's
@@ -208,8 +217,24 @@ void NicCluster::WorkerLoop(size_t index) {
   FaultInjector* injector = options_.injector;
   obs::TraceRecorder* trace = options_.trace;
   const size_t lane = options_.worker_lane_base + index;
+  // Worker-local obs block: the latency observations below accumulate here
+  // and fold into the shared histograms once per dequeued batch (manual
+  // flush — cadence 0), at flush barriers, and at stop. The same block
+  // carries the {stage="dequeue"} cycle counter, which brackets the
+  // blocking Pop() and therefore includes idle wait — an idle worker shows
+  // up as dequeue-dominated, which is exactly the signal wanted.
+  obs::WorkerObsBlock block;
+  block.Init(options_.metrics, "worker-" + std::to_string(index), 0);
+  obs::WorkerObsBlock::LatencyCell* queue_wait = block.BindLatency(self.obs_queue_wait);
+  obs::WorkerObsBlock::LatencyCell* service = block.BindLatency(lat_service_);
+  obs::WorkerObsBlock::LatencyCell* e2e = block.BindLatency(lat_e2e_);
+  obs::WorkerObsBlock::CounterCell* cycles_dequeue = block.BindCounter(obs_cycles_dequeue_);
   for (;;) {
+    const uint64_t dequeue_start = cycles_dequeue != nullptr ? obs::ReadCycles() : 0;
     WorkerMessage msg = self.queue.Pop();
+    if (cycles_dequeue != nullptr) {
+      cycles_dequeue->delta += obs::ReadCycles() - dequeue_start;
+    }
     switch (msg.kind) {
       case WorkerMessage::Kind::kReports: {
         if (injector != nullptr && !msg.reports.empty()) {
@@ -231,6 +256,8 @@ void NicCluster::WorkerLoop(size_t index) {
           for (const auto& report : msg.reports) {
             nic.OnMgpv(report);
           }
+          block.NotePackets(msg.reports.size());
+          block.Flush();  // Per-batch flush: the hot tier's defining cadence.
           break;
         }
         // All stages in trace time. The clock is monotone, the queue's
@@ -240,16 +267,18 @@ void NicCluster::WorkerLoop(size_t index) {
         // defensive only.
         const uint64_t dequeue_ns = clock->Now();
         for (const auto& report : msg.reports) {
-          obs::Observe(self.obs_queue_wait,
+          obs::Observe(queue_wait,
                        dequeue_ns > report.evict_ns ? dequeue_ns - report.evict_ns : 0);
           const uint64_t before_ns = clock->Now();
           nic.OnMgpv(report);
           const uint64_t after_ns = clock->Now();
-          obs::Observe(lat_service_, after_ns - before_ns);
-          obs::Observe(lat_e2e_, after_ns > report.first_ingest_ns
-                                     ? after_ns - report.first_ingest_ns
-                                     : 0);
+          obs::Observe(service, after_ns - before_ns);
+          obs::Observe(e2e, after_ns > report.first_ingest_ns
+                                ? after_ns - report.first_ingest_ns
+                                : 0);
         }
+        block.NotePackets(msg.reports.size());
+        block.Flush();  // Per-batch flush: the hot tier's defining cadence.
         break;
       }
       case WorkerMessage::Kind::kSync:
@@ -290,12 +319,16 @@ void NicCluster::WorkerLoop(size_t index) {
             nic.Flush();
           }
         }
+        // Fold this worker's residual deltas before releasing the barrier:
+        // a post-flush registry read must see exact totals.
+        block.Flush();
         std::lock_guard<std::mutex> lock(flush_mu_);
         --flush_pending_;
         flush_cv_.notify_all();
         break;
       }
       case WorkerMessage::Kind::kStop:
+        block.Flush();
         self.exited.store(true, std::memory_order_release);
         return;
     }
@@ -404,7 +437,11 @@ std::unique_ptr<NicCluster::Producer> NicCluster::MakeProducer(uint32_t trace_la
 bool NicCluster::Producer::FaultRoute(const MgpvReport& report, size_t& target) {
   FaultInjector* injector = cluster_->options_.injector;
   const uint32_t members = static_cast<uint32_t>(cluster_->nics_.size());
-  injector->NoteOffered(1, report.cells.size());
+  // Offered counts batch in the producer (no shared-cacheline traffic per
+  // report) and fold into the injector at Close(); routing decisions never
+  // read them, so batching cannot change which reports flow where.
+  ++offered_reports_;
+  offered_cells_ += report.cells.size();
   if (injector->AnyMemberFaults()) {
     const FaultInjector::RouteDecision decision = injector->RouteFor(
         static_cast<uint32_t>(target), report.hash, report.evict_ns, members);
@@ -483,6 +520,11 @@ void NicCluster::Producer::Close() {
       cluster_->EnqueueBatch(i, std::move(pending_[i]), trace_lane_);
       pending_[i].clear();
     }
+  }
+  if (offered_reports_ != 0) {
+    cluster_->options_.injector->NoteOffered(offered_reports_, offered_cells_);
+    offered_reports_ = 0;
+    offered_cells_ = 0;
   }
 }
 

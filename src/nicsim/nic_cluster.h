@@ -81,6 +81,15 @@ struct NicClusterOptions {
   uint32_t trace_lane_base = 0;
   uint32_t worker_lane_base = 0;
 
+  // Register superfe_cycles_total{stage=...} counters and bracket the
+  // worker stages (dequeue, feature_kernels, sync_broadcast) with cycle
+  // reads. Off = zero cycle reads on the hot path.
+  bool profile = false;
+  // Auto-flush cadence of each member NIC's batch-local obs block, in
+  // processed cells (1 = legacy per-packet registry cadence). Worker-loop
+  // blocks flush per dequeued batch regardless.
+  uint32_t obs_batch_packets = 4096;
+
   // Trace-time clock published by the replay loop (see obs/latency.h). When
   // set together with `metrics`, the cluster records queue wait, worker
   // service time, and end-to-end ingest->emit latency — all in trace-time
@@ -203,6 +212,10 @@ class NicCluster : public MgpvSink {
     NicCluster* cluster_;
     uint32_t trace_lane_;
     std::vector<std::vector<MgpvReport>> pending_;  // One batch per member.
+    // Batched FaultStats offered-counts (hot tier of NoteOffered); folded
+    // into the injector in Close(), which always precedes Snapshot reads.
+    uint64_t offered_reports_ = 0;
+    uint64_t offered_cells_ = 0;
     // (from, to) member pairs this producer has already fenced — one
     // handoff fence per pair is enough to order the whole failed-over range.
     std::unordered_set<uint64_t> fenced_;
@@ -383,6 +396,8 @@ class NicCluster : public MgpvSink {
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
   obs::Counter* obs_watchdog_stalls_ = nullptr;
+  // superfe_cycles_total{stage="dequeue"}; null unless options.profile.
+  obs::Counter* obs_cycles_dequeue_ = nullptr;
 
   std::atomic<bool> crashes_accounted_{false};
 };

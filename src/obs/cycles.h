@@ -1,0 +1,43 @@
+// Raw cycle-counter reads for per-stage worker profiling (ReadCycles) and
+// the conversion helper that turns accumulated deltas into shares.
+//
+// The counter is rdtsc on x86-64 and cntvct_el0 on aarch64 — both are
+// constant-rate, monotone-per-core sources cheap enough (~10-30 cycles) to
+// bracket individual pipeline stages. Elsewhere we fall back to
+// steady_clock nanoseconds, which keeps the metrics meaningful (they are
+// shares of worker time, so the unit cancels) at a higher read cost.
+//
+// Profiling reads are opt-in: call sites hold a nullable CounterCell and
+// skip ReadCycles() entirely when it is null, so disabled pipelines pay one
+// predictable branch, and SUPERFE_OBS_DISABLED builds pay nothing.
+#ifndef SUPERFE_OBS_CYCLES_H_
+#define SUPERFE_OBS_CYCLES_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#elif !defined(__aarch64__)
+#include <chrono>
+#endif
+
+namespace superfe {
+namespace obs {
+
+inline uint64_t ReadCycles() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_CYCLES_H_

@@ -118,6 +118,20 @@ class LatencyHistogram {
     sum_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
 
+  // Bulk-merge a worker-local delta block: one relaxed add per non-empty
+  // bucket plus count and sum. Safe against concurrent Observe()/AddBulk()
+  // callers; used by the WorkerObsBlock cold-tier flush.
+  void AddBulk(const std::array<uint64_t, kNumBounds + 1>& bucket_counts,
+               uint64_t count, uint64_t sum_ns) {
+    for (size_t i = 0; i <= kNumBounds; ++i) {
+      if (bucket_counts[i] != 0) {
+        buckets_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_ns_.fetch_add(sum_ns, std::memory_order_relaxed);
+  }
+
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t SumNs() const { return sum_ns_.load(std::memory_order_relaxed); }
   // Non-cumulative count of bucket i (i == kNumBounds is the +Inf bucket).

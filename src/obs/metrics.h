@@ -114,6 +114,21 @@ class Histogram {
         value, std::memory_order_relaxed);
   }
 
+  // Bulk-merge a worker-local delta block: one relaxed add per non-empty
+  // bucket plus one count and one sum-shard add. Safe against concurrent
+  // Observe()/AddBulk() callers; used by the WorkerObsBlock cold-tier flush.
+  void AddBulk(const uint64_t* bucket_counts, size_t n, uint64_t count, double sum) {
+    const size_t limit = n < buckets_.size() ? n : buckets_.size();
+    for (size_t i = 0; i < limit; ++i) {
+      if (bucket_counts[i] != 0) {
+        buckets_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_cells_[Counter::ThreadShard() & (kCounterShards - 1)].v.fetch_add(
+        sum, std::memory_order_relaxed);
+  }
+
   // Upper bounds, ascending; an implicit +Inf bucket follows.
   const std::vector<double>& bounds() const { return bounds_; }
   // Non-cumulative count of bucket i (i == bounds().size() is the +Inf one).

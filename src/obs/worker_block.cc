@@ -1,0 +1,115 @@
+#include "obs/worker_block.h"
+
+#include <algorithm>
+
+namespace superfe {
+namespace obs {
+
+void WorkerObsBlock::Init(MetricsRegistry* registry, const std::string& block_name,
+                          uint32_t flush_every) {
+#ifdef SUPERFE_OBS_DISABLED
+  (void)registry;
+  (void)block_name;
+  (void)flush_every;
+#else
+  if (registry == nullptr) {
+    return;
+  }
+  enabled_ = true;
+  flush_every_ = flush_every;
+  flushes_ = registry->GetCounter(
+      "superfe_obs_flushes_total", {},
+      "Batch-local obs block flushes into the shared registry");
+  max_lag_ = registry->GetGauge(
+      "superfe_obs_max_flush_lag_packets", {{"block", block_name}},
+      "Largest packet gap between flushes of this obs block");
+#endif
+}
+
+WorkerObsBlock::CounterCell* WorkerObsBlock::BindCounter(Counter* shared) {
+  if (!enabled_ || shared == nullptr) {
+    return nullptr;
+  }
+  counters_.emplace_back();
+  counters_.back().shared = shared;
+  return &counters_.back();
+}
+
+WorkerObsBlock::GaugeCell* WorkerObsBlock::BindGauge(Gauge* shared) {
+  if (!enabled_ || shared == nullptr) {
+    return nullptr;
+  }
+  gauges_.emplace_back();
+  gauges_.back().shared = shared;
+  return &gauges_.back();
+}
+
+WorkerObsBlock::HistogramCell* WorkerObsBlock::BindHistogram(Histogram* shared) {
+  if (!enabled_ || shared == nullptr) {
+    return nullptr;
+  }
+  histograms_.emplace_back();
+  HistogramCell& cell = histograms_.back();
+  cell.shared = shared;
+  cell.buckets.assign(shared->bounds().size() + 1, 0);
+  return &cell;
+}
+
+WorkerObsBlock::LatencyCell* WorkerObsBlock::BindLatency(LatencyHistogram* shared) {
+  if (!enabled_ || shared == nullptr) {
+    return nullptr;
+  }
+  latencies_.emplace_back();
+  latencies_.back().shared = shared;
+  return &latencies_.back();
+}
+
+void WorkerObsBlock::Flush() {
+  if (!enabled_) {
+    return;
+  }
+  bool folded = false;
+  for (CounterCell& cell : counters_) {
+    if (cell.delta != 0) {
+      cell.shared->Inc(cell.delta);
+      cell.delta = 0;
+      folded = true;
+    }
+  }
+  for (GaugeCell& cell : gauges_) {
+    if (cell.dirty) {
+      cell.shared->Set(cell.value);
+      cell.dirty = false;
+      folded = true;
+    }
+  }
+  for (HistogramCell& cell : histograms_) {
+    if (cell.count != 0) {
+      cell.shared->AddBulk(cell.buckets.data(), cell.buckets.size(), cell.count,
+                           cell.sum);
+      std::fill(cell.buckets.begin(), cell.buckets.end(), 0);
+      cell.count = 0;
+      cell.sum = 0.0;
+      folded = true;
+    }
+  }
+  for (LatencyCell& cell : latencies_) {
+    if (cell.count != 0) {
+      cell.shared->AddBulk(cell.buckets, cell.count, cell.sum_ns);
+      cell.buckets.fill(0);
+      cell.count = 0;
+      cell.sum_ns = 0;
+      folded = true;
+    }
+  }
+  if (!folded && packets_since_flush_ == 0) {
+    return;  // Nothing happened since the last flush; don't count it.
+  }
+  max_lag_packets_ = std::max(max_lag_packets_, packets_since_flush_);
+  packets_since_flush_ = 0;
+  obs::Inc(flushes_);
+  obs::Set(max_lag_, static_cast<double>(max_lag_packets_));
+}
+
+}  // namespace obs
+}  // namespace superfe

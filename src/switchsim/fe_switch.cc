@@ -14,6 +14,10 @@ FeSwitchObs FeSwitchObs::Create(obs::MetricsRegistry* registry,
   if (registry == nullptr) {
     return o;
   }
+  o.registry = registry;
+  for (const auto& label : instance_labels) {
+    o.block_name += "-" + label.first + "-" + label.second;
+  }
   o.packets_seen = registry->GetCounter("superfe_switch_packets_seen_total", instance_labels,
                                         "Packets offered to the switch");
   o.packets_filtered =
@@ -52,17 +56,29 @@ FeSwitch::FeSwitch(const CompiledPolicy& compiled, MgpvSink* sink,
   cache_ = std::make_unique<MgpvCache>(config, sink);
 }
 
+void FeSwitch::set_obs(const FeSwitchObs& obs) {
+  obs_ = obs;
+  block_.Init(obs.registry, obs.block_name, obs.flush_packets);
+  local_ = LocalObs{};
+  local_.packets_seen = block_.BindCounter(obs.packets_seen);
+  local_.packets_filtered = block_.BindCounter(obs.packets_filtered);
+  local_.packets_batched = block_.BindCounter(obs.packets_batched);
+  local_.frames_unparseable = block_.BindCounter(obs.frames_unparseable);
+}
+
 void FeSwitch::OnPacket(const PacketRecord& pkt) {
   stats_.packets_seen++;
-  obs::Inc(obs_.packets_seen);
+  obs::Inc(local_.packets_seen);
   if (!program_.filter.Matches(pkt)) {
     stats_.packets_filtered++;
-    obs::Inc(obs_.packets_filtered);
+    obs::Inc(local_.packets_filtered);
+    block_.NotePacket();
     return;  // Still forwarded; just not batched for feature extraction.
   }
   stats_.packets_batched++;
-  obs::Inc(obs_.packets_batched);
+  obs::Inc(local_.packets_batched);
   cache_->Insert(pkt);
+  block_.NotePacket();
 }
 
 void FeSwitch::OnFrame(const uint8_t* data, size_t length, uint64_t timestamp_ns) {
@@ -70,8 +86,9 @@ void FeSwitch::OnFrame(const uint8_t* data, size_t length, uint64_t timestamp_ns
   if (!parsed.ok()) {
     stats_.packets_seen++;
     stats_.frames_unparseable++;
-    obs::Inc(obs_.packets_seen);
-    obs::Inc(obs_.frames_unparseable);
+    obs::Inc(local_.packets_seen);
+    obs::Inc(local_.frames_unparseable);
+    block_.NotePacket();
     return;  // Still forwarded; nothing to batch.
   }
   PacketRecord pkt = std::move(parsed).value();
@@ -82,6 +99,9 @@ void FeSwitch::OnFrame(const uint8_t* data, size_t length, uint64_t timestamp_ns
   OnPacket(pkt);
 }
 
-void FeSwitch::Flush() { cache_->Flush(); }
+void FeSwitch::Flush() {
+  cache_->Flush();
+  block_.Flush();
+}
 
 }  // namespace superfe

@@ -31,6 +31,11 @@ struct FeSwitchObs {
   obs::Counter* packets_batched = nullptr;
   obs::Counter* frames_unparseable = nullptr;
 
+  // Cold-tier identity for the switch's WorkerObsBlock (see MgpvObs).
+  obs::MetricsRegistry* registry = nullptr;
+  std::string block_name = "switch";
+  uint32_t flush_packets = 4096;
+
   static FeSwitchObs Create(obs::MetricsRegistry* registry);
   static FeSwitchObs Create(obs::MetricsRegistry* registry,
                             const obs::LabelSet& instance_labels);
@@ -62,7 +67,7 @@ class FeSwitch : public PacketSink {
 
   // Wiring-time setters (single-threaded, call before traffic). The MGPV
   // handles are forwarded to the cache.
-  void set_obs(const FeSwitchObs& obs) { obs_ = obs; }
+  void set_obs(const FeSwitchObs& obs);
   void set_mgpv_obs(const MgpvObs& obs) { cache_->set_obs(obs); }
   const SwitchProgram& program() const { return program_; }
 
@@ -70,9 +75,19 @@ class FeSwitch : public PacketSink {
   static MgpvConfig DefaultConfig(const CompiledPolicy& compiled);
 
  private:
+  // Batch-local delta cells for the superfe_switch_* counters.
+  struct LocalObs {
+    obs::WorkerObsBlock::CounterCell* packets_seen = nullptr;
+    obs::WorkerObsBlock::CounterCell* packets_filtered = nullptr;
+    obs::WorkerObsBlock::CounterCell* packets_batched = nullptr;
+    obs::WorkerObsBlock::CounterCell* frames_unparseable = nullptr;
+  };
+
   SwitchProgram program_;
   FeSwitchStats stats_;
   FeSwitchObs obs_;
+  obs::WorkerObsBlock block_;
+  LocalObs local_;
   std::unique_ptr<MgpvCache> cache_;
   // First-seen orientation per canonical flow, for the raw-frame path.
   std::unordered_map<FiveTuple, FiveTuple, FiveTupleHash> forward_orientation_;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/hash.h"
+#include "obs/cycles.h"
 
 namespace superfe {
 
@@ -25,12 +26,16 @@ const char* EvictReasonName(EvictReason reason) {
 
 MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
                         uint32_t trace_lane, bool latency,
-                        const obs::LabelSet& instance_labels) {
+                        const obs::LabelSet& instance_labels, bool profile) {
   MgpvObs o;
   o.trace = trace;
   o.trace_lane = trace_lane;
   if (registry == nullptr) {
     return o;
+  }
+  o.registry = registry;
+  for (const auto& label : instance_labels) {
+    o.block_name += "-" + label.first + "-" + label.second;
   }
   o.packets_in = registry->GetCounter("superfe_mgpv_packets_in_total", {},
                                       "Packets inserted into the MGPV cache");
@@ -68,6 +73,10 @@ MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trac
   }
   o.live_entries = registry->GetGauge("superfe_mgpv_live_entries", instance_labels,
                                       "Occupied MGPV short-buffer entries");
+  if (profile) {
+    o.cycles = registry->GetCounter("superfe_cycles_total", {{"stage", "mgpv"}},
+                                    "Measured worker cycles by pipeline stage");
+  }
   return o;
 }
 
@@ -88,6 +97,28 @@ uint64_t MgpvConfig::MemoryFootprintBytes() const {
     total += static_cast<uint64_t>(fg_table_size) * 13;
   }
   return total;
+}
+
+void MgpvCache::set_obs(const MgpvObs& obs) {
+  obs_ = obs;
+  block_.Init(obs.registry, obs.block_name, obs.flush_packets);
+  local_ = LocalObs{};
+  local_.packets_in = block_.BindCounter(obs.packets_in);
+  local_.bytes_in = block_.BindCounter(obs.bytes_in);
+  local_.reports_out = block_.BindCounter(obs.reports_out);
+  local_.cells_out = block_.BindCounter(obs.cells_out);
+  local_.bytes_out = block_.BindCounter(obs.bytes_out);
+  local_.fg_syncs = block_.BindCounter(obs.fg_syncs);
+  local_.fg_collisions = block_.BindCounter(obs.fg_collisions);
+  local_.long_allocs = block_.BindCounter(obs.long_allocs);
+  local_.long_alloc_failures = block_.BindCounter(obs.long_alloc_failures);
+  for (int i = 0; i < 5; ++i) {
+    local_.evictions[i] = block_.BindCounter(obs.evictions[i]);
+    local_.residency[i] = block_.BindLatency(obs.residency[i]);
+  }
+  local_.report_cells = block_.BindHistogram(obs.report_cells);
+  local_.live_entries = block_.BindGauge(obs.live_entries);
+  local_.cycles = block_.BindCounter(obs.cycles);
 }
 
 MgpvCache::MgpvCache(const MgpvConfig& config, MgpvSink* sink)
@@ -143,15 +174,15 @@ void MgpvCache::EvictCells(Entry& entry, EvictReason reason) {
   stats_.cells_out += report.cells.size();
   stats_.bytes_out += report.WireBytes(config_.metadata_bytes_per_cell);
   stats_.evictions[static_cast<int>(reason)]++;
-  obs::Inc(obs_.reports_out);
-  obs::Inc(obs_.cells_out, report.cells.size());
-  obs::Inc(obs_.bytes_out, report.WireBytes(config_.metadata_bytes_per_cell));
-  obs::Inc(obs_.evictions[static_cast<int>(reason)]);
+  obs::Inc(local_.reports_out);
+  obs::Inc(local_.cells_out, report.cells.size());
+  obs::Inc(local_.bytes_out, report.WireBytes(config_.metadata_bytes_per_cell));
+  obs::Inc(local_.evictions[static_cast<int>(reason)]);
   // Same site as the eviction counter bump: residency counts per cause
   // always equal eviction counts per cause.
-  obs::Observe(obs_.residency[static_cast<int>(reason)],
+  obs::Observe(local_.residency[static_cast<int>(reason)],
                now_ns_ - entry.batch_start_ns);
-  obs::Observe(obs_.report_cells, static_cast<double>(report.cells.size()));
+  obs::Observe(local_.report_cells, static_cast<double>(report.cells.size()));
   if (obs_.trace != nullptr) {
     obs_.trace->Instant(obs_.trace_lane, "mgpv", "evict", "cells", report.cells.size(),
                         "cause", EvictReasonName(reason));
@@ -167,7 +198,7 @@ uint16_t MgpvCache::FgIndexFor(const FiveTuple& fg_tuple) {
   if (!slot.valid || !(slot.key == fg_tuple)) {
     if (slot.valid) {
       stats_.fg_collisions++;
-      obs::Inc(obs_.fg_collisions);
+      obs::Inc(local_.fg_collisions);
     }
     slot.valid = true;
     slot.key = fg_tuple;
@@ -176,8 +207,8 @@ uint16_t MgpvCache::FgIndexFor(const FiveTuple& fg_tuple) {
     sync.key = fg_tuple;
     stats_.fg_syncs++;
     stats_.bytes_out += FgSyncMessage::kWireBytes;
-    obs::Inc(obs_.fg_syncs);
-    obs::Inc(obs_.bytes_out, FgSyncMessage::kWireBytes);
+    obs::Inc(local_.fg_syncs);
+    obs::Inc(local_.bytes_out, FgSyncMessage::kWireBytes);
     if (obs_.trace != nullptr) {
       obs_.trace->Instant(obs_.trace_lane, "mgpv", "fg_sync", "index", index);
     }
@@ -205,7 +236,7 @@ void MgpvCache::AgeScan() {
       EvictCells(entry, EvictReason::kAging);
       entry.valid = false;
       --live_entries_;
-      obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
+      obs::Set(local_.live_entries, static_cast<double>(live_entries_));
     }
   }
 }
@@ -230,17 +261,20 @@ bool MgpvCache::PressureEvict(const Entry& current) {
   EvictCells(*victim, EvictReason::kAging);
   victim->valid = false;
   --live_entries_;
-  obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
+  obs::Set(local_.live_entries, static_cast<double>(live_entries_));
   stats_.pressure_evictions++;
   return true;
 }
 
 void MgpvCache::Insert(const PacketRecord& pkt) {
+  // Bracket the whole insert (including evictions and their sink delivery)
+  // for the {stage="mgpv"} cycle profile; skipped when profiling is off.
+  const uint64_t cycles_start = local_.cycles != nullptr ? obs::ReadCycles() : 0;
   now_ns_ = std::max(now_ns_, pkt.timestamp_ns);
   stats_.packets_in++;
   stats_.bytes_in += pkt.wire_bytes;
-  obs::Inc(obs_.packets_in);
-  obs::Inc(obs_.bytes_in, pkt.wire_bytes);
+  obs::Inc(local_.packets_in);
+  obs::Inc(local_.bytes_in, pkt.wire_bytes);
 
   MgpvCell cell;
   cell.size = static_cast<uint16_t>(std::min<uint32_t>(pkt.wire_bytes, 0xffff));
@@ -263,7 +297,7 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
     entry.long_index = -1;
     entry.short_cells.clear();
     ++live_entries_;
-    obs::Set(obs_.live_entries, static_cast<double>(live_entries_));
+    obs::Set(local_.live_entries, static_cast<double>(live_entries_));
   } else if (entry.key != key) {
     // Hash collision with a different group: evict the older entry first
     // (the collision-eviction policy approximates LRU, §5.2).
@@ -289,7 +323,7 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
         // pool state (deterministic — the window is trace-time).
         stats_.long_alloc_failures++;
         stats_.injected_pool_failures++;
-        obs::Inc(obs_.long_alloc_failures);
+        obs::Inc(local_.long_alloc_failures);
         fault_->NoteInjectedPoolExhaustion();
         EvictCells(entry, EvictReason::kShortFull);
       } else {
@@ -302,10 +336,10 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
           entry.long_index = static_cast<int32_t>(free_long_.back());
           free_long_.pop_back();
           stats_.long_allocs++;
-          obs::Inc(obs_.long_allocs);
+          obs::Inc(local_.long_allocs);
         } else {
           stats_.long_alloc_failures++;
-          obs::Inc(obs_.long_alloc_failures);
+          obs::Inc(local_.long_alloc_failures);
           EvictCells(entry, EvictReason::kShortFull);
         }
       }
@@ -326,6 +360,10 @@ void MgpvCache::Insert(const PacketRecord& pkt) {
   }
 
   AgeScan();
+  if (local_.cycles != nullptr) {
+    local_.cycles->delta += obs::ReadCycles() - cycles_start;
+  }
+  block_.NotePacket();
 }
 
 void MgpvCache::Flush() {
@@ -336,7 +374,8 @@ void MgpvCache::Flush() {
     }
   }
   live_entries_ = 0;
-  obs::Set(obs_.live_entries, 0.0);
+  obs::Set(local_.live_entries, 0.0);
+  block_.Flush();
 }
 
 double MgpvCache::Occupancy() const {

@@ -13,12 +13,14 @@
 #define SUPERFE_SWITCHSIM_MGPV_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault_injector.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/worker_block.h"
 #include "switchsim/evict.h"
 #include "switchsim/group_key.h"
 
@@ -45,12 +47,24 @@ struct MgpvObs {
   // cause's residency count equals its eviction count. Null unless latency
   // tracking is on.
   obs::LatencyHistogram* residency[5] = {};  // Indexed by EvictReason.
+  // Measured switch-side MGPV cycles, superfe_cycles_total{stage="mgpv"}.
+  // Null unless `profile` was set at Create time.
+  obs::Counter* cycles = nullptr;
   obs::TraceRecorder* trace = nullptr;
   uint32_t trace_lane = 0;
 
+  // Cold-tier identity for the owning cache's WorkerObsBlock: where to
+  // register the batching tier's meta-metrics, the {block=...} label value,
+  // and the auto-flush cadence in packets (1 restores the legacy
+  // per-packet registry cadence).
+  obs::MetricsRegistry* registry = nullptr;
+  std::string block_name = "mgpv";
+  uint32_t flush_packets = 4096;
+
   // Registers the standard superfe_mgpv_* metrics (docs/OBSERVABILITY.md).
   // Null `registry`/`trace` leave the corresponding handles null; `latency`
-  // additionally registers the superfe_latency_mgpv_residency_ns family.
+  // additionally registers the superfe_latency_mgpv_residency_ns family and
+  // `profile` the {stage="mgpv"} cycle counter.
   // `instance_labels` (e.g. {shard="<i>"}) applies only to the live_entries
   // gauge — a per-instance level that multiple writers would tear — while
   // every cumulative counter/histogram stays shared across instances, so a
@@ -58,7 +72,8 @@ struct MgpvObs {
   // run's and the {cause}-labeled latency lookups stay unchanged.
   static MgpvObs Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
                         uint32_t trace_lane, bool latency = false,
-                        const obs::LabelSet& instance_labels = {});
+                        const obs::LabelSet& instance_labels = {},
+                        bool profile = false);
 };
 
 struct MgpvConfig {
@@ -148,9 +163,10 @@ class MgpvCache {
   const MgpvStats& stats() const { return stats_; }
   const MgpvConfig& config() const { return config_; }
 
-  // Installs observability handles. Call before traffic; the cache is
-  // single-threaded, so this is only a wiring-time setter.
-  void set_obs(const MgpvObs& obs) { obs_ = obs; }
+  // Installs observability handles and binds the cache's batch-local obs
+  // block to them. Call before traffic; the cache is single-threaded, so
+  // this is only a wiring-time setter.
+  void set_obs(const MgpvObs& obs);
 
   // Fault-injection wiring (not owned; wiring-time setter). With an
   // injector, long allocs inside an injected pool-exhaustion window for
@@ -202,10 +218,32 @@ class MgpvCache {
   // freeing its long buffer for reuse. Returns true when one was evicted.
   bool PressureEvict(const Entry& current);
 
+  // Batch-local delta cells bound to obs_'s shared handles (null when the
+  // corresponding handle is null). All per-packet bumps go through these;
+  // block_ folds them into the registry per flush_packets and at Flush().
+  struct LocalObs {
+    obs::WorkerObsBlock::CounterCell* packets_in = nullptr;
+    obs::WorkerObsBlock::CounterCell* bytes_in = nullptr;
+    obs::WorkerObsBlock::CounterCell* reports_out = nullptr;
+    obs::WorkerObsBlock::CounterCell* cells_out = nullptr;
+    obs::WorkerObsBlock::CounterCell* bytes_out = nullptr;
+    obs::WorkerObsBlock::CounterCell* fg_syncs = nullptr;
+    obs::WorkerObsBlock::CounterCell* fg_collisions = nullptr;
+    obs::WorkerObsBlock::CounterCell* long_allocs = nullptr;
+    obs::WorkerObsBlock::CounterCell* long_alloc_failures = nullptr;
+    obs::WorkerObsBlock::CounterCell* evictions[5] = {};
+    obs::WorkerObsBlock::HistogramCell* report_cells = nullptr;
+    obs::WorkerObsBlock::GaugeCell* live_entries = nullptr;
+    obs::WorkerObsBlock::LatencyCell* residency[5] = {};
+    obs::WorkerObsBlock::CounterCell* cycles = nullptr;
+  };
+
   MgpvConfig config_;
   MgpvSink* sink_;
   MgpvStats stats_;
   MgpvObs obs_;
+  obs::WorkerObsBlock block_;
+  LocalObs local_;
   uint64_t live_entries_ = 0;  // Valid entries, tracked for the gauge.
 
   std::vector<Entry> entries_;

@@ -13,10 +13,14 @@ ShardedFeSwitch::ShardedFeSwitch(const CompiledPolicy& compiled,
   for (size_t s = 0; s < shard_sinks.size(); ++s) {
     auto sw = std::make_unique<FeSwitch>(compiled, shard_sinks[s], mgpv_overrides);
     const obs::LabelSet shard_label = {{"shard", std::to_string(s)}};
-    sw->set_obs(FeSwitchObs::Create(options.metrics, shard_label));
-    sw->set_mgpv_obs(MgpvObs::Create(options.metrics, options.trace,
-                                     options.trace_lane_base + static_cast<uint32_t>(s),
-                                     options.latency, shard_label));
+    FeSwitchObs sw_obs = FeSwitchObs::Create(options.metrics, shard_label);
+    sw_obs.flush_packets = options.obs_batch_packets;
+    sw->set_obs(sw_obs);
+    MgpvObs mgpv_obs = MgpvObs::Create(options.metrics, options.trace,
+                                       options.trace_lane_base + static_cast<uint32_t>(s),
+                                       options.latency, shard_label, options.profile);
+    mgpv_obs.flush_packets = options.obs_batch_packets;
+    sw->set_mgpv_obs(mgpv_obs);
     if (options.injector != nullptr) {
       sw->mutable_cache().set_fault(options.injector, static_cast<uint32_t>(s));
     }

@@ -108,8 +108,8 @@ TEST(MetricsTest, GetIsIdempotentAndTypeChecked) {
   EXPECT_NE(a, registry.GetCounter("x_total", {{"k", "other"}}));
   // Type clash: null handle, safe to pass through the helpers.
   EXPECT_EQ(registry.GetGauge("x_total"), nullptr);
-  obs::Set(nullptr, 1.0);
-  obs::Inc(nullptr);
+  obs::Set(static_cast<obs::Gauge*>(nullptr), 1.0);
+  obs::Inc(static_cast<obs::Counter*>(nullptr));
 }
 
 TEST(MetricsTest, GaugeAndHistogram) {

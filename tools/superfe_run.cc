@@ -8,6 +8,7 @@
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--sample-interval-ms N]
 //               [--latency-report] [--samples-out FILE]
+//               [--obs-batch N] [--profile-cycles]
 //               [--fault-plan FILE] [--flush-timeout-ms N] [--watchdog-ms N]
 //
 // Exit codes:
@@ -52,6 +53,10 @@ int Usage() {
                "                   [--sample-interval-ms N]  snapshot period (default 2)\n"
                "                   [--latency-report]     per-stage latency breakdown\n"
                "                   [--samples-out FILE]   sampler time series as JSON\n"
+               "                   [--obs-batch N]        hot-tier flush cadence in packets\n"
+               "                                          (default 4096; 1 = per-packet)\n"
+               "                   [--profile-cycles]     measured per-stage cycle profile\n"
+               "                                          (superfe_cycles_total{stage=...})\n"
                "                   [--fault-plan FILE]    deterministic fault plan\n"
                "                                          (docs/ROBUSTNESS.md format)\n"
                "                   [--flush-timeout-ms N] cluster flush/join deadline\n"
@@ -147,6 +152,16 @@ void PrintLatencyBreakdown(const RunReport::LatencyBreakdown& b) {
   }
 }
 
+// --profile-cycles: the measured counterpart of the modeled attribution
+// above (superfe_cycles_total brackets per stage).
+void PrintMeasuredCycles(const RunReport::LatencyBreakdown& b) {
+  std::fprintf(stderr, "stage profile (measured cycles):\n");
+  for (const auto& s : b.measured_cycle_shares) {
+    std::fprintf(stderr, "  %-28s %12llu cycles  %5.1f%%\n", s.family,
+                 (unsigned long long)s.cycles, s.fraction * 100.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +184,8 @@ int main(int argc, char** argv) {
   std::string samples_out_path;
   uint32_t sample_interval_ms = 2;
   bool latency_report = false;
+  uint32_t obs_batch = 0;  // 0 = keep the RuntimeConfig default.
+  bool profile_cycles = false;
   std::string fault_plan_path;
   uint64_t flush_timeout_ms = 0;
   uint32_t watchdog_ms = 0;
@@ -203,6 +220,10 @@ int main(int argc, char** argv) {
       latency_report = true;
     } else if (std::strcmp(argv[i], "--samples-out") == 0 && i + 1 < argc) {
       samples_out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-batch") == 0 && i + 1 < argc) {
+      obs_batch = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--profile-cycles") == 0) {
+      profile_cycles = true;
     } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
       fault_plan_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flush-timeout-ms") == 0 && i + 1 < argc) {
@@ -268,6 +289,10 @@ int main(int argc, char** argv) {
   }
   config.obs.trace = !trace_out_path.empty();
   config.obs.latency = latency_report;
+  config.obs.profile = profile_cycles;
+  if (obs_batch > 0) {
+    config.obs.batch_packets = obs_batch;
+  }
   if (!fault_plan_path.empty()) {
     std::ifstream plan_in(fault_plan_path);
     if (!plan_in) {
@@ -371,6 +396,9 @@ int main(int argc, char** argv) {
   }
   if (latency_report && run.latency.enabled) {
     PrintLatencyBreakdown(run.latency);
+  }
+  if (profile_cycles && !run.latency.measured_cycle_shares.empty()) {
+    PrintMeasuredCycles(run.latency);
   }
   if (run.fault.enabled) {
     const FaultStats& fs = run.fault.stats;
