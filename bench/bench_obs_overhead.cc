@@ -11,12 +11,15 @@
 // the interesting numbers are the enabled-path costs, which should stay in
 // the low single-digit percent range for this workload.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/socket.h"
 #include "common/table.h"
 #include "core/runtime.h"
 #include "json_writer.h"
@@ -47,6 +50,12 @@ struct Mode {
   // 1 is the legacy per-packet registry cadence the fast path replaced.
   uint32_t batch_packets = 0;
   bool profile = false;
+  // Live telemetry plane: start the embedded HTTP server (ephemeral port);
+  // `scrape` additionally runs a background client hitting /metrics at 1 Hz
+  // (the first scrape fires immediately, so even sub-second rounds serve at
+  // least one) for the docs' "scraping costs ≤1pp" claim.
+  bool telemetry = false;
+  bool scrape = false;
 };
 
 double RunOnce(const Policy& policy, const Trace& trace, const Mode& mode) {
@@ -59,11 +68,34 @@ double RunOnce(const Policy& policy, const Trace& trace, const Mode& mode) {
   if (mode.batch_packets > 0) {
     config.obs.batch_packets = mode.batch_packets;
   }
+  if (mode.telemetry) {
+    config.obs.telemetry_port = 0;  // Ephemeral.
+  }
   auto runtime = std::move(SuperFeRuntime::Create(policy, config)).value();
   CollectingFeatureSink sink;
+
+  // The scraper lives outside the timed region; only the scrapes that land
+  // while Run() is hot perturb the measurement — which is the point.
+  std::atomic<bool> stop{false};
+  std::thread scraper;
+  if (mode.scrape) {
+    const uint16_t port = runtime->telemetry_port();
+    scraper = std::thread([port, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        HttpGet(port, "/metrics");
+        for (int i = 0; i < 100 && !stop.load(std::memory_order_relaxed); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
   const auto start = std::chrono::steady_clock::now();
   runtime->Run(trace, &sink);
   const auto end = std::chrono::steady_clock::now();
+  if (scraper.joinable()) {
+    stop.store(true);
+    scraper.join();
+  }
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
@@ -87,6 +119,12 @@ void Run() {
       {"metrics+latency+profile", true, false, 0, true, 0, true},
       {"metrics+sampler", true, false, 2},
       {"metrics+trace+sampler", true, true, 2},
+      // Telemetry plane cost, split: the server idling (listener thread
+      // polling accept, sampler + rolling window ticking) vs actively
+      // scraped at 1 Hz. The delta between these two rows is the scrape
+      // cost proper (scrape_added_pp below).
+      {"metrics+telemetry (idle)", true, false, 0, false, 0, false, true},
+      {"metrics+telemetry scraped@1Hz", true, false, 0, false, 0, false, true, true},
   };
   constexpr size_t kModeCount = sizeof(modes) / sizeof(modes[0]);
 
@@ -126,6 +164,32 @@ void Run() {
   }
   const double baseline_ms = median_ms[0];
 
+  // Direct serve-cost measurement: time quiescent scrapes back to back.
+  // At 1 Hz the serve path occupies per_scrape_ms out of every 1000 ms, so
+  // the duty cycle (in percent points) upper-bounds the scraping overhead
+  // even on a single-core host where serve work displaces run work 1:1.
+  // This is the defensible number for the ≤1pp claim — the wall-clock A/B
+  // rows above cannot resolve sub-pp effects on a small co-tenant host.
+  double per_scrape_ms = 0.0;
+  {
+    RuntimeConfig config;
+    config.obs.metrics = true;
+    config.obs.telemetry_port = 0;
+    auto runtime = std::move(SuperFeRuntime::Create(*policy, config)).value();
+    CollectingFeatureSink sink;
+    runtime->Run(trace, &sink);
+    const uint16_t port = runtime->telemetry_port();
+    HttpGet(port, "/metrics");  // Warm the connect/serve path.
+    constexpr int kScrapes = 50;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScrapes; ++i) {
+      HttpGet(port, "/metrics");
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    per_scrape_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / kScrapes;
+  }
+
   AsciiTable table({"Mode", "ms (median)", "Overhead"});
   std::ofstream out("BENCH_obs_overhead.json");
   JsonWriter w(out);
@@ -156,6 +220,8 @@ void Run() {
     w.FieldBool("latency", mode.latency);
     w.FieldBool("profile", mode.profile);
     w.FieldUint("batch_packets", mode.batch_packets);
+    w.FieldBool("telemetry", mode.telemetry);
+    w.FieldBool("scraped_1hz", mode.scrape);
     w.FieldDouble("ms", ms);
     w.FieldDouble("overhead_pct", overhead_pct);
     w.EndObject();
@@ -166,10 +232,28 @@ void Run() {
   // infer it.
   w.FieldDouble("disabled_overhead_pct", 0.0);
   w.FieldDouble("disabled_overhead_target_pct", 2.0);
+  // The scrape cost proper: scraped@1Hz vs the idle-telemetry row, as the
+  // median of *within-round* ratios between the two (they run back to back
+  // each round, so slow host drift cancels — differencing their independent
+  // baseline-relative medians does not compose the pairing and is several
+  // times noisier on small hosts).
+  std::vector<double> scrape_ratios;
+  for (int r = 0; r < kReps; ++r) {
+    scrape_ratios.push_back(round_ms[kModeCount - 1][r] / round_ms[kModeCount - 2][r] -
+                            1.0);
+  }
+  w.FieldDouble("scrape_added_pp", median(scrape_ratios) * 100.0);
+  // Quiescent serve cost per scrape and the implied 1 Hz duty cycle: the
+  // noise-free bound for the target (round-trip HTTP GET + full WriteProm).
+  w.FieldDouble("scrape_serve_ms", per_scrape_ms);
+  w.FieldDouble("scraped_1hz_duty_pct", per_scrape_ms / 1000.0 * 100.0);
+  w.FieldDouble("scrape_added_target_pp", 1.0);
   w.EndObject();
   out << "\n";
 
   table.Print();
+  std::printf("\nScrape serve cost: %.3f ms/scrape => %.4f%% duty at 1 Hz\n",
+              per_scrape_ms, per_scrape_ms / 1000.0 * 100.0);
   std::printf("\nWrote BENCH_obs_overhead.json\n");
   std::printf(
       "\nShape check: 'disabled' is the shipping default (null-handle branches\n"

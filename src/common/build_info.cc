@@ -1,0 +1,29 @@
+#include "common/build_info.h"
+
+// The CMake configure step defines these for this one translation unit;
+// the fallbacks keep non-CMake builds (e.g. a quick compile_commands
+// experiment) linking.
+#ifndef SUPERFE_VERSION
+#define SUPERFE_VERSION "0.0.0"
+#endif
+#ifndef SUPERFE_GIT_SHA
+#define SUPERFE_GIT_SHA "unknown"
+#endif
+
+namespace superfe {
+
+const char* BuildVersion() { return SUPERFE_VERSION; }
+
+const char* BuildGitSha() { return SUPERFE_GIT_SHA; }
+
+const char* BuildCompiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace superfe

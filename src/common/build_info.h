@@ -1,0 +1,18 @@
+// Build identification, baked in at configure time: the project version,
+// the git short SHA of the checkout (or "unknown" outside one), and the
+// compiler that produced the binary. Surfaced as the
+// superfe_build_info{version,git_sha,compiler} info-gauge, in the metrics
+// JSON export's "run" block, and on the telemetry /status endpoint, so an
+// operator can tell *what* they are scraping.
+#ifndef SUPERFE_COMMON_BUILD_INFO_H_
+#define SUPERFE_COMMON_BUILD_INFO_H_
+
+namespace superfe {
+
+const char* BuildVersion();
+const char* BuildGitSha();
+const char* BuildCompiler();
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_BUILD_INFO_H_

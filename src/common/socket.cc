@@ -1,0 +1,202 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace superfe {
+namespace {
+
+void SetIoTimeouts(int fd, int io_timeout_ms) {
+  timeval tv;
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen: " + err);
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname: " + err);
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+int TcpListener::AcceptWithTimeout(int timeout_ms, int io_timeout_ms) const {
+  if (fd_ < 0) {
+    return -1;
+  }
+  pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+    return -1;
+  }
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    return -1;
+  }
+  SetIoTimeouts(conn, io_timeout_ms);
+  return conn;
+}
+
+int TcpConnect(uint16_t port, int io_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  SetIoTimeouts(fd, io_timeout_ms);
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RecvUntil(int fd, std::string* buf, std::string_view terminator, size_t max_bytes) {
+  char chunk[1024];
+  while (buf->find(terminator) == std::string::npos) {
+    if (buf->size() >= max_bytes) {
+      return false;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return false;  // EOF, timeout, or error before the terminator.
+    }
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool RecvAll(int fd, std::string* buf, size_t max_bytes) {
+  char chunk[4096];
+  while (buf->size() < max_bytes) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return true;  // Orderly EOF.
+    }
+    if (n < 0) {
+      return false;
+    }
+    buf->append(chunk, static_cast<size_t>(n));
+  }
+  return false;  // Peer exceeded the byte cap.
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+std::string HttpGet(uint16_t port, const std::string& path, int io_timeout_ms) {
+  const int fd = TcpConnect(port, io_timeout_ms);
+  if (fd < 0) {
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\n"
+                              "Host: 127.0.0.1\r\n"
+                              "Connection: close\r\n"
+                              "\r\n";
+  std::string response;
+  if (SendAll(fd, request)) {
+    // The server sets Connection: close, so EOF delimits the response.
+    RecvAll(fd, &response, 64 << 20);
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpBody(const std::string& response) {
+  const size_t blank = response.find("\r\n\r\n");
+  if (blank == std::string::npos) {
+    return "";
+  }
+  return response.substr(blank + 4);
+}
+
+}  // namespace superfe

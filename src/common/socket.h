@@ -1,0 +1,75 @@
+// Minimal blocking TCP helpers for the embedded telemetry server
+// (src/obs/telemetry_server.h) and its tests/bench scrape clients. POSIX
+// sockets only, loopback-oriented: Listen() binds 127.0.0.1 so the
+// telemetry plane is never reachable off-host by default. No framing, no
+// TLS, no event loop — the server's single listener thread and the
+// clients' one-shot GETs are all this needs.
+#ifndef SUPERFE_COMMON_SOCKET_H_
+#define SUPERFE_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace superfe {
+
+// A listening TCP socket on 127.0.0.1:`port` (port 0 = kernel-assigned
+// ephemeral; the bound port is readable via port()). Move-only owner of
+// the listener fd.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static Result<TcpListener> Listen(uint16_t port, int backlog);
+
+  // Waits up to `timeout_ms` for a pending connection; returns the
+  // connected fd, or -1 on timeout / transient error (callers poll a stop
+  // flag between calls). The accepted fd has `io_timeout_ms` applied as
+  // both SO_RCVTIMEO and SO_SNDTIMEO so a stuck peer cannot wedge the
+  // serving thread.
+  int AcceptWithTimeout(int timeout_ms, int io_timeout_ms) const;
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:`port` with send/recv timeouts; returns the fd or
+// -1 on failure.
+int TcpConnect(uint16_t port, int io_timeout_ms);
+
+// Appends to `*buf` until `terminator` appears in it, `max_bytes` total
+// accumulate, or the peer closes. Returns true iff the terminator was seen.
+bool RecvUntil(int fd, std::string* buf, std::string_view terminator, size_t max_bytes);
+
+// Appends everything until EOF (bounded by `max_bytes`). Returns false on a
+// read error before EOF.
+bool RecvAll(int fd, std::string* buf, size_t max_bytes);
+
+bool SendAll(int fd, std::string_view data);
+
+void CloseFd(int fd);
+
+// One-shot HTTP/1.1 GET against 127.0.0.1:`port`; returns the raw response
+// (status line + headers + body), or "" on any failure. Client side of the
+// telemetry server, used by tests and the bench scrape loop.
+std::string HttpGet(uint16_t port, const std::string& path, int io_timeout_ms = 2000);
+
+// Body of an HttpGet response (bytes after the blank line), or "" if the
+// request failed or the response was malformed.
+std::string HttpBody(const std::string& response);
+
+}  // namespace superfe
+
+#endif  // SUPERFE_COMMON_SOCKET_H_

@@ -1,13 +1,25 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/json_writer.h"
 #include "obs/worker_block.h"
 
 namespace superfe {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
 
 class SuperFeRuntime::ForwardingSink : public FeatureSink {
  public:
@@ -84,6 +96,15 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
   RuntimeConfig cfg = config;
   if (cfg.obs.latency || cfg.obs.profile) {
     cfg.obs.metrics = true;  // Latency/cycle instruments live in the registry.
+  }
+  if (cfg.obs.telemetry_port >= 0) {
+    // The telemetry plane scrapes the registry and rides the sampler
+    // thread for its window/health epochs, so both must exist.
+    cfg.obs.metrics = true;
+    if (cfg.obs.sample_interval_ms == 0) {
+      cfg.obs.sample_interval_ms = 2;
+    }
+    cfg.obs.window_epochs = std::max<uint32_t>(cfg.obs.window_epochs, 2);
   }
   cfg.obs.batch_packets = std::max<uint32_t>(cfg.obs.batch_packets, 1);
   cfg.switch_shards = std::min(std::max<uint32_t>(cfg.switch_shards, 1),
@@ -226,28 +247,74 @@ Result<std::unique_ptr<SuperFeRuntime>> SuperFeRuntime::Create(const Policy& pol
       o.clock_lane = s;
       o.injector = runtime->injector_.get();
       o.fault_shard = s;
+      if (cfg.obs.telemetry_port >= 0) {
+        // Live scraping: flush replay counters often enough that the
+        // rolling window (spanning tens of ms) sees per-epoch movement —
+        // an 8192-packet chunk per shard can exceed a whole window's
+        // worth of traffic at moderate rates.
+        o.span_packets = 1024;
+      }
       runtime->shard_replay_obs_.push_back(o);
     }
-    return runtime;
+  } else {
+    runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, cfg.mgpv);
+    if (runtime->injector_ != nullptr) {
+      runtime->switch_->mutable_cache().set_fault(runtime->injector_.get(), /*shard=*/0);
+    }
+    if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
+      FeSwitchObs sw_obs = FeSwitchObs::Create(runtime->metrics_.get());
+      sw_obs.flush_packets = cfg.obs.batch_packets;
+      runtime->switch_->set_obs(sw_obs);
+      MgpvObs mgpv_obs = MgpvObs::Create(runtime->metrics_.get(), runtime->trace_.get(),
+                                         /*trace_lane=*/0, cfg.obs.latency,
+                                         /*instance_labels=*/{}, cfg.obs.profile);
+      mgpv_obs.flush_packets = cfg.obs.batch_packets;
+      runtime->switch_->set_mgpv_obs(mgpv_obs);
+      runtime->replay_obs_ =
+          ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0);
+      runtime->replay_obs_.clock = runtime->trace_clock_.get();
+      runtime->replay_obs_.injector = runtime->injector_.get();
+      if (cfg.obs.telemetry_port >= 0) {
+        runtime->replay_obs_.span_packets = 1024;  // See the sharded path.
+      }
+      runtime->config_.replay.obs = &runtime->replay_obs_;
+    }
   }
-  runtime->switch_ = std::make_unique<FeSwitch>(runtime->compiled_, nic_side, cfg.mgpv);
-  if (runtime->injector_ != nullptr) {
-    runtime->switch_->mutable_cache().set_fault(runtime->injector_.get(), /*shard=*/0);
+
+  if (runtime->metrics_ != nullptr) {
+    // Info-gauge idiom: the labels carry the payload, the value is 1.
+    obs::Set(runtime->metrics_->GetGauge("superfe_build_info",
+                                         {{"version", BuildVersion()},
+                                          {"git_sha", BuildGitSha()},
+                                          {"compiler", BuildCompiler()}},
+                                         "Build identification; the value is always 1"),
+             1.0);
   }
-  if (runtime->metrics_ != nullptr || runtime->trace_ != nullptr) {
-    FeSwitchObs sw_obs = FeSwitchObs::Create(runtime->metrics_.get());
-    sw_obs.flush_packets = cfg.obs.batch_packets;
-    runtime->switch_->set_obs(sw_obs);
-    MgpvObs mgpv_obs = MgpvObs::Create(runtime->metrics_.get(), runtime->trace_.get(),
-                                       /*trace_lane=*/0, cfg.obs.latency,
-                                       /*instance_labels=*/{}, cfg.obs.profile);
-    mgpv_obs.flush_packets = cfg.obs.batch_packets;
-    runtime->switch_->set_mgpv_obs(mgpv_obs);
-    runtime->replay_obs_ =
-        ReplayObs::Create(runtime->metrics_.get(), runtime->trace_.get(), /*trace_lane=*/0);
-    runtime->replay_obs_.clock = runtime->trace_clock_.get();
-    runtime->replay_obs_.injector = runtime->injector_.get();
-    runtime->config_.replay.obs = &runtime->replay_obs_;
+  if (cfg.obs.telemetry_port >= 0) {
+    runtime->window_ = std::make_unique<obs::RollingWindow>(
+        runtime->metrics_.get(), cfg.obs.window_epochs, cfg.obs.sample_interval_ms);
+    // Health decay hold = one window span: a fault mark stops counting
+    // against /healthz once it slides out of the rolling window.
+    const uint64_t hold_ns =
+        static_cast<uint64_t>(cfg.obs.sample_interval_ms) * cfg.obs.window_epochs * 1000000ull;
+    runtime->health_ = std::make_unique<obs::HealthMachine>(std::max<uint64_t>(hold_ns, 1));
+    obs::TelemetryOptions topt;
+    topt.port = static_cast<uint16_t>(cfg.obs.telemetry_port);
+    SuperFeRuntime* rt = runtime.get();
+    topt.pre_scrape = [rt] {
+      if (rt->cluster_ != nullptr) {
+        rt->cluster_->UpdateObsGauges();
+      }
+    };
+    topt.write_metrics = [rt](std::ostream& os) { rt->metrics_->WriteProm(os); };
+    topt.write_status = [rt](std::ostream& os) { rt->WriteStatusJson(os); };
+    topt.health = runtime->health_.get();
+    auto server = obs::TelemetryServer::Start(std::move(topt));
+    if (!server.ok()) {
+      return server.status();
+    }
+    runtime->telemetry_ = std::move(server).value();
+    runtime->telemetry_self_.store(runtime->telemetry_.get(), std::memory_order_release);
   }
   return runtime;
 }
@@ -259,17 +326,39 @@ NicPerfModel SuperFeRuntime::NicPerf() const {
 SuperFeRuntime::SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config)
     : compiled_(std::move(compiled)),
       config_(config),
-      forwarding_(std::make_unique<ForwardingSink>()) {}
+      forwarding_(std::make_unique<ForwardingSink>()),
+      created_at_(std::chrono::steady_clock::now()) {}
 
 SuperFeRuntime::~SuperFeRuntime() = default;
 
 RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   forwarding_->set_target(sink);
+  run_active_.store(true, std::memory_order_relaxed);
+  run_start_unix_ms_.store(
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::system_clock::now().time_since_epoch())
+                                .count()),
+      std::memory_order_relaxed);
   sampler_.reset();  // A re-Run restarts the time series.
   if (metrics_ != nullptr && config_.obs.sample_interval_ms > 0) {
     std::function<void()> hook;
-    if (cluster_ != nullptr) {
-      hook = [this] { cluster_->UpdateObsGauges(); };
+    if (cluster_ != nullptr || window_ != nullptr) {
+      hook = [this] {
+        if (cluster_ != nullptr) {
+          cluster_->UpdateObsGauges();
+        }
+        if (window_ != nullptr) {
+          // One telemetry epoch per capture: the window rates refresh and
+          // the health machine sees the epoch's fault/watchdog totals.
+          // Stop() takes a final post-flush capture, so the last epoch is
+          // guaranteed to see the exact quiescent totals.
+          window_->Tick(SteadyNowNs());
+          if (health_ != nullptr) {
+            const obs::RollingWindow::Totals t = window_->LatestTotals();
+            health_->Update({t.fault_events, t.watchdog_stalls}, t.t_ns);
+          }
+        }
+      };
     }
     sampler_ = std::make_unique<obs::SnapshotSampler>(
         metrics_.get(), config_.obs.sample_interval_ms, std::move(hook));
@@ -413,6 +502,13 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
     report.feature_output_gbps =
         report.sustainable_gbps * 1e9 * vectors_per_offered_bit * vector_bytes * 8.0 * 1e-9;
   }
+  if (health_ != nullptr) {
+    // A degraded completion is fault activity: /healthz reports 503 until
+    // the mark decays (one window span), then recovers to 200 on its own.
+    health_->OnRunComplete(report.fault.degraded, SteadyNowNs());
+  }
+  runs_completed_.fetch_add(1, std::memory_order_relaxed);
+  run_active_.store(false, std::memory_order_relaxed);
   return report;
 }
 
@@ -533,6 +629,156 @@ bool SuperFeRuntime::WriteMetricsProm(std::ostream& out) const {
   return true;
 }
 
+void SuperFeRuntime::WriteRunBlockJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.FieldStr("version", BuildVersion());
+  writer.FieldStr("git_sha", BuildGitSha());
+  writer.FieldStr("compiler", BuildCompiler());
+  writer.FieldStr("trace", config_.obs.run_label);
+  writer.FieldStr("policy", compiled_.policy.name);
+  writer.FieldUint("switch_shards", config_.switch_shards);
+  writer.FieldUint("workers", config_.worker_threads);
+  writer.FieldUint("sample_interval_ms", config_.obs.sample_interval_ms);
+  writer.FieldUint("obs_batch_packets", config_.obs.batch_packets);
+  writer.FieldBool("fault_plan", config_.fault.enabled());
+  writer.FieldBool("active", run_active_.load(std::memory_order_relaxed));
+  writer.FieldUint("runs_completed", runs_completed_.load(std::memory_order_relaxed));
+  writer.FieldUint("start_unix_ms", run_start_unix_ms_.load(std::memory_order_relaxed));
+  writer.EndObject();
+}
+
+bool SuperFeRuntime::WriteStatusJson(std::ostream& out) const {
+  if (metrics_ == nullptr) {
+    return false;
+  }
+  if (cluster_ != nullptr) {
+    cluster_->UpdateObsGauges();  // Queue-depth gauges read below.
+  }
+  // One registry pass, summed across labels per family. Mid-run these are
+  // the batch-flushed live totals (within one hot-tier batch of exact); at
+  // quiescence they equal the RunReport exactly.
+  uint64_t packets = 0, bytes = 0, cells_offered = 0, cells_processed = 0;
+  uint64_t cells_shed = 0, cells_lost = 0, cells_overflow = 0, vectors = 0;
+  double trace_now_ns = 0.0;
+  for (const auto& m : metrics_->Collect()) {
+    if (m.type == obs::MetricType::kCounter) {
+      if (m.name == "superfe_replay_packets_total") {
+        packets += m.uvalue;
+      } else if (m.name == "superfe_replay_bytes_total") {
+        bytes += m.uvalue;
+      } else if (m.name == "superfe_mgpv_cells_out_total") {
+        cells_offered += m.uvalue;
+      } else if (m.name == "superfe_nic_cells_total") {
+        cells_processed += m.uvalue;
+      } else if (m.name == "superfe_fault_cells_shed_total") {
+        cells_shed += m.uvalue;
+      } else if (m.name == "superfe_fault_cells_lost_failover_total") {
+        cells_lost += m.uvalue;
+      } else if (m.name == "superfe_cluster_cells_dropped_total") {
+        cells_overflow += m.uvalue;
+      } else if (m.name == "superfe_nic_vectors_emitted_total") {
+        vectors += m.uvalue;
+      }
+    } else if (m.type == obs::MetricType::kGauge &&
+               m.name == "superfe_replay_trace_now_ns") {
+      trace_now_ns = std::max(trace_now_ns, m.value);
+    }
+  }
+
+  const uint64_t now_ns = SteadyNowNs();
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.FieldStr("service", "superfe");
+  writer.FieldUint(
+      "uptime_ms",
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - created_at_)
+                                .count()));
+  writer.Key("run");
+  WriteRunBlockJson(writer);
+
+  writer.Key("health");
+  writer.BeginObject();
+  if (health_ != nullptr) {
+    writer.FieldStr("state", obs::HealthStateName(health_->Evaluate(now_ns)));
+    writer.FieldUint("hold_ms", health_->hold_ns() / 1000000);
+    writer.Key("transitions");
+    writer.BeginArray();
+    for (const auto& t : health_->Transitions()) {
+      writer.BeginObject();
+      writer.FieldStr("from", obs::HealthStateName(t.from));
+      writer.FieldStr("to", obs::HealthStateName(t.to));
+      writer.FieldUint("age_ms", t.t_ns <= now_ns ? (now_ns - t.t_ns) / 1000000 : 0);
+      writer.EndObject();
+    }
+    writer.EndArray();
+  } else {
+    writer.FieldStr("state", "ok");
+  }
+  writer.EndObject();
+
+  writer.Key("pipeline");
+  writer.BeginObject();
+  writer.FieldUint("packets_offered", packets);
+  writer.FieldUint("bytes_offered", bytes);
+  writer.FieldDouble("trace_now_ns", trace_now_ns);
+  writer.FieldUint("cells_offered", cells_offered);
+  writer.FieldUint("cells_processed", cells_processed);
+  writer.FieldUint("cells_shed", cells_shed);
+  writer.FieldUint("cells_lost_failover", cells_lost);
+  writer.FieldUint("cells_dropped_overflow", cells_overflow);
+  writer.FieldUint("vectors_emitted", vectors);
+  writer.EndObject();
+
+  writer.Key("queues");
+  writer.BeginArray();
+  if (cluster_ != nullptr) {
+    for (size_t i = 0; i < cluster_->size(); ++i) {
+      const obs::LabelSet worker = {{"worker", std::to_string(i)}};
+      writer.BeginObject();
+      writer.FieldUint("worker", i);
+      writer.FieldDouble(
+          "depth", metrics_->Value("superfe_cluster_queue_depth", worker).value_or(0.0));
+      writer.FieldDouble(
+          "high_watermark",
+          metrics_->Value("superfe_cluster_queue_high_watermark", worker).value_or(0.0));
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+
+  writer.Key("window");
+  writer.BeginObject();
+  if (window_ != nullptr) {
+    const obs::RollingWindow::Rates rates = window_->Current();
+    writer.FieldStr("span", window_->window_label());
+    writer.FieldBool("valid", rates.valid);
+    writer.FieldDouble("span_s", rates.span_s);
+    writer.FieldDouble("pps", rates.pps);
+    writer.FieldDouble("drop_ratio", rates.drop_ratio);
+    writer.FieldDouble("e2e_p50_ns", rates.e2e_p50_ns);
+    writer.FieldDouble("e2e_p99_ns", rates.e2e_p99_ns);
+  } else {
+    writer.FieldBool("valid", false);
+  }
+  writer.EndObject();
+
+  // Self-stats stay out of the registry so scrapes never perturb the
+  // byte-equality contract; they are only visible here.
+  if (const obs::TelemetryServer* server =
+          telemetry_self_.load(std::memory_order_acquire)) {
+    writer.Key("telemetry");
+    writer.BeginObject();
+    writer.FieldUint("port", server->port());
+    writer.FieldUint("requests_served", server->requests_served());
+    writer.FieldUint("requests_rejected", server->requests_rejected());
+    writer.EndObject();
+  }
+  writer.EndObject();
+  out << '\n';
+  return true;
+}
+
 namespace {
 
 void WriteStageSummaryJson(JsonWriter& writer, const obs::LatencyStageSummary& s) {
@@ -601,6 +847,8 @@ bool SuperFeRuntime::WriteMetricsJson(std::ostream& out) const {
   }
   JsonWriter writer(out);
   writer.BeginObject();
+  writer.Key("run");
+  WriteRunBlockJson(writer);
   writer.Key("metrics");
   metrics_->WriteJson(writer);
   if (sampler_ != nullptr) {

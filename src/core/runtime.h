@@ -8,8 +8,11 @@
 #ifndef SUPERFE_CORE_RUNTIME_H_
 #define SUPERFE_CORE_RUNTIME_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/feature_vector.h"
@@ -20,7 +23,9 @@
 #include "nicsim/nic_cluster.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "policy/compile.h"
 #include "switchsim/fe_switch.h"
 #include "switchsim/resources.h"
@@ -123,6 +128,22 @@ struct RuntimeConfig {
     // as superfe_cycles_total{stage=...}. Implies `metrics`. Off by
     // default: cycle reads cost a few ns per packet/report.
     bool profile = false;
+    // Live telemetry plane (docs/OBSERVABILITY.md, "Live telemetry"): an
+    // embedded HTTP server on 127.0.0.1 with GET /metrics (Prometheus
+    // text), /healthz (health state machine), and /status (JSON run
+    // summary). -1 (default) = off; 0 = kernel-assigned ephemeral port
+    // (read it back via telemetry_port()); >0 = that port. Implies
+    // `metrics` and turns the sampler on (default 2 ms) if it was off —
+    // the RollingWindow and health epochs ride the sampler thread.
+    int32_t telemetry_port = -1;
+    // Rolling-window ring length in sampler epochs (window span =
+    // sample_interval_ms * window_epochs; clamped to >= 2). Also the
+    // /healthz decay hold: fault marks older than one window span stop
+    // counting against health.
+    uint32_t window_epochs = 32;
+    // Human-readable description of the input (pcap path or synthetic
+    // profile name), echoed in the metrics JSON "run" block and /status.
+    std::string run_label;
   };
   ObsConfig obs;
 };
@@ -250,6 +271,21 @@ class SuperFeRuntime {
   obs::TraceRecorder* trace_recorder() const { return trace_.get(); }
   obs::TraceClock* latency_clock() const { return trace_clock_.get(); }
 
+  // Live telemetry plane (obs.telemetry_port >= 0 only).
+  obs::TelemetryServer* telemetry() const { return telemetry_.get(); }
+  // The bound port (resolves an ephemeral request); 0 when disabled.
+  uint16_t telemetry_port() const {
+    return telemetry_ != nullptr ? telemetry_->port() : 0;
+  }
+  obs::HealthMachine* health() const { return health_.get(); }
+  obs::RollingWindow* rolling_window() const { return window_.get(); }
+
+  // The /status document: build info, health, uptime, run metadata,
+  // pipeline totals, per-worker queue depths, windowed rates. Works
+  // whenever metrics are on (the telemetry server is just one caller);
+  // false (writes nothing) otherwise.
+  bool WriteStatusJson(std::ostream& out) const;
+
   // Exports; each returns false (writes nothing) when the matching obs
   // subsystem is disabled. Call after Run() — the trace export in
   // particular requires quiescent writers.
@@ -270,6 +306,10 @@ class SuperFeRuntime {
   // Summarizes the superfe_latency_* histograms plus the cost-model cycle
   // attribution. Meaningful after Run(); disabled breakdown otherwise.
   RunReport::LatencyBreakdown BuildLatencyBreakdown() const;
+
+  // The shared "run" metadata block (build info, trace label, shard/worker
+  // config, start time) emitted by both WriteMetricsJson and /status.
+  void WriteRunBlockJson(JsonWriter& writer) const;
 
   // Accounted NIC work for throughput modeling: the serial NIC's model, or
   // the sum over cluster members (identical totals for the same stream).
@@ -301,6 +341,22 @@ class SuperFeRuntime {
   // Internal forwarding sink: FeNic is created per Run with the user sink.
   class ForwardingSink;
   std::unique_ptr<ForwardingSink> forwarding_;
+
+  // Live telemetry plane (obs.telemetry_port >= 0). The window and health
+  // machine are fed from the sampler's pre-sample hook; the server's
+  // handlers read the members above through `this`, so the server is
+  // declared LAST — destroyed first, before anything a scrape touches.
+  std::unique_ptr<obs::RollingWindow> window_;
+  std::unique_ptr<obs::HealthMachine> health_;
+  std::atomic<bool> run_active_{false};
+  std::atomic<uint64_t> runs_completed_{0};
+  std::atomic<uint64_t> run_start_unix_ms_{0};  // Latest Run() start.
+  std::chrono::steady_clock::time_point created_at_;
+  // Self-pointer for /status self-reporting: the listener thread is live
+  // before `telemetry_` is assigned, so the handler reads this atomic
+  // instead of racing the unique_ptr hand-off.
+  std::atomic<obs::TelemetryServer*> telemetry_self_{nullptr};
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace superfe

@@ -20,6 +20,9 @@ ReplayObs ReplayObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* 
                                    "Packets replayed into the switch");
   o.bytes =
       registry->GetCounter("superfe_replay_bytes_total", {}, "Wire bytes replayed");
+  o.trace_now = registry->GetGauge(
+      "superfe_replay_trace_now_ns", {{"shard", std::to_string(trace_lane)}},
+      "Trace-time replay position of this shard (post-speedup ns)");
   return o;
 }
 
@@ -64,12 +67,13 @@ class ReplayChunkObs {
     }
   }
 
-  void OnPacket(uint64_t wire_bytes) {
+  void OnPacket(uint64_t wire_bytes, uint64_t timestamp_ns) {
     if (!Active()) {
       return;
     }
     ++chunk_packets_;
     chunk_bytes_ += wire_bytes;
+    last_timestamp_ns_ = timestamp_ns;
     if (chunk_packets_ >= std::max<uint32_t>(obs_->span_packets, 1)) {
       Close();
       Open();
@@ -88,6 +92,7 @@ class ReplayChunkObs {
   void Close() {
     obs::Inc(obs_->packets, chunk_packets_);
     obs::Inc(obs_->bytes, chunk_bytes_);
+    obs::Set(obs_->trace_now, static_cast<double>(last_timestamp_ns_));
     if (obs_->trace != nullptr) {
       obs::TraceRecorder::Event e;
       e.phase = obs::TraceRecorder::Event::Phase::kSpan;
@@ -105,6 +110,7 @@ class ReplayChunkObs {
   uint64_t chunk_packets_ = 0;
   uint64_t chunk_bytes_ = 0;
   uint64_t chunk_start_ns_ = 0;
+  uint64_t last_timestamp_ns_ = 0;
 };
 
 // Builds replica `replica` of `original` exactly as the serial replayer
@@ -152,7 +158,7 @@ void DeliverReplica(const PacketRecord& pkt, const ReplayObs* obs, PacketSink& s
     obs->clock->AdvanceLane(obs->clock_lane, clock_ns);
   }
   sink.OnPacket(pkt);
-  chunk_obs.OnPacket(pkt.wire_bytes);
+  chunk_obs.OnPacket(pkt.wire_bytes, pkt.timestamp_ns);
 }
 
 }  // namespace

@@ -35,6 +35,11 @@ namespace superfe {
 struct ReplayObs {
   obs::Counter* packets = nullptr;
   obs::Counter* bytes = nullptr;
+  // Trace-time replay position (superfe_replay_trace_now_ns{shard=...}),
+  // refreshed once per chunk flush. Single-writer (this shard's replay
+  // thread); the telemetry /status endpoint reads it to show how far into
+  // the trace each shard is.
+  obs::Gauge* trace_now = nullptr;
   // When set, the replay loop publishes each packet's trace-time timestamp
   // before delivering it, so downstream consumers (NIC workers) can measure
   // queue wait / end-to-end latency in the trace clock domain.

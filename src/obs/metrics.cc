@@ -26,15 +26,40 @@ const char* TypeName(MetricType type) {
   return "?";
 }
 
-// Prometheus sample value: integral doubles print without an exponent.
+// Prometheus sample value: integral doubles print without an exponent;
+// non-finite values use the exposition-format spellings (+Inf/-Inf/NaN),
+// not printf's "inf"/"nan".
 std::string FormatNumber(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
   char buf[64];
-  if (std::isfinite(value) && value == std::rint(value) && std::abs(value) < 1e15) {
+  if (value == std::rint(value) && std::abs(value) < 1e15) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
   } else {
     std::snprintf(buf, sizeof(buf), "%.12g", value);
   }
   return buf;
+}
+
+// HELP text escaping per the text exposition format: backslash and newline
+// (quotes are only escaped in label values, which SerializeLabels handles).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 LabelSet SortedLabels(const LabelSet& labels) {
@@ -222,7 +247,7 @@ void MetricsRegistry::WriteProm(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
-      out << "# HELP " << name << " " << family.help << "\n";
+      out << "# HELP " << name << " " << EscapeHelp(family.help) << "\n";
     }
     out << "# TYPE " << name << " " << TypeName(family.type) << "\n";
     for (const auto& [key, child] : family.counters) {

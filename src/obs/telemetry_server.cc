@@ -1,0 +1,213 @@
+#include "obs/telemetry_server.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace superfe {
+namespace obs {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kStalled:
+      return "stalled";
+  }
+  return "?";
+}
+
+HealthMachine::HealthMachine(uint64_t hold_ns) : hold_ns_(hold_ns) {}
+
+void HealthMachine::Update(const Inputs& totals, uint64_t t_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!seeded_) {
+    // The first epoch only establishes the baseline: pre-existing totals
+    // (e.g. a previous Run in the same process) are not fresh activity.
+    seeded_ = true;
+  } else {
+    if (totals.fault_events > last_fault_totals_) {
+      fault_seen_ = true;
+      last_fault_ns_ = t_ns;
+    }
+    if (totals.watchdog_stalls > last_stall_totals_) {
+      stall_seen_ = true;
+      last_stall_ns_ = t_ns;
+    }
+  }
+  last_fault_totals_ = totals.fault_events;
+  last_stall_totals_ = totals.watchdog_stalls;
+  const HealthState target = Target(t_ns);
+  if (target != state_) {
+    if (transitions_.size() < kMaxTransitions) {
+      transitions_.push_back({t_ns, state_, target});
+    }
+    state_ = target;
+  }
+}
+
+void HealthMachine::OnRunComplete(bool degraded, uint64_t t_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (degraded) {
+      fault_seen_ = true;
+      last_fault_ns_ = t_ns;
+    }
+  }
+  Evaluate(t_ns);
+}
+
+HealthState HealthMachine::Target(uint64_t t_ns) const {
+  if (stall_seen_ && t_ns - last_stall_ns_ < hold_ns_) {
+    return HealthState::kStalled;
+  }
+  if (fault_seen_ && t_ns - last_fault_ns_ < hold_ns_) {
+    return HealthState::kDegraded;
+  }
+  return HealthState::kOk;
+}
+
+HealthState HealthMachine::Evaluate(uint64_t t_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const HealthState target = Target(t_ns);
+  if (target != state_) {
+    if (transitions_.size() < kMaxTransitions) {
+      transitions_.push_back({t_ns, state_, target});
+    }
+    state_ = target;
+  }
+  return state_;
+}
+
+std::vector<HealthMachine::Transition> HealthMachine::Transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    TelemetryOptions options) {
+  if (!options.write_metrics || !options.write_status) {
+    return Status::InvalidArgument("telemetry server needs metrics and status writers");
+  }
+  auto listener = TcpListener::Listen(options.port, options.backlog);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  std::unique_ptr<TelemetryServer> server(
+      new TelemetryServer(std::move(options), std::move(listener).value()));
+  server->thread_ = std::thread([raw = server.get()] { raw->Loop(); });
+  return server;
+}
+
+TelemetryServer::TelemetryServer(TelemetryOptions options, TcpListener listener)
+    : options_(std::move(options)), listener_(std::move(listener)) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  listener_.Close();
+}
+
+void TelemetryServer::Loop() {
+  // 50 ms accept slices keep Stop() prompt without a self-pipe.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = listener_.AcceptWithTimeout(50, options_.io_timeout_ms);
+    if (fd >= 0) {
+      HandleConnection(fd);
+      CloseFd(fd);
+    }
+  }
+}
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+std::string MakeResponse(int code, const char* reason, const char* content_type,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+void TelemetryServer::HandleConnection(int fd) {
+  std::string request;
+  if (!RecvUntil(fd, &request, "\r\n\r\n", options_.max_request_bytes)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;  // Oversized, timed out, or closed mid-request: no response owed.
+  }
+  const size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(fd, MakeResponse(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);  // Queries are accepted and ignored.
+  }
+  if (method != "GET") {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(fd, MakeResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is supported\n"));
+    return;
+  }
+
+  std::string response;
+  if (path == "/metrics") {
+    if (options_.pre_scrape) {
+      options_.pre_scrape();
+    }
+    std::ostringstream body;
+    options_.write_metrics(body);
+    response = MakeResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                            body.str());
+  } else if (path == "/healthz") {
+    const HealthState state = options_.health != nullptr
+                                  ? options_.health->Evaluate(SteadyNowNs())
+                                  : HealthState::kOk;
+    const std::string body = std::string(HealthStateName(state)) + "\n";
+    if (state == HealthState::kOk) {
+      response = MakeResponse(200, "OK", "text/plain", body);
+    } else {
+      response = MakeResponse(503, "Service Unavailable", "text/plain", body);
+    }
+  } else if (path == "/status") {
+    std::ostringstream body;
+    options_.write_status(body);
+    response = MakeResponse(200, "OK", "application/json", body.str());
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(fd, MakeResponse(404, "Not Found", "text/plain",
+                             "unknown path (try /metrics, /healthz, /status)\n"));
+    return;
+  }
+  if (SendAll(fd, response)) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace superfe

@@ -1,0 +1,155 @@
+// Embedded telemetry plane: a dependency-free HTTP/1.1 server plus the
+// health state machine behind its /healthz endpoint
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+// Endpoints:
+//   GET /metrics  Prometheus text exposition of the live MetricsRegistry —
+//                 the exact WriteProm() writer the file export uses, so a
+//                 scrape after the final quiescence edge is byte-identical
+//                 to the --metrics-prom file.
+//   GET /healthz  200 "ok" / 503 "degraded" / 503 "stalled", driven by the
+//                 HealthMachine below.
+//   GET /status   JSON in-progress run summary (RunReport-style totals,
+//                 per-worker queue depths, windowed rates, build info).
+//
+// Design: one listener thread, blocking accept with a poll timeout so
+// Stop() is prompt, one connection served at a time (scrapers are 1/s, not
+// 1000/s), bounded request size, per-connection IO timeouts, loopback
+// bind. Deliberately NOT instrumented into the shared registry: a scrape
+// counter in the registry would make every scrape perturb the next one and
+// break the byte-equality contract; self-stats are plain atomics exposed
+// on /status only.
+#ifndef SUPERFE_OBS_TELEMETRY_SERVER_H_
+#define SUPERFE_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+
+namespace superfe {
+namespace obs {
+
+enum class HealthState : uint8_t { kOk = 0, kDegraded = 1, kStalled = 2 };
+
+const char* HealthStateName(HealthState state);
+
+// ok -> degraded -> stalled, with stalled outranking degraded.
+//
+// Fed with *cumulative* fault/watchdog totals once per sampler epoch
+// (Update, from the RollingWindow's capture) plus run-completion verdicts
+// (OnRunComplete, from RunReport::FaultReport::degraded). The machine
+// diffs totals itself; any fresh watchdog stall marks stalled, any fresh
+// fault activity (shed/lost cells, failover fences, injected pool
+// exhaustions, saturated pushes, a degraded run) marks degraded.
+// Deliberately not a signal: cluster queue_stalls — backpressure is the
+// designed lossless-mode behavior, not ill health.
+//
+// State is evaluated lazily at read time with decay: a mark older than
+// `hold_ns` (default: one window span, sampler interval x epochs) stops
+// contributing, so /healthz recovers to 200 after failover settles without
+// anyone having to reset it. Transitions are recorded (bounded) so tests
+// and /status can assert an ok -> degraded -> ok trajectory without racing
+// the 503 window.
+class HealthMachine {
+ public:
+  explicit HealthMachine(uint64_t hold_ns);
+
+  struct Inputs {
+    uint64_t fault_events = 0;     // Cumulative.
+    uint64_t watchdog_stalls = 0;  // Cumulative.
+  };
+  // Sampler-epoch feed; `t_ns` is steady-clock. Any-thread safe.
+  void Update(const Inputs& totals, uint64_t t_ns);
+  // Run verdict: a degraded completion counts as fault activity at `t_ns`.
+  void OnRunComplete(bool degraded, uint64_t t_ns);
+
+  // Current state at time `t_ns`, recording a transition if it changed.
+  HealthState Evaluate(uint64_t t_ns);
+
+  struct Transition {
+    uint64_t t_ns = 0;
+    HealthState from = HealthState::kOk;
+    HealthState to = HealthState::kOk;
+  };
+  std::vector<Transition> Transitions() const;
+
+  uint64_t hold_ns() const { return hold_ns_; }
+
+ private:
+  HealthState Target(uint64_t t_ns) const;
+
+  const uint64_t hold_ns_;
+  mutable std::mutex mu_;
+  HealthState state_ = HealthState::kOk;
+  uint64_t last_fault_totals_ = 0;
+  uint64_t last_stall_totals_ = 0;
+  bool seeded_ = false;          // First Update only baselines the totals.
+  bool fault_seen_ = false;
+  bool stall_seen_ = false;
+  uint64_t last_fault_ns_ = 0;
+  uint64_t last_stall_ns_ = 0;
+  std::vector<Transition> transitions_;  // Bounded to kMaxTransitions.
+  static constexpr size_t kMaxTransitions = 128;
+};
+
+struct TelemetryOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned ephemeral (see port()).
+  int backlog = 16;   // Bounded pending-connection queue.
+  uint32_t max_request_bytes = 8192;
+  int io_timeout_ms = 2000;  // Per-connection recv/send budget.
+  // Refreshes derived gauges (cluster queue depths) before /metrics; may be
+  // null. Runs on the serving thread, so it must be any-thread safe.
+  std::function<void()> pre_scrape;
+  std::function<void(std::ostream&)> write_metrics;  // Required.
+  std::function<void(std::ostream&)> write_status;   // Required.
+  HealthMachine* health = nullptr;  // Null = /healthz always 200 "ok".
+};
+
+class TelemetryServer {
+ public:
+  // Binds 127.0.0.1:port and starts the listener thread.
+  static Result<std::unique_ptr<TelemetryServer>> Start(TelemetryOptions options);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Graceful shutdown: stops accepting, finishes the in-flight response
+  // (bounded by io_timeout_ms), joins. Idempotent; the destructor calls it.
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+  // Served responses by outcome, for /status self-reporting. NOT registry
+  // metrics — see the file header.
+  uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+  uint64_t requests_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit TelemetryServer(TelemetryOptions options, TcpListener listener);
+
+  void Loop();
+  void HandleConnection(int fd);
+
+  TelemetryOptions options_;
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};  // Malformed / unknown-path / non-GET.
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_TELEMETRY_SERVER_H_

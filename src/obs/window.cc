@@ -1,0 +1,136 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <string>
+
+namespace superfe {
+namespace obs {
+namespace {
+
+// Bucket-wise delta newest - oldest. Valid because every per-bucket series
+// is monotonic (histogram cells only ever Add).
+LatencyHistogram::Snapshot SnapshotDelta(const LatencyHistogram::Snapshot& newer,
+                                         const LatencyHistogram::Snapshot& older) {
+  LatencyHistogram::Snapshot delta;
+  for (size_t i = 0; i < delta.buckets.size(); ++i) {
+    delta.buckets[i] = newer.buckets[i] - older.buckets[i];
+  }
+  delta.count = newer.count - older.count;
+  delta.sum_ns = newer.sum_ns - older.sum_ns;
+  return delta;
+}
+
+}  // namespace
+
+std::string RollingWindow::FormatWindowLabel(uint64_t span_ms) {
+  if (span_ms >= 1000 && span_ms % 1000 == 0) {
+    return std::to_string(span_ms / 1000) + "s";
+  }
+  return std::to_string(span_ms) + "ms";
+}
+
+RollingWindow::RollingWindow(MetricsRegistry* registry, uint32_t epochs,
+                             uint64_t interval_ms)
+    : registry_(registry),
+      epochs_(std::max<uint32_t>(epochs, 2)),
+      label_(FormatWindowLabel(interval_ms * std::max<uint32_t>(epochs, 2))) {
+  if (registry_ == nullptr) {
+    return;
+  }
+  const LabelSet labels = {{"window", label_}};
+  pps_gauge_ = registry_->GetGauge(
+      "superfe_rate_pps", labels,
+      "Replayed packets per second over the rolling window");
+  drop_gauge_ = registry_->GetGauge(
+      "superfe_rate_drop_ratio", labels,
+      "Dropped cells (overflow + shed + failover loss) / offered cells over the "
+      "rolling window");
+  p50_gauge_ = registry_->GetGauge(
+      "superfe_rate_e2e_p50_ns", labels,
+      "Windowed p50 end-to-end latency (trace-time ns), from histogram bucket "
+      "deltas");
+  p99_gauge_ = registry_->GetGauge(
+      "superfe_rate_e2e_p99_ns", labels,
+      "Windowed p99 end-to-end latency (trace-time ns), from histogram bucket "
+      "deltas");
+}
+
+RollingWindow::Totals RollingWindow::Capture(uint64_t t_ns) const {
+  Totals t;
+  t.t_ns = t_ns;
+  if (registry_ == nullptr) {
+    return t;
+  }
+  for (const MetricsRegistry::MetricValue& m : registry_->Collect()) {
+    if (m.type == MetricType::kCounter) {
+      if (m.name == "superfe_replay_packets_total") {
+        t.packets += m.uvalue;
+      } else if (m.name == "superfe_mgpv_cells_out_total") {
+        t.cells_offered += m.uvalue;
+      } else if (m.name == "superfe_cluster_cells_dropped_total") {
+        t.cells_dropped += m.uvalue;
+      } else if (m.name == "superfe_fault_cells_shed_total" ||
+                 m.name == "superfe_fault_cells_lost_failover_total") {
+        t.cells_dropped += m.uvalue;
+        t.fault_events += m.uvalue;
+      } else if (m.name == "superfe_fault_pool_exhaustions_total" ||
+                 m.name == "superfe_fault_saturated_pushes_total" ||
+                 m.name == "superfe_fault_failover_fences_total") {
+        t.fault_events += m.uvalue;
+      } else if (m.name == "superfe_fault_watchdog_stalls_total" ||
+                 m.name == "superfe_cluster_watchdog_stalls_total") {
+        t.watchdog_stalls += m.uvalue;
+      }
+    } else if (m.type == MetricType::kLatencyHistogram &&
+               m.name == "superfe_latency_e2e_ns") {
+      t.e2e.Merge(m.latency->TakeSnapshot());
+    }
+  }
+  return t;
+}
+
+void RollingWindow::Tick(uint64_t t_ns) {
+  const Totals now = Capture(t_ns);
+  Rates rates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(now);
+    while (ring_.size() > epochs_) {
+      ring_.pop_front();
+    }
+    const Totals& oldest = ring_.front();
+    if (ring_.size() >= 2 && now.t_ns > oldest.t_ns) {
+      rates.valid = true;
+      rates.span_s = static_cast<double>(now.t_ns - oldest.t_ns) * 1e-9;
+      rates.pps = static_cast<double>(now.packets - oldest.packets) / rates.span_s;
+      const uint64_t offered = now.cells_offered - oldest.cells_offered;
+      const uint64_t dropped = now.cells_dropped - oldest.cells_dropped;
+      rates.drop_ratio =
+          offered > 0 ? static_cast<double>(dropped) / static_cast<double>(offered)
+                      : 0.0;
+      const LatencyHistogram::Snapshot delta = SnapshotDelta(now.e2e, oldest.e2e);
+      rates.e2e_p50_ns = delta.QuantileNs(0.50);
+      rates.e2e_p99_ns = delta.QuantileNs(0.99);
+    }
+    rates_ = rates;
+  }
+  if (rates.valid) {
+    obs::Set(pps_gauge_, rates.pps);
+    obs::Set(drop_gauge_, rates.drop_ratio);
+    obs::Set(p50_gauge_, rates.e2e_p50_ns);
+    obs::Set(p99_gauge_, rates.e2e_p99_ns);
+  }
+}
+
+RollingWindow::Rates RollingWindow::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rates_;
+}
+
+RollingWindow::Totals RollingWindow::LatestTotals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? Totals{} : ring_.back();
+}
+
+}  // namespace obs
+}  // namespace superfe

@@ -1,0 +1,113 @@
+// RollingWindow: sliding-window rate metrics over the live registry.
+//
+// The superfe_* counters are monotonic totals — the right substrate for
+// end-of-run exactness, but useless for "what is the pipeline doing right
+// now". RollingWindow keeps a ring of the last N epoch snapshots, one per
+// SnapshotSampler capture (Tick() runs on the sampler thread via the
+// runtime's pre-sample hook), and derives windowed rates from the delta
+// between the newest and oldest epoch in the ring:
+//
+//   superfe_rate_pps{window="..."}         replayed packets per wall second
+//   superfe_rate_drop_ratio{window="..."}  dropped cells (overflow + shed +
+//                                          failover loss) / cells offered
+//   superfe_rate_e2e_p50_ns{window="..."}  windowed e2e latency quantiles,
+//   superfe_rate_e2e_p99_ns{window="..."}  from LatencyHistogram bucket
+//                                          deltas (not lifetime totals)
+//
+// The gauges live in the same MetricsRegistry as everything else, so they
+// show up on /metrics scrapes, in the file exports, and in the sampler's
+// own time series. Staleness is bounded by one sampler interval; the
+// window spans `interval_ms * epochs` of wall time once the ring is full.
+// After the final quiescence edge the sampler stops ticking, so the gauges
+// freeze at their last windowed value — which keeps a post-run scrape
+// byte-identical to the written prom file (the exactness contract in
+// docs/OBSERVABILITY.md).
+//
+// Each Tick() also publishes the epoch's cumulative fault/watchdog totals
+// (LatestTotals()) for the HealthMachine, which diffs them itself.
+#ifndef SUPERFE_OBS_WINDOW_H_
+#define SUPERFE_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "obs/latency.h"
+#include "obs/metrics.h"
+
+namespace superfe {
+namespace obs {
+
+class RollingWindow {
+ public:
+  // Cumulative pipeline totals summed across labels at one epoch, plus the
+  // e2e latency histogram state. All monotonic.
+  struct Totals {
+    uint64_t t_ns = 0;  // Steady-clock capture time.
+    uint64_t packets = 0;        // superfe_replay_packets_total
+    uint64_t cells_offered = 0;  // superfe_mgpv_cells_out_total
+    // Overflow drops + fault sheds + failover losses (the numerator of the
+    // drop ratio; each is also a fault_event).
+    uint64_t cells_dropped = 0;
+    // Fault activity for health: sheds, losses, failover fences, injected
+    // pool exhaustions, saturated pushes.
+    uint64_t fault_events = 0;
+    // Watchdog-detected stalls (cluster + injector views).
+    uint64_t watchdog_stalls = 0;
+    LatencyHistogram::Snapshot e2e;
+  };
+
+  struct Rates {
+    bool valid = false;  // At least two epochs in the ring.
+    double span_s = 0.0;  // Wall-time distance newest - oldest epoch.
+    double pps = 0.0;
+    double drop_ratio = 0.0;
+    double e2e_p50_ns = 0.0;
+    double e2e_p99_ns = 0.0;
+  };
+
+  // Registers the rate gauges (labelled {window="<interval*epochs>"}) in
+  // `registry` up front so Tick() never takes the registry lock twice.
+  // `epochs` is clamped to >= 2 (a window needs two edges).
+  RollingWindow(MetricsRegistry* registry, uint32_t epochs, uint64_t interval_ms);
+
+  RollingWindow(const RollingWindow&) = delete;
+  RollingWindow& operator=(const RollingWindow&) = delete;
+
+  // Captures one epoch at steady-clock time `t_ns` and refreshes the rate
+  // gauges. Sampler thread only (single writer); readers use Current().
+  void Tick(uint64_t t_ns);
+
+  // Thread-safe copies for /status and the HealthMachine feed.
+  Rates Current() const;
+  Totals LatestTotals() const;
+
+  uint32_t epochs() const { return epochs_; }
+  const std::string& window_label() const { return label_; }
+
+  // "10s" / "640ms" style label for a window spanning `span_ms`.
+  static std::string FormatWindowLabel(uint64_t span_ms);
+
+ private:
+  Totals Capture(uint64_t t_ns) const;
+
+  MetricsRegistry* registry_;
+  const uint32_t epochs_;
+  const std::string label_;
+
+  // Pre-registered gauge handles; plain atomic stores on the tick path.
+  Gauge* pps_gauge_ = nullptr;
+  Gauge* drop_gauge_ = nullptr;
+  Gauge* p50_gauge_ = nullptr;
+  Gauge* p99_gauge_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::deque<Totals> ring_;  // Oldest at front; size <= epochs_.
+  Rates rates_;
+};
+
+}  // namespace obs
+}  // namespace superfe
+
+#endif  // SUPERFE_OBS_WINDOW_H_

@@ -1,0 +1,360 @@
+// Live telemetry plane tests (docs/OBSERVABILITY.md, "Live telemetry"):
+// the HealthMachine and RollingWindow unit semantics with explicit clocks,
+// the embedded HTTP server's routing, and the two integration contracts —
+// concurrent scrapes during a 4-shard x 4-worker replay return parseable
+// monotonic counters, and a post-quiescence scrape is byte-identical to
+// the WriteMetricsProm file export.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "core/runtime.h"
+#include "fault/fault_plan.h"
+#include "net/trace_gen.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "obs/window.h"
+#include "policy/parser.h"
+
+namespace superfe {
+namespace {
+
+using obs::HealthMachine;
+using obs::HealthState;
+using obs::RollingWindow;
+
+Policy Parse(const std::string& source) {
+  auto policy = ParsePolicy("t", source);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  return std::move(policy).value();
+}
+
+const char* kFlowStatsPolicy = R"(
+pktstream
+  .groupby(flow)
+  .map(one, _, f_one)
+  .map(ipt, tstamp, f_ipt)
+  .reduce(one, [f_sum])
+  .reduce(size, [f_sum, f_min, f_max])
+  .reduce(ipt, [f_max])
+  .collect(flow)
+)";
+
+int StatusCode(const std::string& response) {
+  // "HTTP/1.1 200 OK\r\n..."
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + 9);
+}
+
+// First value of an unlabelled sample line "name <value>" in a scrape.
+double SampleValue(const std::string& body, const std::string& name) {
+  std::istringstream in(body);
+  std::string line;
+  const std::string prefix = name + " ";
+  while (std::getline(in, line)) {
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      return std::stod(line.substr(prefix.size()));
+    }
+  }
+  return -1.0;
+}
+
+// ---------------------------------------------------------------------------
+// HealthMachine: pure state-machine semantics with an explicit clock.
+
+TEST(HealthMachineTest, StartsOkAndFirstUpdateOnlyBaselines) {
+  HealthMachine hm(1'000'000'000);  // 1 s hold.
+  EXPECT_EQ(hm.Evaluate(0), HealthState::kOk);
+  // Pre-existing totals at the first feed must not count as fresh faults.
+  hm.Update({.fault_events = 100, .watchdog_stalls = 5}, 10);
+  EXPECT_EQ(hm.Evaluate(20), HealthState::kOk);
+  hm.Update({.fault_events = 100, .watchdog_stalls = 5}, 30);
+  EXPECT_EQ(hm.Evaluate(40), HealthState::kOk);
+}
+
+TEST(HealthMachineTest, FaultDeltaDegradesThenDecays) {
+  HealthMachine hm(1'000'000'000);
+  hm.Update({}, 0);
+  hm.Update({.fault_events = 1}, 100);
+  EXPECT_EQ(hm.Evaluate(200), HealthState::kDegraded);
+  // Still inside the hold window.
+  EXPECT_EQ(hm.Evaluate(100 + 999'999'999), HealthState::kDegraded);
+  // Past it: recovers without an explicit reset.
+  EXPECT_EQ(hm.Evaluate(100 + 1'000'000'001), HealthState::kOk);
+
+  const auto transitions = hm.Transitions();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from, HealthState::kOk);
+  EXPECT_EQ(transitions[0].to, HealthState::kDegraded);
+  EXPECT_EQ(transitions[1].from, HealthState::kDegraded);
+  EXPECT_EQ(transitions[1].to, HealthState::kOk);
+}
+
+TEST(HealthMachineTest, StallOutranksDegraded) {
+  HealthMachine hm(1'000'000'000);
+  hm.Update({}, 0);
+  hm.Update({.fault_events = 3, .watchdog_stalls = 1}, 50);
+  EXPECT_EQ(hm.Evaluate(60), HealthState::kStalled);
+  // Stall mark decays like fault marks do.
+  EXPECT_EQ(hm.Evaluate(50 + 1'000'000'001), HealthState::kOk);
+}
+
+TEST(HealthMachineTest, DegradedRunCompletionCountsAsFault) {
+  HealthMachine hm(1'000'000'000);
+  hm.OnRunComplete(/*degraded=*/false, 10);
+  EXPECT_EQ(hm.Evaluate(20), HealthState::kOk);
+  hm.OnRunComplete(/*degraded=*/true, 30);
+  EXPECT_EQ(hm.Evaluate(40), HealthState::kDegraded);
+}
+
+// ---------------------------------------------------------------------------
+// RollingWindow: exact rates from synthetic counters and explicit ticks.
+
+TEST(RollingWindowTest, ExactRatesFromSyntheticCounters) {
+  obs::MetricsRegistry registry;
+  auto* packets = registry.GetCounter("superfe_replay_packets_total");
+  auto* offered = registry.GetCounter("superfe_mgpv_cells_out_total");
+  auto* dropped = registry.GetCounter("superfe_cluster_cells_dropped_total");
+
+  RollingWindow window(&registry, /*epochs=*/4, /*interval_ms=*/1000);
+  window.Tick(0);
+  EXPECT_FALSE(window.Current().valid);  // One epoch is no window.
+
+  packets->Inc(100'000);
+  offered->Inc(50'000);
+  dropped->Inc(5'000);
+  window.Tick(1'000'000'000);  // Exactly one second later.
+
+  const RollingWindow::Rates rates = window.Current();
+  ASSERT_TRUE(rates.valid);
+  EXPECT_DOUBLE_EQ(rates.span_s, 1.0);
+  EXPECT_DOUBLE_EQ(rates.pps, 100'000.0);
+  EXPECT_DOUBLE_EQ(rates.drop_ratio, 5'000.0 / 50'000.0);
+
+  // The derived gauges are published in the registry under the window label.
+  auto* pps_gauge =
+      registry.GetGauge("superfe_rate_pps", {{"window", window.window_label()}});
+  EXPECT_DOUBLE_EQ(pps_gauge->Value(), 100'000.0);
+}
+
+TEST(RollingWindowTest, RingEvictsOldestEpoch) {
+  obs::MetricsRegistry registry;
+  auto* packets = registry.GetCounter("superfe_replay_packets_total");
+
+  RollingWindow window(&registry, /*epochs=*/2, /*interval_ms=*/1000);
+  window.Tick(0);
+  packets->Inc(1'000);
+  window.Tick(1'000'000'000);
+  packets->Inc(9'000);
+  window.Tick(2'000'000'000);
+
+  // With a 2-epoch ring the t=0 snapshot is gone: the window is the last
+  // second only (9000 packets), not the 10000-over-2s average.
+  const RollingWindow::Rates rates = window.Current();
+  ASSERT_TRUE(rates.valid);
+  EXPECT_DOUBLE_EQ(rates.span_s, 1.0);
+  EXPECT_DOUBLE_EQ(rates.pps, 9'000.0);
+}
+
+TEST(RollingWindowTest, WindowLabelFormatting) {
+  EXPECT_EQ(RollingWindow::FormatWindowLabel(64), "64ms");
+  EXPECT_EQ(RollingWindow::FormatWindowLabel(10'000), "10s");
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryServer: routing, status codes, and lifecycle.
+
+TEST(TelemetryServerTest, RoutesEndpointsAndRejectsTheRest) {
+  obs::TelemetryOptions options;
+  options.port = 0;
+  options.write_metrics = [](std::ostream& out) { out << "fake_metric 1\n"; };
+  options.write_status = [](std::ostream& out) { out << "{}"; };
+  auto server = obs::TelemetryServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+  ASSERT_GT(port, 0);
+
+  std::string response = HttpGet(port, "/metrics");
+  EXPECT_EQ(StatusCode(response), 200);
+  EXPECT_EQ(HttpBody(response), "fake_metric 1\n");
+
+  response = HttpGet(port, "/healthz");  // No HealthMachine: always ok.
+  EXPECT_EQ(StatusCode(response), 200);
+  EXPECT_EQ(HttpBody(response), "ok\n");
+
+  response = HttpGet(port, "/status");
+  EXPECT_EQ(StatusCode(response), 200);
+  EXPECT_EQ(HttpBody(response), "{}");
+
+  response = HttpGet(port, "/nope");
+  EXPECT_EQ(StatusCode(response), 404);
+
+  // Query strings are stripped before routing.
+  response = HttpGet(port, "/metrics?format=prometheus");
+  EXPECT_EQ(StatusCode(response), 200);
+
+  // Non-GET methods are refused.
+  const int fd = TcpConnect(port, /*io_timeout_ms=*/2000);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string post_response;
+  RecvAll(fd, &post_response, 1 << 20);
+  CloseFd(fd);
+  EXPECT_EQ(StatusCode(post_response), 405);
+
+  EXPECT_GE((*server)->requests_served(), 4u);
+  EXPECT_GE((*server)->requests_rejected(), 2u);
+
+  (*server)->Stop();
+  (*server)->Stop();  // Idempotent.
+  EXPECT_EQ(HttpGet(port, "/metrics"), "");  // Nothing listening anymore.
+}
+
+TEST(TelemetryServerTest, HealthzReflectsMachineState) {
+  obs::HealthMachine health(/*hold_ns=*/60'000'000'000ull);  // Long hold.
+  obs::TelemetryOptions options;
+  options.port = 0;
+  options.write_metrics = [](std::ostream& out) { out << "x 1\n"; };
+  options.write_status = [](std::ostream& out) { out << "{}"; };
+  options.health = &health;
+  auto server = obs::TelemetryServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  std::string response = HttpGet(port, "/healthz");
+  EXPECT_EQ(StatusCode(response), 200);
+  EXPECT_EQ(HttpBody(response), "ok\n");
+
+  health.OnRunComplete(/*degraded=*/true,
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+  response = HttpGet(port, "/healthz");
+  EXPECT_EQ(StatusCode(response), 503);
+  EXPECT_EQ(HttpBody(response), "degraded\n");
+}
+
+// ---------------------------------------------------------------------------
+// Integration: scraping a live 4-shard x 4-worker run.
+
+TEST(TelemetryIntegrationTest, LiveScrapesAreMonotonicAndFinalScrapeIsByteExact) {
+  RuntimeConfig config;
+  config.switch_shards = 4;
+  config.worker_threads = 4;
+  config.obs.telemetry_port = 0;  // Ephemeral.
+  config.obs.run_label = "telemetry_test";
+  auto runtime = SuperFeRuntime::Create(Parse(kFlowStatsPolicy), config);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  const uint16_t port = (*runtime)->telemetry_port();
+  ASSERT_GT(port, 0);
+
+  const Trace trace = GenerateTrace(CampusProfile(), 200'000, 5);
+  CollectingFeatureSink sink;
+  std::atomic<bool> running{true};
+  RunReport report;
+  std::thread run_thread([&] {
+    report = (*runtime)->Run(trace, &sink);
+    running.store(false);
+  });
+
+  // Scrape continuously while the pipeline is hot. Every response must be
+  // well-formed and the replay counter must never move backwards.
+  double last_packets = 0.0;
+  uint32_t scrapes = 0;
+  while (running.load()) {
+    const std::string response = HttpGet(port, "/metrics");
+    if (response.empty()) {
+      continue;  // Transient accept backlog; the server serves one at a time.
+    }
+    ASSERT_EQ(StatusCode(response), 200);
+    const std::string body = HttpBody(response);
+    const double packets = SampleValue(body, "superfe_replay_packets_total");
+    ASSERT_GE(packets, last_packets) << "counter went backwards mid-run";
+    last_packets = packets;
+    ++scrapes;
+    EXPECT_EQ(StatusCode(HttpGet(port, "/healthz")), 200);
+    EXPECT_EQ(StatusCode(HttpGet(port, "/status")), 200);
+  }
+  run_thread.join();
+  EXPECT_GT(scrapes, 0u);
+  EXPECT_EQ(report.offered.packets, trace.size());
+
+  // The exactness contract, extended to the wire: once the run has hit its
+  // final quiescence edge, a scrape is byte-identical to the file export.
+  const std::string final_scrape = HttpBody(HttpGet(port, "/metrics"));
+  std::ostringstream file_export;
+  ASSERT_TRUE((*runtime)->WriteMetricsProm(file_export));
+  EXPECT_EQ(final_scrape, file_export.str());
+  EXPECT_EQ(SampleValue(final_scrape, "superfe_replay_packets_total"),
+            static_cast<double>(trace.size()));
+
+  // /status stays serviceable post-run.
+  const std::string status = HttpBody(HttpGet(port, "/status"));
+  EXPECT_NE(status.find("\"health\""), std::string::npos);
+  EXPECT_NE(status.find("\"telemetry_test\""), std::string::npos);
+}
+
+TEST(TelemetryIntegrationTest, HealthzFlipsTo503UnderCrashPlanAndRecovers) {
+  auto plan = FaultPlan::Parse("crash member=1 at_packet=25000 detect_ms=2\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  RuntimeConfig config;
+  config.switch_shards = 2;
+  config.worker_threads = 4;
+  config.fault.plan = *plan;
+  config.obs.telemetry_port = 0;
+  // Hold = 50 ms x 20 epochs = 1 s: long enough that the post-run scrape
+  // reliably lands inside the degraded window, short enough to watch the
+  // decay back to 200 without stalling the suite.
+  config.obs.sample_interval_ms = 50;
+  config.obs.window_epochs = 20;
+  auto runtime = SuperFeRuntime::Create(Parse(kFlowStatsPolicy), config);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  const uint16_t port = (*runtime)->telemetry_port();
+  ASSERT_GT(port, 0);
+
+  EXPECT_EQ(StatusCode(HttpGet(port, "/healthz")), 200);
+
+  const Trace trace = GenerateTrace(EnterpriseProfile(), 60'000, 7);
+  CollectingFeatureSink sink;
+  const RunReport report = (*runtime)->Run(trace, &sink);
+  ASSERT_TRUE(report.fault.degraded);  // The crash bit.
+
+  // Immediately after the degraded completion /healthz must refuse.
+  std::string response = HttpGet(port, "/healthz");
+  EXPECT_EQ(StatusCode(response), 503);
+  EXPECT_EQ(HttpBody(response), "degraded\n");
+
+  // ...and recover to 200 once the fault mark ages past the hold window.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int code = 503;
+  while (code != 200 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    code = StatusCode(HttpGet(port, "/healthz"));
+  }
+  EXPECT_EQ(code, 200);
+
+  // The trajectory is recorded: ok -> degraded -> ok, in order.
+  bool saw_degrade = false, saw_recover = false;
+  for (const auto& t : (*runtime)->health()->Transitions()) {
+    if (t.from == HealthState::kOk && t.to == HealthState::kDegraded) {
+      saw_degrade = true;
+    }
+    if (saw_degrade && t.to == HealthState::kOk) {
+      saw_recover = true;
+    }
+  }
+  EXPECT_TRUE(saw_degrade);
+  EXPECT_TRUE(saw_recover);
+}
+
+}  // namespace
+}  // namespace superfe

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition-format lint for SuperFE exports.
+
+The regression gate for WriteMetricsProm's conformance (docs/OBSERVABILITY.md,
+"Live telemetry"): CI runs it over the --metrics-prom file and a live
+/metrics scrape. Checks, per the text format spec:
+
+  * every line is a comment, blank, or a well-formed sample
+  * sample names are valid metric identifiers; label syntax parses and label
+    values only use the legal escapes (\\\\, \\", \\n)
+  * `# TYPE` appears at most once per family, before that family's samples,
+    with a known type; `# HELP` at most once, with legal escapes
+  * every sample belongs to a HELP/TYPE'd family (after stripping histogram
+    _bucket/_sum/_count suffixes), and each family's samples are contiguous
+  * sample values parse (decimal, scientific, +Inf/-Inf/NaN)
+  * histogram buckets are cumulative, end in an le="+Inf" bucket, and that
+    bucket equals the family's _count for the same label set
+
+Usage: prom_lint.py FILE [FILE...]   (exit 1 on any violation)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)(?: (-?\d+))?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"')
+VALUE_RE = re.compile(r"^(?:[+-]?Inf|NaN|-?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HELP_ESCAPE_RE = re.compile(r"\\(?![\\n])")  # Backslash not starting \\ or \n.
+
+
+def family_of(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_labels(raw: str, errors, where: str):
+    """Returns {label: value} or None; validates full-string label syntax."""
+    if raw is None or raw == "":
+        return {}
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if m is None:
+            errors.append(f"{where}: bad label syntax at ...{raw[pos:pos+40]!r}")
+            return None
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                errors.append(f"{where}: expected ',' between labels in {raw!r}")
+                return None
+            pos += 1
+    return labels
+
+
+def lint(path: str) -> list:
+    errors = []
+    helps = {}
+    types = {}
+    seen_sample_families = []  # In first-seen order, for contiguity.
+    # (family, frozen labels minus 'le') -> [(le, cumulative_value)]
+    buckets = {}
+    counts = {}
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            where = f"{path}:{lineno}"
+            line = line.rstrip("\n")
+            if line == "":
+                continue
+            if line.startswith("#"):
+                m = re.match(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$", line)
+                if m is None:
+                    continue  # Arbitrary comments are legal.
+                kind, name, rest = m.group(1), m.group(2), m.group(3) or ""
+                if kind == "HELP":
+                    if name in helps:
+                        errors.append(f"{where}: duplicate HELP for {name}")
+                    helps[name] = rest
+                    if HELP_ESCAPE_RE.search(rest):
+                        errors.append(
+                            f"{where}: HELP for {name} has an unescaped backslash"
+                        )
+                else:
+                    if name in types:
+                        errors.append(f"{where}: duplicate TYPE for {name}")
+                    if rest not in TYPES:
+                        errors.append(f"{where}: unknown TYPE '{rest}' for {name}")
+                    if any(family_of(s) == name for s in seen_sample_families):
+                        errors.append(f"{where}: TYPE for {name} after its samples")
+                    types[name] = rest
+                continue
+
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                errors.append(f"{where}: unparseable sample line {line!r}")
+                continue
+            name, raw_labels, value = m.group(1), m.group(2), m.group(3)
+            labels = parse_labels(raw_labels, errors, where)
+            if labels is None:
+                continue
+            if not VALUE_RE.match(value):
+                errors.append(f"{where}: bad sample value {value!r} for {name}")
+                continue
+            fam = family_of(name) if types.get(family_of(name)) == "histogram" else name
+            if fam not in types:
+                errors.append(f"{where}: sample {name} has no # TYPE")
+            # Contiguity: a family's block must not be interleaved with others.
+            if fam in seen_sample_families and seen_sample_families[-1] != fam:
+                errors.append(f"{where}: samples for {fam} are not contiguous")
+            if fam not in seen_sample_families or seen_sample_families[-1] != fam:
+                seen_sample_families.append(fam)
+
+            if types.get(fam) == "histogram":
+                key = (fam, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        errors.append(f"{where}: histogram bucket without le label")
+                    else:
+                        buckets.setdefault(key, []).append((labels["le"], float(value)))
+                elif name.endswith("_count"):
+                    counts[key] = float(value)
+
+    for key, series in buckets.items():
+        fam = key[0]
+        values = [v for _, v in series]
+        if values != sorted(values):
+            errors.append(f"{path}: {fam}{dict(key[1])}: buckets not cumulative")
+        if not series or series[-1][0] != "+Inf":
+            errors.append(f"{path}: {fam}{dict(key[1])}: last bucket is not le=\"+Inf\"")
+        elif key in counts and series[-1][1] != counts[key]:
+            errors.append(
+                f"{path}: {fam}{dict(key[1])}: +Inf bucket {series[-1][1]} != "
+                f"_count {counts[key]}"
+            )
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors = lint(path)
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 //               [--trace-out FILE] [--sample-interval-ms N]
 //               [--latency-report] [--samples-out FILE]
 //               [--obs-batch N] [--profile-cycles]
+//               [--telemetry-port P] [--telemetry-linger-ms N]
 //               [--fault-plan FILE] [--flush-timeout-ms N] [--watchdog-ms N]
 //
 // Exit codes:
@@ -22,12 +23,14 @@
 //      abandoned work or missed a flush deadline — outputs are still the
 //      exact reconciled remainder)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/runtime.h"
 #include "net/pcap.h"
@@ -57,6 +60,11 @@ int Usage() {
                "                                          (default 4096; 1 = per-packet)\n"
                "                   [--profile-cycles]     measured per-stage cycle profile\n"
                "                                          (superfe_cycles_total{stage=...})\n"
+               "                   [--telemetry-port P]   live telemetry HTTP server on\n"
+               "                                          127.0.0.1:P (/metrics /healthz\n"
+               "                                          /status; 0 = ephemeral port)\n"
+               "                   [--telemetry-linger-ms N]  keep serving N ms after the\n"
+               "                                          run + exports finish\n"
                "                   [--fault-plan FILE]    deterministic fault plan\n"
                "                                          (docs/ROBUSTNESS.md format)\n"
                "                   [--flush-timeout-ms N] cluster flush/join deadline\n"
@@ -186,6 +194,8 @@ int main(int argc, char** argv) {
   bool latency_report = false;
   uint32_t obs_batch = 0;  // 0 = keep the RuntimeConfig default.
   bool profile_cycles = false;
+  int32_t telemetry_port = -1;      // -1 = off, 0 = ephemeral.
+  uint64_t telemetry_linger_ms = 0;
   std::string fault_plan_path;
   uint64_t flush_timeout_ms = 0;
   uint32_t watchdog_ms = 0;
@@ -224,6 +234,10 @@ int main(int argc, char** argv) {
       obs_batch = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--profile-cycles") == 0) {
       profile_cycles = true;
+    } else if (std::strcmp(argv[i], "--telemetry-port") == 0 && i + 1 < argc) {
+      telemetry_port = static_cast<int32_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--telemetry-linger-ms") == 0 && i + 1 < argc) {
+      telemetry_linger_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
       fault_plan_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flush-timeout-ms") == 0 && i + 1 < argc) {
@@ -283,13 +297,16 @@ int main(int argc, char** argv) {
   config.switch_shards = switch_shards;
   config.pin_threads = pin_threads;
   if (!metrics_json_path.empty() || !metrics_prom_path.empty() ||
-      !samples_out_path.empty()) {
+      !samples_out_path.empty() || telemetry_port >= 0) {
     config.obs.metrics = true;
     config.obs.sample_interval_ms = sample_interval_ms;
   }
   config.obs.trace = !trace_out_path.empty();
   config.obs.latency = latency_report;
   config.obs.profile = profile_cycles;
+  config.obs.telemetry_port = telemetry_port;
+  config.obs.run_label =
+      !pcap_path.empty() ? pcap_path : "profile:" + profile_name;
   if (obs_batch > 0) {
     config.obs.batch_packets = obs_batch;
   }
@@ -318,6 +335,12 @@ int main(int argc, char** argv) {
   if (!runtime.ok()) {
     std::fprintf(stderr, "compile error: %s\n", runtime.status().ToString().c_str());
     return kExitInvalidConfig;
+  }
+  if ((*runtime)->telemetry() != nullptr) {
+    // Scripts parse this line to find an ephemeral port; keep it stable.
+    std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u (/metrics /healthz /status)\n",
+                 (*runtime)->telemetry_port());
+    std::fflush(stderr);
   }
 
   std::ofstream file;
@@ -424,6 +447,15 @@ int main(int argc, char** argv) {
                  (unsigned long long)fs.stalls_injected,
                  (unsigned long long)fs.watchdog_stall_events,
                  run.fault.flush_deadline_exceeded ? "EXCEEDED" : "met");
+  }
+  if (telemetry_linger_ms > 0 && (*runtime)->telemetry() != nullptr) {
+    // Exports are written and the pipeline is quiescent: a scrape taken in
+    // this window is byte-identical to the --metrics-prom file (the CI
+    // telemetry smoke asserts exactly that).
+    std::fprintf(stderr, "telemetry: lingering %llu ms before exit\n",
+                 (unsigned long long)telemetry_linger_ms);
+    std::fflush(stderr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(telemetry_linger_ms));
   }
   if (!exports_ok) {
     return kExitExportFailure;
