@@ -127,7 +127,7 @@ void Run() {
   // Ground truth: exact double arithmetic over the complete stream.
   KeyedSink truth;
   {
-    auto extractor = SoftwareExtractor::Create(*compiled, ExecOptions{false, {}});
+    auto extractor = SoftwareExtractor::Create(*compiled, ExactExecOptions());
     (*extractor)->Run(trace, &truth, SoftwareDeployment{});
   }
 

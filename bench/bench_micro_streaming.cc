@@ -2,6 +2,9 @@
 // the policy front end (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.h"
 #include "net/trace_gen.h"
 #include "policy/compile.h"
@@ -16,17 +19,39 @@
 namespace superfe {
 namespace {
 
+// Pre-filled input buffer: deriving the next sample from the previous one
+// (x += 1.0) puts a loop-carried dependence on the measured path and times
+// the chain, not the kernel.
 void BM_WelfordAdd(benchmark::State& state) {
   WelfordStats stats;
   Rng rng(1);
-  double x = rng.UniformDouble(0, 1500);
+  std::vector<double> xs(4096);
+  for (double& x : xs) {
+    x = rng.UniformDouble(0, 1500);
+  }
+  size_t i = 0;
   for (auto _ : state) {
-    stats.Add(x);
-    x += 1.0;
+    stats.Add(xs[i]);
+    i = (i + 1) & (xs.size() - 1);
     benchmark::DoNotOptimize(stats);
   }
 }
 BENCHMARK(BM_WelfordAdd);
+
+void BM_WelfordAddBatch(benchmark::State& state) {
+  WelfordStats stats;
+  Rng rng(1);
+  std::vector<double> xs(static_cast<size_t>(state.range(0)));
+  for (double& x : xs) {
+    x = rng.UniformDouble(0, 1500);
+  }
+  for (auto _ : state) {
+    stats.AddBatch(xs.data(), xs.size());
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WelfordAddBatch)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_NicWelfordAdd(benchmark::State& state) {
   NicWelfordStats stats;
@@ -60,6 +85,21 @@ void BM_HllAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_HllAdd)->Arg(6)->Arg(10)->Arg(14);
 
+void BM_HllAddBatch(benchmark::State& state) {
+  HyperLogLog hll(10);
+  Rng rng(1);
+  std::vector<uint64_t> vs(static_cast<size_t>(state.range(0)));
+  for (uint64_t& v : vs) {
+    v = rng.NextU64();
+  }
+  for (auto _ : state) {
+    hll.AddU64Batch(vs.data(), vs.size());
+    benchmark::DoNotOptimize(hll);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HllAddBatch)->Arg(16)->Arg(256)->Arg(4096);
+
 void BM_HistogramAdd(benchmark::State& state) {
   FixedHistogram hist(100.0, static_cast<int>(state.range(0)));
   double v = 0.0;
@@ -73,6 +113,21 @@ void BM_HistogramAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramAdd)->Arg(16)->Arg(100);
+
+void BM_HistogramAddBatch(benchmark::State& state) {
+  FixedHistogram hist(100.0, 16);
+  Rng rng(1);
+  std::vector<double> vs(static_cast<size_t>(state.range(0)));
+  for (double& v : vs) {
+    v = rng.UniformDouble(0, 1600);
+  }
+  for (auto _ : state) {
+    hist.AddBatch(vs.data(), vs.size());
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramAddBatch)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_MomentsAdd(benchmark::State& state) {
   StreamingMoments moments;

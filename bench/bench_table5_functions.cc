@@ -12,7 +12,7 @@ namespace superfe {
 namespace {
 
 double MeasureUpdateNs(const ReduceSpec& spec) {
-  Reducer reducer(spec, ExecOptions{true, {}}, /*directional=*/false);
+  Reducer reducer(spec, [] { ExecOptions o; o.nic_arithmetic = true; return o; }(), /*directional=*/false);
   Rng rng(1);
   constexpr int kSamples = 200000;
   std::vector<double> values(1024);

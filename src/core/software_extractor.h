@@ -49,6 +49,13 @@ struct SoftwareRunReport {
   double cpp_gbps = 0.0;
 };
 
+// Exact double-precision execution options (the software baseline).
+inline ExecOptions ExactExecOptions() {
+  ExecOptions options;
+  options.nic_arithmetic = false;
+  return options;
+}
+
 // Runs the compiled policy's NIC pipeline directly over raw packets (no
 // switch batching), with exact double-precision arithmetic.
 class SoftwareExtractor {
@@ -57,7 +64,7 @@ class SoftwareExtractor {
   // feature definitions); pass damped_mode = kFloat32 to reproduce the
   // original Kitsune implementation's arithmetic (Fig 10).
   static Result<std::unique_ptr<SoftwareExtractor>> Create(
-      const CompiledPolicy& compiled, const ExecOptions& options = ExecOptions{false, {}});
+      const CompiledPolicy& compiled, const ExecOptions& options = ExactExecOptions());
 
   // Processes the trace; emits vectors per the policy's collect unit.
   SoftwareRunReport Run(const Trace& trace, FeatureSink* sink,

@@ -64,6 +64,49 @@ void NicPerfModel::AccountCell(const CellWork& work) {
   breakdown_.memory += work.mem_latency_cycles;
 }
 
+void NicPerfModel::AccountBatch(const BatchWork& work) {
+  cells_ += work.cells;
+  // Arithmetic is genuinely per cell — vectorization changes issue width,
+  // not operation count — so the §6.2 ablation (division elimination vs
+  // hash reuse) keeps its per-cell meaning.
+  const uint64_t alu_cycles =
+      static_cast<uint64_t>(work.per_cell.alu_ops) * costs_.alu * work.cells;
+  const uint64_t division_cycles =
+      static_cast<uint64_t>(work.per_cell.divisions) *
+      (opts_.eliminate_division ? costs_.division_opt : costs_.division) *
+      work.cells;
+  // One full dispatch per group run (field/variant resolution, table
+  // lookup) plus the residual per-cell lane issue.
+  const uint64_t dispatch_cycles =
+      work.runs * costs_.dispatch + work.cells * costs_.dispatch_batched;
+  // One group-lookup hash per run; the switch-shipped hash covers the
+  // coarse-granularity runs when reuse is on.
+  uint64_t hashed_runs = work.runs;
+  if (opts_.reuse_switch_hash) {
+    hashed_runs -= std::min(work.cg_runs, hashed_runs);
+  }
+  const uint64_t hash_cycles = hashed_runs * costs_.hash;
+  compute_cycles_ += dispatch_cycles + alu_cycles + division_cycles + hash_cycles;
+  // State memory: the per-cell latency spans the whole granularity chain;
+  // a run touches one granularity's state once, so charge the chain
+  // latency once per `granularities` runs, plus the DRAM detours.
+  const uint32_t chain = std::max(work.granularities, 1u);
+  const uint64_t mem_cycles =
+      work.per_cell.mem_latency_cycles * work.runs / chain +
+      static_cast<uint64_t>(arch_.dram_latency_cycles) * work.dram_runs;
+  memory_cycles_ += mem_cycles;
+  mem_accesses_ +=
+      std::max<uint64_t>(
+          static_cast<uint64_t>(work.per_cell.mem_accesses) * work.runs / chain,
+          work.runs) +
+      work.dram_runs;
+  breakdown_.dispatch += dispatch_cycles;
+  breakdown_.alu += alu_cycles;
+  breakdown_.division += division_cycles;
+  breakdown_.hash += hash_cycles;
+  breakdown_.memory += mem_cycles;
+}
+
 void NicPerfModel::AccountReport() {
   ++reports_;
   compute_cycles_ += costs_.report_overhead;

@@ -28,6 +28,10 @@ struct CycleCosts {
   uint32_t division_opt = 4;    // Comparison-trick replacement.
   uint32_t context_switch = 2;
   uint32_t dispatch = 24;       // Per-cell parse/dispatch overhead.
+  // Residual per-cell dispatch under the SoA batch path: the reducer
+  // variant/field resolution is hoisted to once per group run (costed at
+  // `dispatch` per run), leaving only the vector-lane issue per cell.
+  uint32_t dispatch_batched = 6;
   uint32_t report_overhead = 60;  // Per-MGPV-report DMA + header handling.
 };
 
@@ -76,6 +80,18 @@ struct CellWork {
   uint32_t hashes = 1;
 };
 
+// Work description for one SoA batch (amortized accounting): per-cell
+// arithmetic stays per cell, but dispatch, hashing, and state-memory
+// traffic are paid once per contiguous group *run* rather than per cell.
+struct BatchWork {
+  CellWork per_cell;
+  uint64_t cells = 0;     // Total cells in the batch.
+  uint64_t runs = 0;      // Group runs across all granularities.
+  uint64_t cg_runs = 0;   // Runs at the coarse granularity (hash reusable).
+  uint64_t dram_runs = 0;  // Runs whose group lookup detoured to DRAM.
+  uint32_t granularities = 1;  // Chain length (per_cell spans the chain).
+};
+
 // Accumulates work and converts it to wall-clock throughput for a given
 // core count.
 class NicPerfModel {
@@ -84,6 +100,9 @@ class NicPerfModel {
       : arch_(arch), opts_(opts) {}
 
   void AccountCell(const CellWork& work);
+  // Amortized accounting for one SoA batch; keeps cells() exact so
+  // Table-5 shares and throughput remain per-cell meaningful.
+  void AccountBatch(const BatchWork& work);
   void AccountReport();
 
   // Folds another model's accounted work into this one (cluster members

@@ -5,23 +5,34 @@
 #include <map>
 
 #include "common/hash.h"
+#include "streaming/batch.h"
 
 namespace superfe {
-namespace {
 
 // ft_percent bucket index: floor(log2(v)) + 1, clamped (0 for v < 1).
-int LogBucket(double v) {
-  if (v < 1.0) {
-    return 0;
+// batchkern::Log2Bucket computes this from the IEEE exponent field — exact
+// at power-of-two boundaries where an earlier std::log2-based bucketer
+// could round across, and identical between the scalar and batch paths.
+namespace exec_internal {
+
+void LogHist::AddBatch(const double* v, size_t n) {
+  int32_t idx[256];
+  while (n > 0) {
+    const size_t m = n < 256 ? n : 256;
+    batchkern::Log2BucketBatch(v, m, idx);
+    for (size_t i = 0; i < m; ++i) {
+      buckets[idx[i]]++;
+    }
+    total += m;
+    v += m;
+    n -= m;
   }
-  const int b = static_cast<int>(std::floor(std::log2(v))) + 1;
-  return std::min(b, 31);
 }
 
-}  // namespace
+}  // namespace exec_internal
 
 Reducer::Reducer(const ReduceSpec& spec, const ExecOptions& options, bool directional)
-    : spec_(spec), nic_(options.nic_arithmetic) {
+    : spec_(spec), nic_(options.nic_arithmetic), compensated_(options.compensated_batch) {
   const double lambda = spec.decay_lambda;
   const DampedMode mode = options.EffectiveDampedMode();
   // Directional tracking applies to damped 1D statistics only.
@@ -170,10 +181,99 @@ void Reducer::Update(double value, double t_seconds, Direction dir) {
       break;
     case ReduceFn::kPercent: {
       auto& hist = std::get<exec_internal::LogHist>(impl_);
-      hist.buckets[LogBucket(value)]++;
+      hist.buckets[batchkern::Log2Bucket(value)]++;
       hist.total++;
       break;
     }
+  }
+}
+
+void Reducer::UpdateBatch(const double* values, const double* t_seconds,
+                          const double* dir_sign, size_t n,
+                          std::vector<uint64_t>& scratch_u64) {
+  if (n == 0) {
+    return;
+  }
+  switch (spec_.fn) {
+    case ReduceFn::kSum:
+      if (auto* two_sided = std::get_if<DampedStats2D>(&impl_)) {
+        two_sided->AddBatch(values, t_seconds, dir_sign, n);
+      } else if (auto* damped = std::get_if<DampedStats>(&impl_)) {
+        damped->AddBatch(values, t_seconds, n);
+      } else {
+        auto& agg = std::get<exec_internal::SumAgg>(impl_);
+        agg.sum += compensated_ ? batchkern::SumCompensated(values, n)
+                                : batchkern::Sum(values, n);
+      }
+      break;
+    case ReduceFn::kMax: {
+      auto& agg = std::get<exec_internal::MinMaxAgg>(impl_);
+      double mn = 0.0, mx = 0.0;
+      batchkern::MinMax(values, n, &mn, &mx);
+      if (!agg.any || mx > agg.value) {
+        agg.value = mx;
+      }
+      agg.any = true;
+      break;
+    }
+    case ReduceFn::kMin: {
+      auto& agg = std::get<exec_internal::MinMaxAgg>(impl_);
+      double mn = 0.0, mx = 0.0;
+      batchkern::MinMax(values, n, &mn, &mx);
+      if (!agg.any || mn < agg.value) {
+        agg.value = mn;
+      }
+      agg.any = true;
+      break;
+    }
+    case ReduceFn::kMean:
+    case ReduceFn::kVar:
+    case ReduceFn::kStd:
+      if (auto* two_sided = std::get_if<DampedStats2D>(&impl_)) {
+        two_sided->AddBatch(values, t_seconds, dir_sign, n);
+      } else if (auto* damped = std::get_if<DampedStats>(&impl_)) {
+        damped->AddBatch(values, t_seconds, n);
+      } else if (auto* nicw = std::get_if<NicWelfordStats>(&impl_)) {
+        nicw->AddBatchRounded(values, n);
+      } else {
+        std::get<WelfordStats>(impl_).AddBatch(values, n, compensated_);
+      }
+      break;
+    case ReduceFn::kKur:
+    case ReduceFn::kSkew:
+      std::get<StreamingMoments>(impl_).AddBatch(values, n, compensated_);
+      break;
+    case ReduceFn::kMag:
+    case ReduceFn::kRadius:
+    case ReduceFn::kCov:
+    case ReduceFn::kPcc:
+      std::get<DampedStats2D>(impl_).AddBatch(values, t_seconds, dir_sign, n);
+      break;
+    case ReduceFn::kCard: {
+      if (scratch_u64.size() < n) {
+        scratch_u64.resize(n);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        scratch_u64[i] = static_cast<uint64_t>(std::llround(values[i]));
+      }
+      std::get<HyperLogLog>(impl_).AddU64Batch(scratch_u64.data(), n);
+      break;
+    }
+    case ReduceFn::kArray: {
+      auto& agg = std::get<exec_internal::ArrayAgg>(impl_);
+      for (size_t i = 0; i < n && agg.values.size() < agg.limit; ++i) {
+        agg.values.push_back(values[i]);
+      }
+      break;
+    }
+    case ReduceFn::kHist:
+    case ReduceFn::kPdf:
+    case ReduceFn::kCdf:
+      std::get<FixedHistogram>(impl_).AddBatch(values, n);
+      break;
+    case ReduceFn::kPercent:
+      std::get<exec_internal::LogHist>(impl_).AddBatch(values, n);
+      break;
   }
 }
 
@@ -412,7 +512,158 @@ Result<ExecPlan> ExecPlan::FromProgram(const NicProgram& program) {
   if (plan.field_count > 64) {
     return Status::ResourceExhausted("exec plan: more than 64 per-packet fields");
   }
+  for (const auto& m : plan.maps) {
+    if (m.src == kFieldFgKey) {
+      plan.uses_fg_key = true;
+    }
+  }
+  for (const auto& gp : plan.per_granularity) {
+    for (const auto& r : gp.reduces) {
+      if (r.src == kFieldFgKey) {
+        plan.uses_fg_key = true;
+      }
+    }
+  }
   return plan;
+}
+
+void PacketBatchSoA::Assemble(const MgpvReport* reports, size_t count) {
+  size_t total = 0;
+  for (size_t r = 0; r < count; ++r) {
+    total += reports[r].cells.size();
+  }
+  cells_unsorted_.clear();
+  hi_unsorted_.clear();
+  lo_unsorted_.clear();
+  cells_unsorted_.reserve(total);
+  hi_unsorted_.reserve(total);
+  lo_unsorted_.reserve(total);
+  for (size_t r = 0; r < count; ++r) {
+    for (const MgpvCell& cell : reports[r].cells) {
+      const auto bytes = cell.fg_tuple.ToBytes();
+      uint64_t hi = 0;
+      for (int b = 0; b < 8; ++b) {
+        hi = (hi << 8) | bytes[b];
+      }
+      uint64_t lo = 0;
+      for (size_t b = 8; b < bytes.size(); ++b) {
+        lo = (lo << 8) | bytes[b];
+      }
+      cells_unsorted_.push_back(&cell);
+      hi_unsorted_.push_back(hi);
+      lo_unsorted_.push_back(lo);
+    }
+  }
+
+  // Columns start in arrival order; SortByPrefix() permutes them per
+  // granularity so each call sees that granularity's groups as contiguous
+  // runs with arrival order preserved *within* every run (the ipt/burst
+  // recurrences and the sequential integer kernels depend on it).
+  order_.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    order_[i] = static_cast<uint32_t>(i);
+  }
+  sorted_prefix_ = 0;
+  Gather();
+}
+
+void PacketBatchSoA::SortByPrefix(int prefix_bytes) {
+  if (sorted_prefix_ == prefix_bytes) {
+    return;
+  }
+  const size_t total = cells_unsorted_.size();
+  order_.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    order_[i] = static_cast<uint32_t>(i);
+  }
+  // Always re-sort from arrival order: refining an existing finer-prefix
+  // order would interleave a coarse group's sub-groups out of arrival order.
+  switch (prefix_bytes) {
+    case 4:
+      std::stable_sort(order_.begin(), order_.end(), [this](uint32_t a, uint32_t b) {
+        return (hi_unsorted_[a] >> 32) < (hi_unsorted_[b] >> 32);
+      });
+      break;
+    case 8:
+      std::stable_sort(order_.begin(), order_.end(), [this](uint32_t a, uint32_t b) {
+        return hi_unsorted_[a] < hi_unsorted_[b];
+      });
+      break;
+    default:
+      std::stable_sort(order_.begin(), order_.end(), [this](uint32_t a, uint32_t b) {
+        if (hi_unsorted_[a] != hi_unsorted_[b]) {
+          return hi_unsorted_[a] < hi_unsorted_[b];
+        }
+        return lo_unsorted_[a] < lo_unsorted_[b];
+      });
+      break;
+  }
+  sorted_prefix_ = prefix_bytes;
+  Gather();
+}
+
+void PacketBatchSoA::Gather() {
+  const size_t total = cells_unsorted_.size();
+  cells.resize(total);
+  key_hi.resize(total);
+  key_lo.resize(total);
+  pkt_size.resize(total);
+  tstamp_ns.resize(total);
+  dir_sign.resize(total);
+  t_seconds.resize(total);
+  direction.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    const uint32_t src = order_[i];
+    const MgpvCell& cell = *cells_unsorted_[src];
+    cells[i] = &cell;
+    key_hi[i] = hi_unsorted_[src];
+    key_lo[i] = lo_unsorted_[src];
+    pkt_size[i] = static_cast<double>(cell.size);
+    const double t_ns = static_cast<double>(cell.full_timestamp_ns);
+    tstamp_ns[i] = t_ns;
+    t_seconds[i] = t_ns * 1e-9;
+    dir_sign[i] = cell.direction == Direction::kForward ? 1.0 : -1.0;
+    direction[i] = cell.direction;
+  }
+  fg_hash_valid_ = false;
+}
+
+void PacketBatchSoA::EnsureFgHash() {
+  if (fg_hash_valid_) {
+    return;
+  }
+  fg_hash.resize(rows());
+  for (size_t i = 0; i < rows(); ++i) {
+    if (i > 0 && key_hi[i] == key_hi[i - 1] && key_lo[i] == key_lo[i - 1]) {
+      fg_hash[i] = fg_hash[i - 1];
+      continue;
+    }
+    const auto bytes = cells[i]->fg_tuple.ToBytes();
+    fg_hash[i] = static_cast<double>(Crc32(bytes.data(), bytes.size()));
+  }
+  fg_hash_valid_ = true;
+}
+
+int PacketBatchSoA::KeyPrefixBytes(Granularity g) {
+  switch (g) {
+    case Granularity::kHost:
+      return 4;  // Initiator IP.
+    case Granularity::kChannel:
+      return 8;  // Initiator + responder IPs.
+    default:
+      return 13;  // Socket and flow keys use the full FG tuple.
+  }
+}
+
+bool PacketBatchSoA::SamePrefix(size_t a, size_t b, int prefix_bytes) const {
+  switch (prefix_bytes) {
+    case 4:
+      return (key_hi[a] >> 32) == (key_hi[b] >> 32);
+    case 8:
+      return key_hi[a] == key_hi[b];
+    default:
+      return key_hi[a] == key_hi[b] && key_lo[a] == key_lo[b];
+  }
 }
 
 GroupState GroupState::Make(const ExecPlan& plan, size_t gi, const ExecOptions& options) {
@@ -482,6 +733,100 @@ void UpdateGroup(const ExecPlan& plan, size_t gi, GroupState& group, const MgpvC
   group.last_seen_ns = cell.full_timestamp_ns;
   group.last_fg_tuple = cell.fg_tuple;
   group.last_direction = cell.direction;
+}
+
+void UpdateGroupBatch(const ExecPlan& plan, size_t gi, GroupState& group,
+                      PacketBatchSoA& soa, size_t begin, size_t end) {
+  const auto& gp = plan.per_granularity[gi];
+  const size_t n = end - begin;
+
+  // Column table: builtin fields come straight from the SoA; map outputs
+  // overlay their dst slot as they are wired up, so each map's source
+  // pointer (snapshotted in program order below) resolves exactly like the
+  // scalar fields[] array — including a map dst that shadows a builtin.
+  const double* col[64];
+  col[ExecPlan::kFieldSize] = soa.pkt_size.data();
+  col[ExecPlan::kFieldTstamp] = soa.tstamp_ns.data();
+  col[ExecPlan::kFieldDirection] = soa.dir_sign.data();
+  col[ExecPlan::kFieldFgKey] = nullptr;
+  if (plan.uses_fg_key) {
+    soa.EnsureFgHash();
+    col[ExecPlan::kFieldFgKey] = soa.fg_hash.data();
+  }
+
+  if (soa.field_scratch.size() < static_cast<size_t>(plan.field_count)) {
+    soa.field_scratch.resize(plan.field_count);
+  }
+  struct MapCtx {
+    const double* src;
+    const double* size_src;  // What kSpeed's implicit size read resolves to.
+    double* dst;
+    MapFn fn;
+  };
+  MapCtx map_ctx[64];
+  const size_t map_count = plan.maps.size();
+  for (size_t mi = 0; mi < map_count; ++mi) {
+    const auto& m = plan.maps[mi];
+    auto& scratch = soa.field_scratch[m.dst];
+    if (scratch.size() < soa.rows()) {
+      scratch.resize(soa.rows());
+    }
+    map_ctx[mi] = MapCtx{m.src >= 0 ? col[m.src] : nullptr,
+                         col[ExecPlan::kFieldSize], scratch.data(), m.fn};
+    col[m.dst] = scratch.data();
+  }
+
+  // Maps run row-major: ipt/speed/burst are recurrences over the group's
+  // packet sequence. The scalar path advances last_ts/last_dir after the
+  // reduces; no reducer reads them, so advancing per row here is equivalent.
+  for (size_t r = begin; r < end; ++r) {
+    const double t_ns = soa.tstamp_ns[r];
+    const int dir_sign = soa.dir_sign[r] > 0.0 ? 1 : -1;
+    double& last_ts =
+        group.last_tstamp_ns[static_cast<int>(soa.direction[r])];
+    for (size_t mi = 0; mi < map_count; ++mi) {
+      const MapCtx& c = map_ctx[mi];
+      double dst = 0.0;
+      switch (c.fn) {
+        case MapFn::kOne:
+          dst = 1.0;
+          break;
+        case MapFn::kIpt:
+          dst = last_ts < 0.0 ? 0.0 : t_ns - last_ts;
+          break;
+        case MapFn::kSpeed: {
+          const double ipt_ns = last_ts < 0.0 ? 0.0 : t_ns - last_ts;
+          dst = ipt_ns > 0.0 ? c.size_src[r] / (ipt_ns * 1e-9) : 0.0;
+          break;
+        }
+        case MapFn::kBurst:
+          group.burst_len =
+              (group.last_dir == dir_sign) ? group.burst_len + 1.0 : 1.0;
+          dst = group.burst_len;
+          break;
+        case MapFn::kDirection:
+          dst = (c.src != nullptr ? c.src[r] : 0.0) * dir_sign;
+          break;
+      }
+      c.dst[r] = dst;
+    }
+    last_ts = t_ns;
+    group.last_dir = dir_sign;
+  }
+
+  // Each reducer consumes its source column as one bulk call.
+  const double* ts = soa.t_seconds.data() + begin;
+  const double* dirs = soa.dir_sign.data() + begin;
+  for (size_t i = 0; i < gp.reduces.size(); ++i) {
+    group.reducers[i].UpdateBatch(col[gp.reduces[i].src] + begin, ts, dirs, n,
+                                  soa.scratch_u64);
+  }
+
+  group.packets += n;
+  const MgpvCell& last = *soa.cells[end - 1];
+  group.last_seen_ns = last.full_timestamp_ns;
+  group.last_fg_tuple = last.fg_tuple;
+  group.last_direction = last.direction;
 }
 
 void EmitGroupFeatures(const ExecPlan& plan, size_t gi, const GroupState& group,

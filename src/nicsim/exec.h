@@ -31,6 +31,12 @@ struct ExecOptions {
   // double-precision (the standard feature definitions of Fig 10).
   bool nic_arithmetic = true;
 
+  // Neumaier-compensated summation inside the double-precision batch
+  // kernels (sum / Welford / moments chunk passes). Closes the documented
+  // ULP gap between batch and scalar summation order at scalar speed; the
+  // bit-exact integer/fixed-point kernels ignore it.
+  bool compensated_batch = false;
+
   // Explicit damped-window arithmetic override; unset derives it from
   // nic_arithmetic. kFloat32 reproduces the original Kitsune implementation
   // for the Fig 10 comparison.
@@ -63,6 +69,10 @@ struct ArrayAgg {
 struct LogHist {
   std::array<uint32_t, 32> buckets{};
   uint64_t total = 0;
+
+  // Bulk insert via the vectorized log2 bucketer; bucket-identical to
+  // elementwise inserts.
+  void AddBatch(const double* v, size_t n);
 };
 
 }  // namespace exec_internal
@@ -82,6 +92,15 @@ class Reducer {
   // `dir` routes bidirectional and directional statistics.
   void Update(double value, double t_seconds, Direction dir);
 
+  // Feeds n samples at once (one group run of a sorted batch). `dir_sign`
+  // is the ±1 direction column; `scratch_u64` is caller-provided conversion
+  // scratch (grown as needed). Equivalent to n Update calls: bit-identical
+  // for the integer/fixed-point/order-independent kernels, ULP-bounded for
+  // the double sum/Welford/moments kernels (see streaming/batch.h).
+  void UpdateBatch(const double* values, const double* t_seconds,
+                   const double* dir_sign, size_t n,
+                   std::vector<uint64_t>& scratch_u64);
+
   // Appends this reducer's OutputWidth(spec) feature values. `dir` selects
   // the side of directional statistics (the emitting packet's direction).
   void Emit(std::vector<double>& out, Direction dir = Direction::kForward) const;
@@ -92,6 +111,7 @@ class Reducer {
   ReduceSpec spec_;
   bool nic_ = true;
   bool directional_ = false;
+  bool compensated_ = false;
   std::variant<exec_internal::SumAgg, exec_internal::MinMaxAgg, WelfordStats, NicWelfordStats,
                DampedStats, StreamingMoments, DampedStats2D, HyperLogLog,
                exec_internal::ArrayAgg, FixedHistogram, exec_internal::LogHist>
@@ -132,8 +152,73 @@ struct ExecPlan {
   int field_count = 4;
   std::vector<MapStep> maps;
   std::vector<GranularityPlan> per_granularity;  // Chain order.
+  // True when any map or reduce reads the fgkey builtin — the batch path
+  // computes the per-cell CRC column lazily and only when needed.
+  bool uses_fg_key = false;
 
   static Result<ExecPlan> FromProgram(const NicProgram& program);
+};
+
+// SoA view of one worker batch of MGPV cells. The initiator-oriented key
+// chain makes every coarser granularity's key a byte prefix of the FG key
+// (host = bytes [0,4), channel = [0,8), socket/flow = all 13), so a stable
+// sort by a granularity's prefix makes that granularity's groups contiguous
+// runs, delimited by integer prefix compares on the packed key words —
+// while keeping each run internally in arrival order (the ipt/burst
+// recurrences and the sequential integer kernels are order-dependent).
+// Assemble() leaves the columns in arrival order; callers SortByPrefix()
+// per granularity before walking runs. Reused across batches to amortize
+// allocations.
+struct PacketBatchSoA {
+  // Sorted views, all rows() long. `cells` keeps per-row access to the
+  // original cell (fg_tuple, direction) for run-key derivation and group
+  // bookkeeping.
+  std::vector<const MgpvCell*> cells;
+  std::vector<uint64_t> key_hi;  // FG-key bytes [0,8) packed big-endian.
+  std::vector<uint64_t> key_lo;  // FG-key bytes [8,13) packed big-endian.
+  std::vector<double> pkt_size;
+  std::vector<double> tstamp_ns;
+  std::vector<double> dir_sign;  // ±1.
+  std::vector<double> t_seconds;
+  std::vector<double> fg_hash;  // Lazy; see EnsureFgHash.
+  std::vector<Direction> direction;
+
+  // Scratch shared by UpdateGroupBatch calls over this batch: per-field
+  // columns for map outputs, u64 conversion buffer for f_card.
+  std::vector<std::vector<double>> field_scratch;
+  std::vector<uint64_t> scratch_u64;
+
+  size_t rows() const { return cells.size(); }
+
+  // Rebuilds the view from the cells of `count` reports, columns in
+  // arrival order.
+  void Assemble(const MgpvReport* reports, size_t count);
+
+  // Stable-sorts the columns by the first `prefix_bytes` key bytes (always
+  // from arrival order, so every run stays arrival-ordered internally).
+  // No-op when already in this order.
+  void SortByPrefix(int prefix_bytes);
+
+  // Fills fg_hash with the per-cell FG-key CRC (the fgkey builtin), cached
+  // across equal-key runs. Idempotent per Assemble.
+  void EnsureFgHash();
+
+  // FG-key prefix length (bytes) that a granularity's group key projects to.
+  static int KeyPrefixBytes(Granularity g);
+
+  // True when rows a and b agree on the first `prefix_bytes` key bytes.
+  bool SamePrefix(size_t a, size_t b, int prefix_bytes) const;
+
+ private:
+  // Permutes the public columns by order_.
+  void Gather();
+
+  std::vector<uint32_t> order_;
+  std::vector<const MgpvCell*> cells_unsorted_;
+  std::vector<uint64_t> hi_unsorted_;
+  std::vector<uint64_t> lo_unsorted_;
+  int sorted_prefix_ = 0;  // 0 = arrival order.
+  bool fg_hash_valid_ = false;
 };
 
 // Per-group execution state.
@@ -160,6 +245,14 @@ struct GroupState {
 
 // Updates one group (at granularity index `gi`) with one cell.
 void UpdateGroup(const ExecPlan& plan, size_t gi, GroupState& group, const MgpvCell& cell);
+
+// Updates one group with the sorted batch rows [begin, end) — one
+// contiguous run of the group's cells. Maps run row-major (the ipt/burst
+// recurrences are inherently sequential); each reducer then consumes its
+// source column as one bulk call. Equivalent to per-cell UpdateGroup calls
+// under the exactness contract in streaming/batch.h.
+void UpdateGroupBatch(const ExecPlan& plan, size_t gi, GroupState& group,
+                      PacketBatchSoA& soa, size_t begin, size_t end);
 
 // Emits the group's feature block for granularity index `gi`: reducer
 // outputs with synthesize chains applied, appended to `out`.

@@ -120,11 +120,49 @@ void FeNic::OnFgSync(const FgSyncMessage& sync) {
   }
 }
 
-void FeNic::OnMgpv(const MgpvReport& report) {
+void FeNic::OnMgpv(const MgpvReport& report) { OnMgpvBatch(&report, 1); }
+
+void FeNic::OnMgpvBatch(const MgpvReport* reports, size_t count) {
+  if (count == 0) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  // Bracket the full report (idle eviction + all feature kernels) for the
+  // Bracket the batch (idle eviction + all feature kernels) for the
   // {stage="feature_kernels"} cycle profile; skipped when profiling is off.
   const uint64_t cycles_start = local_.cycles_feature != nullptr ? obs::ReadCycles() : 0;
+  size_t total_cells = 0;
+  for (size_t r = 0; r < count; ++r) {
+    total_cells += reports[r].cells.size();
+  }
+  ProcessReportsLocked(reports, count);
+  if (local_.cycles_feature != nullptr) {
+    local_.cycles_feature->delta += obs::ReadCycles() - cycles_start;
+  }
+  // Cells count as packets for the auto-flush cadence.
+  block_.NotePackets(total_cells);
+}
+
+void FeNic::ProcessReportsLocked(const MgpvReport* reports, size_t count) {
+  // Per-packet collect policies emit a vector per cell in arrival order —
+  // they stay on the per-cell reference path.
+  if (!config_.batch_kernels || compiled_.nic_program.collect.per_packet) {
+    for (size_t r = 0; r < count; ++r) {
+      ProcessReportScalarLocked(reports[r]);
+    }
+    return;
+  }
+  if (config_.idle_timeout_ns > 0) {
+    // Idle eviction is decided at report boundaries; batch per report so
+    // eviction interleaves exactly like the scalar path.
+    for (size_t r = 0; r < count; ++r) {
+      ProcessBatchLocked(&reports[r], 1);
+    }
+    return;
+  }
+  ProcessBatchLocked(reports, count);
+}
+
+void FeNic::ProcessReportScalarLocked(const MgpvReport& report) {
   stats_.reports++;
   obs::Inc(local_.reports);
   perf_.AccountReport();
@@ -173,11 +211,74 @@ void FeNic::OnMgpv(const MgpvReport& report) {
       sink_->OnFeatureVector(std::move(vector));
     }
   }
-  if (local_.cycles_feature != nullptr) {
-    local_.cycles_feature->delta += obs::ReadCycles() - cycles_start;
+}
+
+void FeNic::ProcessBatchLocked(const MgpvReport* reports, size_t count) {
+  size_t total_cells = 0;
+  for (size_t r = 0; r < count; ++r) {
+    const MgpvReport& report = reports[r];
+    stats_.reports++;
+    obs::Inc(local_.reports);
+    perf_.AccountReport();
+    if (!report.cells.empty()) {
+      EvictIdleGroupsLocked(report.cells.back().full_timestamp_ns);
+    }
+    total_cells += report.cells.size();
   }
-  // Cells count as packets for the auto-flush cadence.
-  block_.NotePackets(report.cells.size());
+  if (total_cells == 0) {
+    return;
+  }
+  stats_.cells += total_cells;
+  obs::Inc(local_.cells, total_cells);
+
+  batch_.Assemble(reports, count);
+
+  // Walk each granularity's contiguous runs of the sorted batch: one table
+  // access and one bulk UpdateGroupBatch per (group, run) instead of per
+  // cell. The coarse-granularity hash is still reusable from the switch
+  // (one per CG run), mirroring the per-cell reuse_switch_hash credit.
+  const auto& grans = compiled_.nic_program.granularities;
+  const Granularity cg = reports[0].cg_key.granularity;
+  uint64_t runs_total = 0;
+  uint64_t cg_runs = 0;
+  uint64_t dram_runs = 0;
+  for (size_t gi = 0; gi < grans.size(); ++gi) {
+    const int prefix = PacketBatchSoA::KeyPrefixBytes(grans[gi]);
+    batch_.SortByPrefix(prefix);
+    size_t begin = 0;
+    while (begin < total_cells) {
+      size_t end = begin + 1;
+      while (end < total_cells && batch_.SamePrefix(begin, end, prefix)) {
+        ++end;
+      }
+      const MgpvCell& first = *batch_.cells[begin];
+      const GroupKey key = GroupKey::FromFgTuple(first.fg_tuple, grans[gi]);
+      const uint32_t hash = key.Hash();
+      bool via_dram = false;
+      GroupState& group = tables_[gi]->FindOrCreate(
+          key, hash, [&] { return GroupState::Make(plan_, gi, config_.exec); }, via_dram);
+      if (via_dram) {
+        stats_.dram_detours++;
+        obs::Inc(local_.dram_detours);
+        ++dram_runs;
+      }
+      UpdateGroupBatch(plan_, gi, group, batch_, begin, end);
+      ++runs_total;
+      if (grans[gi] == cg) {
+        ++cg_runs;
+      }
+      begin = end;
+    }
+  }
+
+  BatchWork work;
+  work.per_cell = base_cell_work_;
+  work.cells = total_cells;
+  work.runs = runs_total;
+  work.cg_runs = cg_runs;
+  work.dram_runs = dram_runs;
+  work.granularities = static_cast<uint32_t>(grans.size());
+  perf_.AccountBatch(work);
 }
 
 void FeNic::EmitVector(const GroupKey& unit_key, const GroupState& unit_group) {

@@ -36,6 +36,12 @@ struct FeNicConfig {
   NicOptimizations optimizations = NicOptimizations::All();
   ExecOptions exec;
 
+  // SoA batch execution path: sort each worker batch by FG key and apply
+  // per-group runs as bulk reducer calls (UpdateGroupBatch). Identical
+  // output under the exactness contract in streaming/batch.h; disable to
+  // fall back to the per-cell scalar path (--no-batch-kernels).
+  bool batch_kernels = true;
+
   uint32_t group_table_indices = 16384;
   uint32_t group_table_width = 4;
 
@@ -91,6 +97,13 @@ class FeNic : public MgpvSink {
   void OnMgpv(const MgpvReport& report) override;
   void OnFgSync(const FgSyncMessage& sync) override;
 
+  // Batch entry point: processes `count` reports in one locked pass. With
+  // batch kernels enabled (and batch-mode collection) the reports' cells
+  // are assembled into one PacketBatchSoA, so group runs span report
+  // boundaries; otherwise equivalent to count OnMgpv calls. The NicCluster
+  // worker feeds its whole dequeued batch here.
+  void OnMgpvBatch(const MgpvReport* reports, size_t count);
+
   // Emits feature vectors for all live groups of the collect unit and
   // clears state (end of run).
   void Flush();
@@ -137,6 +150,13 @@ class FeNic : public MgpvSink {
   // Unlocked implementations; callers hold mu_.
   void EvictIdleGroupsLocked(uint64_t now_ns);
 
+  // Routes reports to the batch or scalar path (per config/collect mode).
+  void ProcessReportsLocked(const MgpvReport* reports, size_t count);
+  // Per-cell reference path (also serves per-packet collect policies).
+  void ProcessReportScalarLocked(const MgpvReport& report);
+  // SoA path: assemble, sort, and apply per-group runs as bulk calls.
+  void ProcessBatchLocked(const MgpvReport* reports, size_t count);
+
   // Builds and emits a feature vector for the collect-unit group `unit`.
   // Coarser/finer sibling groups are located via the group's last FG tuple.
   void EmitVector(const GroupKey& unit_key, const GroupState& unit_group);
@@ -173,6 +193,9 @@ class FeNic : public MgpvSink {
 
   // One group table per granularity in the chain.
   std::vector<std::unique_ptr<GroupTable<GroupState>>> tables_;
+
+  // Reusable SoA view for the batch path (guarded by mu_ like all state).
+  PacketBatchSoA batch_;
 
   // Precomputed per-cell work (placement-aware); DRAM detours are added
   // dynamically.

@@ -253,9 +253,9 @@ void NicCluster::WorkerLoop(size_t index) {
         span.SetArg("reports", msg.reports.size());
         obs::TraceClock* clock = options_.latency_clock;
         if (clock == nullptr) {
-          for (const auto& report : msg.reports) {
-            nic.OnMgpv(report);
-          }
+          // One locked pass over the whole dequeued batch: with batch
+          // kernels on, group runs span report boundaries (SoA path).
+          nic.OnMgpvBatch(msg.reports.data(), msg.reports.size());
           block.NotePackets(msg.reports.size());
           block.Flush();  // Per-batch flush: the hot tier's defining cadence.
           break;

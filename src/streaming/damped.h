@@ -18,6 +18,7 @@
 #ifndef SUPERFE_STREAMING_DAMPED_H_
 #define SUPERFE_STREAMING_DAMPED_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace superfe {
@@ -38,6 +39,8 @@ class DampedStats {
 
   // Inserts value x observed at time t (seconds).
   void Add(double x, double t_seconds);
+  // Bulk insert of n (value, time) pairs; bit-identical to n scalar Adds.
+  void AddBatch(const double* x, const double* t_seconds, size_t n);
 
   // Decays state to time t without inserting.
   void DecayTo(double t_seconds);
@@ -89,6 +92,10 @@ class DampedStats2D {
   // the other stream's current mean (Kitsune's incStat2D update).
   void AddA(double x, double t_seconds);
   void AddB(double x, double t_seconds);
+  // Bulk insert: dir_sign[i] >= 0 routes to AddA, < 0 to AddB (matching the
+  // exec direction-sign column); bit-identical to n scalar adds.
+  void AddBatch(const double* x, const double* t_seconds,
+                const double* dir_sign, size_t n);
 
   const DampedStats& a() const { return a_; }
   const DampedStats& b() const { return b_; }

@@ -4,6 +4,7 @@
 #ifndef SUPERFE_STREAMING_HISTOGRAM_H_
 #define SUPERFE_STREAMING_HISTOGRAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,9 @@ class FixedHistogram {
   FixedHistogram(double width, int bins);
 
   void Add(double x);
+  // Bulk insert; bin-identical to n scalar Adds for all inputs on which
+  // Add() is well defined (the division and truncation are exact).
+  void AddBatch(const double* v, size_t n);
 
   uint64_t total() const { return total_; }
   int bins() const { return static_cast<int>(counts_.size()); }

@@ -27,6 +27,11 @@ class HyperLogLog {
   void Add(const void* data, size_t length);
   void AddU64(uint64_t value);
 
+  // Bulk inserts, register-identical to elementwise Add calls (the register
+  // max is order-independent); AddU64Batch vectorizes the Mix64 hashing.
+  void AddHashBatch(const uint32_t* hashes, size_t n);
+  void AddU64Batch(const uint64_t* values, size_t n);
+
   // Bias-corrected cardinality estimate.
   double Estimate() const;
 

@@ -1,0 +1,62 @@
+#include "streaming/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace superfe {
+namespace {
+
+SimdLevel DetectSimdLevel() {
+#if defined(SUPERFE_DISABLE_SIMD)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__)
+  const char* env = std::getenv("SUPERFE_NO_SIMD");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    return SimdLevel::kScalar;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdLevel::kAvx2;
+  }
+  return SimdLevel::kSse2;  // SSE2 is part of the x86_64 baseline.
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+// -1 = not yet detected; otherwise holds a SimdLevel.
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(DetectSimdLevel());
+    // Racing first calls all compute the same value; last store wins.
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+void ForceSimdLevelForTest(SimdLevel level) {
+  const SimdLevel detected = DetectSimdLevel();
+  if (static_cast<int>(level) > static_cast<int>(detected)) {
+    level = detected;
+  }
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace superfe

@@ -4,6 +4,7 @@
 #ifndef SUPERFE_STREAMING_WELFORD_H_
 #define SUPERFE_STREAMING_WELFORD_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace superfe {
@@ -12,6 +13,11 @@ namespace superfe {
 class WelfordStats {
  public:
   void Add(double x);
+  // Bulk insert: two-pass chunk statistics merged with Chan's formulas
+  // (vectorized, see streaming/batch.h). Result can differ from n scalar
+  // Adds in the last few ULPs; `compensated` uses Neumaier summation to
+  // close most of that gap at scalar speed.
+  void AddBatch(const double* v, size_t n, bool compensated = false);
 
   uint64_t count() const { return n_; }
   double mean() const { return mean_; }
@@ -37,6 +43,11 @@ class WelfordStats {
 class NicWelfordStats {
  public:
   void Add(int64_t x);
+  // Bulk insert, bit-identical to n scalar Adds (the integer residue drain
+  // is order-dependent by construction); amortizes reducer dispatch.
+  void AddBatch(const int64_t* v, size_t n);
+  // Same, rounding each double with llround first (the exec-path coercion).
+  void AddBatchRounded(const double* v, size_t n);
 
   uint64_t count() const { return n_; }
   double mean() const { return static_cast<double>(mean_); }

@@ -11,8 +11,8 @@
 namespace superfe {
 namespace {
 
-const ExecOptions kExact{/*nic_arithmetic=*/false, {}};
-const ExecOptions kNic{/*nic_arithmetic=*/true, {}};
+const ExecOptions kExact = [] { ExecOptions o; o.nic_arithmetic = false; return o; }();
+const ExecOptions kNic = [] { ExecOptions o; o.nic_arithmetic = true; return o; }();
 
 MgpvCell Cell(double size, uint64_t ts_ns, Direction dir = Direction::kForward) {
   MgpvCell cell;

@@ -10,10 +10,12 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "streaming/batch.h"
 #include "streaming/damped.h"
 #include "streaming/histogram.h"
 #include "streaming/hyperloglog.h"
 #include "streaming/moments.h"
+#include "streaming/simd.h"
 #include "streaming/welford.h"
 
 namespace superfe {
@@ -181,6 +183,207 @@ TEST_P(SeededTest, CovarianceSymmetry) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ---------------------------------------------------------------------------
+// Batch (AddBatch) kernels: exactness contract of streaming/batch.h.
+// Integer / fixed-point kernels are bit-identical to the scalar loop at any
+// split; double-summing kernels carry a documented ULP bound because the
+// 4-lane accumulation order differs from the sequential loop.
+
+// Relative ULP-bound for the double Welford/moments chunk merges (Chan /
+// Pébay): benign inputs at these sizes stay far inside 1e-12 relative.
+constexpr double kBatchRelBound = 1e-12;
+
+TEST_P(SeededTest, NicWelfordBatchSplitsAreBitExact) {
+  Rng rng(GetParam() ^ 0xb1);
+  std::vector<int64_t> xs(2000);
+  for (auto& x : xs) {
+    x = 64 + static_cast<int64_t>(rng.UniformU64(1450));
+  }
+  NicWelfordStats scalar;
+  for (int64_t x : xs) {
+    scalar.Add(x);
+  }
+  const size_t split = rng.UniformU64(xs.size() + 1);
+  NicWelfordStats batch;
+  batch.AddBatch(xs.data(), split);
+  batch.AddBatch(xs.data() + split, xs.size() - split);
+  EXPECT_EQ(batch.count(), scalar.count());
+  EXPECT_EQ(batch.mean(), scalar.mean());
+  EXPECT_EQ(batch.variance(), scalar.variance());
+}
+
+TEST_P(SeededTest, FixedPointDampedBatchIsBitExact) {
+  Rng rng(GetParam() ^ 0xb2);
+  std::vector<double> xs(1500), ts(1500);
+  double t = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.UniformDouble(64, 1500);
+    t += rng.UniformDouble(0.0001, 0.02);
+    ts[i] = t;
+  }
+  DampedStats scalar(1.0, DampedMode::kNicFixedPoint);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    scalar.Add(xs[i], ts[i]);
+  }
+  const size_t split = rng.UniformU64(xs.size() + 1);
+  DampedStats batch(1.0, DampedMode::kNicFixedPoint);
+  batch.AddBatch(xs.data(), ts.data(), split);
+  batch.AddBatch(xs.data() + split, ts.data() + split, xs.size() - split);
+  EXPECT_EQ(batch.weight(), scalar.weight());
+  EXPECT_EQ(batch.mean(), scalar.mean());
+  EXPECT_EQ(batch.variance(), scalar.variance());
+}
+
+TEST_P(SeededTest, HllBatchSplitsAreBitExact) {
+  Rng rng(GetParam() ^ 0xb3);
+  std::vector<uint64_t> vs(3000);
+  for (auto& v : vs) {
+    v = rng.NextU64();
+  }
+  HyperLogLog scalar(10);
+  for (uint64_t v : vs) {
+    scalar.AddU64(v);
+  }
+  const size_t split = rng.UniformU64(vs.size() + 1);
+  HyperLogLog batch(10);
+  batch.AddU64Batch(vs.data(), split);
+  batch.AddU64Batch(vs.data() + split, vs.size() - split);
+  EXPECT_EQ(batch.Estimate(), scalar.Estimate());
+}
+
+TEST_P(SeededTest, HistogramBatchSplitsAreBitExact) {
+  Rng rng(GetParam() ^ 0xb4);
+  std::vector<double> xs(2500);
+  for (auto& x : xs) {
+    x = rng.UniformDouble(-100, 10000);
+  }
+  FixedHistogram scalar(25.0, 32);
+  for (double x : xs) {
+    scalar.Add(x);
+  }
+  const size_t split = rng.UniformU64(xs.size() + 1);
+  FixedHistogram batch(25.0, 32);
+  batch.AddBatch(xs.data(), split);
+  batch.AddBatch(xs.data() + split, xs.size() - split);
+  EXPECT_EQ(batch.total(), scalar.total());
+  for (int b = 0; b < scalar.bins(); ++b) {
+    EXPECT_EQ(batch.count(b), scalar.count(b)) << "bin " << b;
+  }
+}
+
+TEST_P(SeededTest, WelfordBatchSplitsWithinUlpBound) {
+  Rng rng(GetParam() ^ 0xb5);
+  std::vector<double> xs(4000);
+  for (auto& x : xs) {
+    x = rng.UniformDouble(40, 1500);
+  }
+  WelfordStats scalar;
+  for (double x : xs) {
+    scalar.Add(x);
+  }
+  const size_t split = rng.UniformU64(xs.size() + 1);
+  WelfordStats batch;
+  batch.AddBatch(xs.data(), split);
+  batch.AddBatch(xs.data() + split, xs.size() - split);
+  EXPECT_EQ(batch.count(), scalar.count());
+  EXPECT_NEAR(batch.mean(), scalar.mean(), std::fabs(scalar.mean()) * kBatchRelBound);
+  EXPECT_NEAR(batch.variance(), scalar.variance(), scalar.variance() * kBatchRelBound);
+
+  // The Neumaier-compensated path obeys the same bound (it is tighter in
+  // the sum itself; the Chan chunk merge dominates the residual).
+  WelfordStats comp;
+  comp.AddBatch(xs.data(), split, /*compensated=*/true);
+  comp.AddBatch(xs.data() + split, xs.size() - split, /*compensated=*/true);
+  EXPECT_NEAR(comp.mean(), scalar.mean(), std::fabs(scalar.mean()) * kBatchRelBound);
+  EXPECT_NEAR(comp.variance(), scalar.variance(), scalar.variance() * kBatchRelBound);
+}
+
+TEST_P(SeededTest, MomentsBatchSplitsWithinUlpBound) {
+  Rng rng(GetParam() ^ 0xb6);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) {
+    x = rng.LogNormal(4.0, 1.0);
+  }
+  StreamingMoments scalar;
+  for (double x : xs) {
+    scalar.Add(x);
+  }
+  const size_t split = rng.UniformU64(xs.size() + 1);
+  StreamingMoments batch;
+  batch.AddBatch(xs.data(), split);
+  batch.AddBatch(xs.data() + split, xs.size() - split);
+  EXPECT_NEAR(batch.mean(), scalar.mean(), std::fabs(scalar.mean()) * 1e-10);
+  EXPECT_NEAR(batch.variance(), scalar.variance(), scalar.variance() * 1e-10);
+  EXPECT_NEAR(batch.skewness(), scalar.skewness(), std::fabs(scalar.skewness()) * 1e-6 + 1e-9);
+  EXPECT_NEAR(batch.kurtosis(), scalar.kurtosis(), std::fabs(scalar.kurtosis()) * 1e-6 + 1e-9);
+}
+
+TEST(BatchKernelTest, Log2BucketMatchesScalarAtBoundaries) {
+  // The bit-trick bucketer must agree with the mathematical definition,
+  // including exactly at power-of-two boundaries where std::log2 rounding
+  // misbuckets.
+  std::vector<double> vs = {0.0, -3.0, 0.5, 0.999999, 1.0, 1.5, 2.0,
+                            3.0, 4.0, 1023.0, 1024.0, 1025.0,
+                            2147483648.0, 1e300};
+  std::vector<int32_t> batch(vs.size());
+  batchkern::Log2BucketBatch(vs.data(), vs.size(), batch.data());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    const double v = vs[i];
+    int expected = 0;
+    if (v >= 1.0) {
+      expected = std::min(31, static_cast<int>(std::floor(std::log2(v))) + 1);
+    }
+    EXPECT_EQ(batchkern::Log2Bucket(v), expected) << "v=" << v;
+    EXPECT_EQ(batch[i], expected) << "v=" << v;
+  }
+}
+
+TEST_P(SeededTest, SimdFallbackIsBitIdentical) {
+  // The 4-virtual-lane contract: the scalar fallback and the detected SIMD
+  // level must produce bit-identical results for every primitive. On a
+  // non-SIMD build/host both passes run scalar and the test is vacuous but
+  // still true.
+  Rng rng(GetParam() ^ 0xb7);
+  std::vector<double> xs(1021);  // Odd size exercises the tail handling.
+  std::vector<uint64_t> us(1021);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.UniformDouble(-10, 5000);
+    us[i] = rng.NextU64();
+  }
+  struct Outputs {
+    double sum, m2, m3, m4, lo, hi;
+    std::vector<int32_t> buckets;
+    std::vector<uint32_t> hashes;
+  };
+  const auto run = [&](SimdLevel level) {
+    ForceSimdLevelForTest(level);
+    Outputs o;
+    o.sum = batchkern::Sum(xs.data(), xs.size());
+    batchkern::CentralPowers(xs.data(), xs.size(), 700.0, /*compensated=*/false,
+                             &o.m2, &o.m3, &o.m4);
+    o.lo = xs[0];
+    o.hi = xs[0];
+    batchkern::MinMax(xs.data(), xs.size(), &o.lo, &o.hi);
+    o.buckets.resize(xs.size());
+    batchkern::Log2BucketBatch(xs.data(), xs.size(), o.buckets.data());
+    o.hashes.resize(us.size());
+    batchkern::HashU64Batch(us.data(), us.size(), o.hashes.data());
+    return o;
+  };
+  const SimdLevel detected = ActiveSimdLevel();
+  const Outputs simd = run(detected);
+  const Outputs scalar = run(SimdLevel::kScalar);
+  ForceSimdLevelForTest(detected);  // Restore for other tests.
+  EXPECT_EQ(simd.sum, scalar.sum);
+  EXPECT_EQ(simd.m2, scalar.m2);
+  EXPECT_EQ(simd.m3, scalar.m3);
+  EXPECT_EQ(simd.m4, scalar.m4);
+  EXPECT_EQ(simd.lo, scalar.lo);
+  EXPECT_EQ(simd.hi, scalar.hi);
+  EXPECT_EQ(simd.buckets, scalar.buckets);
+  EXPECT_EQ(simd.hashes, scalar.hashes);
+}
 
 TEST(DampedModeTest, ExactDoubleLsSsEqualsWelfordForm) {
   // The two internal representations are mathematically identical; in

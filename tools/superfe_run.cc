@@ -68,7 +68,11 @@ int Usage() {
                "                   [--fault-plan FILE]    deterministic fault plan\n"
                "                                          (docs/ROBUSTNESS.md format)\n"
                "                   [--flush-timeout-ms N] cluster flush/join deadline\n"
-               "                   [--watchdog-ms N]      worker stall watchdog timeout\n");
+               "                   [--watchdog-ms N]      worker stall watchdog timeout\n"
+               "                   [--no-batch-kernels]   per-cell scalar execution (skip\n"
+               "                                          the SoA batch feature kernels)\n"
+               "                   [--compensated-batch]  Neumaier-compensated batch sums\n"
+               "                                          for double-valued reducers\n");
   return 2;
 }
 
@@ -199,6 +203,8 @@ int main(int argc, char** argv) {
   std::string fault_plan_path;
   uint64_t flush_timeout_ms = 0;
   uint32_t watchdog_ms = 0;
+  bool no_batch_kernels = false;
+  bool compensated_batch = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
       pcap_path = argv[++i];
@@ -244,6 +250,10 @@ int main(int argc, char** argv) {
       flush_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
       watchdog_ms = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-batch-kernels") == 0) {
+      no_batch_kernels = true;
+    } else if (std::strcmp(argv[i], "--compensated-batch") == 0) {
+      compensated_batch = true;
     } else {
       return Usage();
     }
@@ -325,6 +335,8 @@ int main(int argc, char** argv) {
     }
     config.fault.plan = std::move(plan).value();
   }
+  config.nic.batch_kernels = !no_batch_kernels;
+  config.nic.exec.compensated_batch = compensated_batch;
   config.fault.flush_timeout_ms = flush_timeout_ms;
   if (watchdog_ms > 0) {
     // Poll a few times per timeout so a stall is caught promptly.
