@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace superfe {
@@ -28,6 +29,38 @@ sockaddr_in LoopbackAddr(uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   return addr;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// poll() with EINTR retry against the original deadline. A negative
+// timeout means "wait forever" (retries keep the infinite wait).
+int PollRetry(pollfd* pfd, int timeout_ms) {
+  if (timeout_ms < 0) {
+    for (;;) {
+      const int ready = ::poll(pfd, 1, -1);
+      if (ready >= 0 || errno != EINTR) {
+        return ready;
+      }
+    }
+  }
+  const int64_t deadline = NowMs() + timeout_ms;
+  int remaining = timeout_ms;
+  for (;;) {
+    const int ready = ::poll(pfd, 1, remaining);
+    if (ready >= 0 || errno != EINTR) {
+      return ready;
+    }
+    const int64_t left = deadline - NowMs();
+    if (left <= 0) {
+      return 0;  // Deadline consumed by interruptions: report timeout.
+    }
+    remaining = static_cast<int>(left);
+  }
 }
 
 }  // namespace
@@ -97,16 +130,27 @@ int TcpListener::AcceptWithTimeout(int timeout_ms, int io_timeout_ms) const {
   pfd.fd = fd_;
   pfd.events = POLLIN;
   pfd.revents = 0;
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  const int ready = PollRetry(&pfd, timeout_ms);
   if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
     return -1;
   }
-  const int conn = ::accept(fd_, nullptr, nullptr);
-  if (conn < 0) {
-    return -1;
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      SetIoTimeouts(conn, io_timeout_ms);
+      return conn;
+    }
+    // A connection that was reset while queued (ECONNABORTED) or a signal
+    // mid-accept should not cost the caller its poll-confirmed readiness.
+    if (errno != EINTR && errno != ECONNABORTED) {
+      return -1;
+    }
+    if (errno == ECONNABORTED) {
+      // The aborted connection consumed the readiness; treat as timeout
+      // and let the caller's accept loop come around again.
+      return -1;
+    }
   }
-  SetIoTimeouts(conn, io_timeout_ms);
-  return conn;
 }
 
 int TcpConnect(uint16_t port, int io_timeout_ms) {
@@ -117,10 +161,35 @@ int TcpConnect(uint16_t port, int io_timeout_ms) {
   SetIoTimeouts(fd, io_timeout_ms);
   sockaddr_in addr = LoopbackAddr(port);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
+    if (errno != EINTR) {
+      ::close(fd);
+      return -1;
+    }
+    // Interrupted connect keeps completing in the background; wait for
+    // writability and read the final disposition from SO_ERROR.
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int ready = PollRetry(&pfd, io_timeout_ms > 0 ? io_timeout_ms : -1);
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (ready <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      ::close(fd);
+      return -1;
+    }
   }
   return fd;
+}
+
+ssize_t RecvSome(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
 }
 
 bool RecvUntil(int fd, std::string* buf, std::string_view terminator, size_t max_bytes) {
@@ -129,7 +198,7 @@ bool RecvUntil(int fd, std::string* buf, std::string_view terminator, size_t max
     if (buf->size() >= max_bytes) {
       return false;
     }
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
     if (n <= 0) {
       return false;  // EOF, timeout, or error before the terminator.
     }
@@ -141,7 +210,7 @@ bool RecvUntil(int fd, std::string* buf, std::string_view terminator, size_t max
 bool RecvAll(int fd, std::string* buf, size_t max_bytes) {
   char chunk[4096];
   while (buf->size() < max_bytes) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
     if (n == 0) {
       return true;  // Orderly EOF.
     }
@@ -158,6 +227,9 @@ bool SendAll(int fd, std::string_view data) {
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
       return false;
     }
@@ -169,6 +241,58 @@ bool SendAll(int fd, std::string_view data) {
 void CloseFd(int fd) {
   if (fd >= 0) {
     ::close(fd);
+  }
+}
+
+int UdpBind(uint16_t port, int io_timeout_ms, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  SetIoTimeouts(fd, io_timeout_ms);
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int UdpConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+ssize_t RecvDatagram(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0) {
+      return n;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return 0;  // SO_RCVTIMEO expired with no datagram: idle, not error.
+    }
+    return -1;
   }
 }
 

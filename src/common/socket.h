@@ -1,11 +1,19 @@
-// Minimal blocking TCP helpers for the embedded telemetry server
-// (src/obs/telemetry_server.h) and its tests/bench scrape clients. POSIX
-// sockets only, loopback-oriented: Listen() binds 127.0.0.1 so the
-// telemetry plane is never reachable off-host by default. No framing, no
-// TLS, no event loop — the server's single listener thread and the
-// clients' one-shot GETs are all this needs.
+// Minimal blocking TCP/UDP helpers for the embedded telemetry server
+// (src/obs/telemetry_server.h), the daemon's socket ingest source
+// (src/net/ingest.h), and their tests/bench clients. POSIX sockets only,
+// loopback-oriented: Listen()/UdpBind() bind 127.0.0.1 so neither the
+// telemetry plane nor the ingest plane is reachable off-host by default.
+// No TLS, no event loop — single-threaded blocking calls with timeouts.
+//
+// All helpers are EINTR-safe: interrupted syscalls are retried with the
+// poll deadline recomputed, so a SIGTERM/SIGINT landing on a serving or
+// ingesting thread never surfaces as a spurious I/O failure. Sends use
+// MSG_NOSIGNAL so a peer that vanished mid-write yields EPIPE instead of
+// killing the process.
 #ifndef SUPERFE_COMMON_SOCKET_H_
 #define SUPERFE_COMMON_SOCKET_H_
+
+#include <sys/types.h>
 
 #include <cstdint>
 #include <string>
@@ -33,7 +41,9 @@ class TcpListener {
   // connected fd, or -1 on timeout / transient error (callers poll a stop
   // flag between calls). The accepted fd has `io_timeout_ms` applied as
   // both SO_RCVTIMEO and SO_SNDTIMEO so a stuck peer cannot wedge the
-  // serving thread.
+  // serving thread. EINTR during the poll or the accept is retried within
+  // the original deadline; ECONNABORTED (peer gave up while queued) is
+  // retried too.
   int AcceptWithTimeout(int timeout_ms, int io_timeout_ms) const;
 
   bool valid() const { return fd_ >= 0; }
@@ -46,8 +56,14 @@ class TcpListener {
 };
 
 // Connects to 127.0.0.1:`port` with send/recv timeouts; returns the fd or
-// -1 on failure.
+// -1 on failure. An EINTR-interrupted connect is completed via
+// poll(POLLOUT) + SO_ERROR rather than failed.
 int TcpConnect(uint16_t port, int io_timeout_ms);
+
+// One recv() with EINTR retry. Returns >0 (bytes read), 0 (orderly EOF),
+// or -1 (error; errno EAGAIN/EWOULDBLOCK means the fd's SO_RCVTIMEO
+// expired with no data — callers treat that as "idle", not failure).
+ssize_t RecvSome(int fd, void* buf, size_t len);
 
 // Appends to `*buf` until `terminator` appears in it, `max_bytes` total
 // accumulate, or the peer closes. Returns true iff the terminator was seen.
@@ -57,9 +73,25 @@ bool RecvUntil(int fd, std::string* buf, std::string_view terminator, size_t max
 // read error before EOF.
 bool RecvAll(int fd, std::string* buf, size_t max_bytes);
 
+// Writes all of `data`, retrying partial sends and EINTR. MSG_NOSIGNAL
+// keeps a dead peer from raising SIGPIPE. Returns false on error/timeout.
 bool SendAll(int fd, std::string_view data);
 
 void CloseFd(int fd);
+
+// A bound UDP socket on 127.0.0.1:`port` (0 = ephemeral) with SO_RCVTIMEO
+// applied; the bound port is written to `*bound_port` when non-null.
+// Returns the fd or -1 on failure.
+int UdpBind(uint16_t port, int io_timeout_ms, uint16_t* bound_port);
+
+// A UDP socket connected to 127.0.0.1:`port` (send-only client side of
+// the ingest path); returns the fd or -1 on failure.
+int UdpConnect(uint16_t port);
+
+// One datagram with EINTR retry. Returns >0 (datagram length, truncated to
+// `len` if the sender exceeded it), 0 (SO_RCVTIMEO expired — idle), or -1
+// (error).
+ssize_t RecvDatagram(int fd, void* buf, size_t len);
 
 // One-shot HTTP/1.1 GET against 127.0.0.1:`port`; returns the raw response
 // (status line + headers + body), or "" on any failure. Client side of the

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "common/build_info.h"
 #include "common/json_writer.h"
@@ -331,8 +332,9 @@ SuperFeRuntime::SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& con
 
 SuperFeRuntime::~SuperFeRuntime() = default;
 
-RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
-  forwarding_->set_target(sink);
+void SuperFeRuntime::SetSinkTarget(FeatureSink* sink) { forwarding_->set_target(sink); }
+
+void SuperFeRuntime::BeginRunTelemetry() {
   run_active_.store(true, std::memory_order_relaxed);
   run_start_unix_ms_.store(
       static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -364,24 +366,40 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
         metrics_.get(), config_.obs.sample_interval_ms, std::move(hook));
     sampler_->Start();
   }
-  if (injector_ != nullptr) {
+}
+
+void SuperFeRuntime::ResolveFaultTriggers(const Trace* trace) {
+  if (injector_ == nullptr) {
+    return;
+  }
+  if (trace == nullptr || trace->packets().empty()) {
+    // No packet axis to resolve against: packet-indexed triggers never fire
+    // (ResolvePacketTriggers(0, ...) marks them all unreachable).
+    injector_->ResolvePacketTriggers(0, [](uint64_t) { return uint64_t{0}; });
+  } else {
     // Resolve at_packet triggers to trace time with the replayer's own
     // arithmetic (post-speedup, replica-interleaved), so packet-count and
     // trace-time trigger points live on one deterministic axis.
-    const auto& packets = trace.packets();
+    const auto& packets = trace->packets();
     const uint32_t amp = std::max<uint32_t>(config_.replay.amplification, 1);
     const double speedup = config_.replay.speedup > 0.0 ? config_.replay.speedup : 1.0;
-    const uint64_t base_ts = packets.empty() ? 0 : packets.front().timestamp_ns;
+    const uint64_t base_ts = packets.front().timestamp_ns;
     injector_->ResolvePacketTriggers(
         static_cast<uint64_t>(packets.size()) * amp, [&](uint64_t id) {
           const uint64_t scaled = static_cast<uint64_t>(
               static_cast<double>(packets[id / amp].timestamp_ns - base_ts) / speedup);
           return scaled + (id % amp) * 8;
         });
-    injector_->BeginRun(
-        static_cast<uint32_t>(cluster_ != nullptr ? cluster_->size() : 1));
   }
-  RunReport report;
+  injector_->BeginRun(
+      static_cast<uint32_t>(cluster_ != nullptr ? cluster_->size() : 1));
+}
+
+RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
+  SetSinkTarget(sink);
+  BeginRunTelemetry();
+  ResolveFaultTriggers(&trace);
+  ReplayReport offered;
   if (sharded_ != nullptr) {
     std::vector<PacketSink*> sinks;
     std::vector<const ReplayObs*> shard_obs;
@@ -393,15 +411,23 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
     for (const ReplayObs& o : shard_replay_obs_) {
       shard_obs.push_back(&o);
     }
-    report.offered =
+    offered =
         ParallelReplay(trace, config_.replay, sinks, shard_obs,
                        [this](const PacketRecord& pkt) { return sharded_->ShardOf(pkt); });
+  } else {
+    offered = Replay(trace, config_.replay, *switch_);
+  }
+  const Status flush_status = FlushPipeline();
+  return FinishRun(offered, flush_status);
+}
+
+Status SuperFeRuntime::FlushPipeline() {
+  if (sharded_ != nullptr) {
     sharded_->Flush();  // After join: replay threads are quiescent.
     for (auto& producer : shard_producers_) {
       producer->Close();  // Push staged batches before the cluster barrier.
     }
   } else {
-    report.offered = Replay(trace, config_.replay, *switch_);
     switch_->Flush();
   }
   Status flush_status = Status::Ok();
@@ -417,14 +443,21 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   }
   if (serial_latency_ != nullptr) {
     // Fold the shim's buffered latency deltas before the sampler's final
-    // capture and the breakdown read below.
+    // capture and the post-run breakdown read.
     serial_latency_->FlushObs();
   }
+  return flush_status;
+}
+
+RunReport SuperFeRuntime::FinishRun(const ReplayReport& offered,
+                                    const Status& flush_status) {
   if (sampler_ != nullptr) {
     sampler_->Stop();
   }
   forwarding_->set_target(nullptr);
 
+  RunReport report;
+  report.offered = offered;
   report.obs.metrics_enabled = metrics_ != nullptr;
   report.obs.trace_enabled = trace_ != nullptr;
   if (trace_ != nullptr) {
@@ -510,6 +543,24 @@ RunReport SuperFeRuntime::Run(const Trace& trace, FeatureSink* sink) {
   runs_completed_.fetch_add(1, std::memory_order_relaxed);
   run_active_.store(false, std::memory_order_relaxed);
   return report;
+}
+
+void SuperFeRuntime::FinishTelemetry(uint64_t linger_ms) {
+  if (sampler_ != nullptr) {
+    // Idempotent; its Stop() already took one post-quiescence capture whose
+    // pre-sample hook folded the terminal window/health epoch — no extra
+    // Tick here, so a scrape during the linger stays byte-identical to a
+    // metrics export written before it.
+    sampler_->Stop();
+  }
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  if (linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  telemetry_self_.store(nullptr, std::memory_order_release);
+  telemetry_->Stop();  // Idempotent; joins the listener thread.
 }
 
 RunReport::LatencyBreakdown SuperFeRuntime::BuildLatencyBreakdown() const {

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -18,6 +19,7 @@
 #include "core/feature_vector.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "net/ingest.h"
 #include "net/replay.h"
 #include "nicsim/fe_nic.h"
 #include "nicsim/nic_cluster.h"
@@ -231,6 +233,89 @@ struct RunReport {
   LatencyBreakdown latency;
 };
 
+// One closed rolling epoch of a daemon run (docs/ROBUSTNESS.md, "Daemon
+// mode"). All cell counts are per-epoch deltas of the cumulative pipeline
+// totals, snapshotted at a quiescent drain barrier — so the reconciliation
+//   cells_offered == cells_processed + cells_shed + cells_lost
+//                    + cells_overflow
+// holds exactly at EVERY epoch boundary, not just at end of run. Packets
+// shed at ingest (overload, before replay) never enter the pipeline and are
+// accounted separately in `ingest_shed_packets`.
+struct DaemonEpoch {
+  uint64_t index = 0;  // 1-based; the final (flush) epoch has final_epoch set.
+  uint64_t packets = 0;  // Replayed this epoch (post-amplification).
+  uint64_t bytes = 0;
+  uint64_t cells_offered = 0;  // MGPV cells evicted toward the NIC side.
+  uint64_t cells_processed = 0;
+  uint64_t cells_shed = 0;            // Fault-injected saturation sheds.
+  uint64_t cells_lost = 0;            // Lost in a crash-detection window.
+  uint64_t cells_overflow = 0;        // Queue-overflow drops (lossy mode).
+  uint64_t vectors = 0;               // Feature vectors emitted this epoch.
+  uint64_t ingest_shed_packets = 0;   // Overload-shed before replay.
+  bool reconciled = true;
+  // Any fault bit this epoch (sheds, losses, crashes, pool failures,
+  // watchdog stalls) — feeds the health machine, one mark per epoch.
+  bool fault_active = false;
+  bool final_epoch = false;  // Closed by the end-of-run flush, not a rotation.
+  double mgpv_occupancy = 0.0;  // Max over shards at the boundary.
+  uint64_t mgpv_epoch = 0;      // Rolling-epoch counter after this boundary.
+  double wall_ms = 0.0;         // Wall-clock span of this epoch.
+};
+
+// Knobs for SuperFeRuntime::RunDaemon. Epoch rotation is an accounting
+// boundary, not a flush: MGPV/NIC state carries across it, so the
+// concatenation of per-epoch feature exports is byte-identical (as a sorted
+// multiset) to a one-shot Run() over the same stream.
+struct DaemonConfig {
+  // Ingest granularity: packets pulled from the PacketSource per chunk.
+  size_t chunk_packets = 8192;
+  // Rotate after this many replayed packets (post-amplification); 0 = no
+  // packet-count rotation.
+  uint64_t epoch_packets = 262144;
+  // Also rotate when an epoch has been open this long (wall ms); 0 = off.
+  // Time rotation fires even while the source is idle.
+  uint64_t epoch_wall_ms = 0;
+  // Stop ingesting after this much wall time / this many closed epochs
+  // (0 = unlimited). The final flush epoch does not count toward max_epochs.
+  uint64_t max_seconds = 0;
+  uint64_t max_epochs = 0;
+  // Signal flag (e.g. set from a SIGTERM handler): nonzero = stop ingesting
+  // and drain. The value is reported as DaemonReport::signal.
+  const std::atomic<int>* stop = nullptr;
+  // Epoch drain-barrier deadline; 0 = the cluster's flush_timeout_ms.
+  uint64_t drain_timeout_ms = 0;
+  // Overload shedding: when > 0 and the streaming backlog reaches this many
+  // chunks, newly ingested chunks are shed whole (counted per epoch and in
+  // DaemonReport::packets_shed_ingest) instead of queued. 0 = lossless
+  // backpressure (ingest blocks on the replay pipeline).
+  size_t shed_backlog_chunks = 0;
+  // Streaming-replay queue bound (chunks in flight per shard).
+  size_t max_chunks_in_flight = 4;
+  // Trace used to resolve at_packet/at_ms fault triggers with the replayer's
+  // arithmetic (pass the first loop of a looped source so trigger times match
+  // a one-shot run exactly). Null = triggers resolve against an empty trace
+  // and packet-indexed triggers never fire.
+  const Trace* fault_trigger_trace = nullptr;
+  // Called synchronously on the ingest thread as each epoch closes (e.g. to
+  // rotate the feature-CSV file). The pipeline is quiescent during the call.
+  std::function<void(const DaemonEpoch&)> on_epoch;
+};
+
+struct DaemonReport {
+  RunReport run;  // End-of-run totals, identical in shape to Run().
+  std::vector<DaemonEpoch> epochs;  // Includes the final flush epoch.
+  bool stopped_by_signal = false;
+  int signal = 0;
+  // Clean drain: the final flush barrier met its deadline and (with a fault
+  // plan armed) the end-of-run accounting reconciled.
+  bool drained = true;
+  bool all_epochs_reconciled = true;
+  uint64_t packets_ingested = 0;      // Pulled from the source (pre-shed).
+  uint64_t packets_shed_ingest = 0;   // Overload-shed, never replayed.
+  IngestStats ingest;                 // The source's own counters.
+  double wall_ms = 0.0;
+};
+
 class SuperFeRuntime {
  public:
   static Result<std::unique_ptr<SuperFeRuntime>> Create(const Policy& policy,
@@ -239,6 +324,26 @@ class SuperFeRuntime {
 
   // Replays the trace through switch + NIC, flushes both, reports.
   RunReport Run(const Trace& trace, FeatureSink* sink);
+
+  // Continuous-operation mode (docs/ROBUSTNESS.md, "Daemon mode"): pulls
+  // chunks from `source` until it ends, a limit hits, or `daemon.stop` is
+  // raised; closes rolling epochs at packet-count/wall-time boundaries with
+  // an exact drain barrier at each one; then flushes and drains exactly like
+  // Run(). Features flow to `sink` throughout (swap files per epoch via
+  // daemon.on_epoch). Call FinishTelemetry() afterwards to wind down the
+  // sampler/telemetry plane in order.
+  DaemonReport RunDaemon(PacketSource& source, FeatureSink* sink,
+                         const DaemonConfig& daemon);
+
+  // Shutdown-ordering helper (and the daemon's final act): stops the sampler
+  // (whose final capture folds the terminal window/health epoch), optionally
+  // lingers with the telemetry endpoint still serving so a scraper can
+  // observe the terminal state, then stops the server — the explicit
+  // drain-then-linger sequence the destructor chain only implies. Idempotent;
+  // safe with telemetry off. No registry mutation happens after the linger
+  // starts, so a scrape in the window matches a prior metrics export byte
+  // for byte.
+  void FinishTelemetry(uint64_t linger_ms);
 
   // Computes the report's throughput fields for an arbitrary core count
   // (Fig 16 sweeps cores without re-running the trace).
@@ -302,6 +407,25 @@ class SuperFeRuntime {
   class SerialLatencySink;
 
   SuperFeRuntime(CompiledPolicy compiled, const RuntimeConfig& config);
+
+  // Run()/RunDaemon() share one lifecycle, decomposed so the daemon can put
+  // epoch boundaries between ingest and the final flush while keeping the
+  // exact one-shot ordering (core/daemon.cc holds the daemon loop):
+  //   SetSinkTarget -> BeginRunTelemetry -> ResolveFaultTriggers ->
+  //   [replay] -> FlushPipeline -> FinishRun.
+  void SetSinkTarget(FeatureSink* sink);
+  void BeginRunTelemetry();
+  // Resolves at_packet fault triggers against `trace` with the replayer's
+  // own arithmetic; null or empty = packet triggers never fire. No-op
+  // without an injector; always calls BeginRun when armed.
+  void ResolveFaultTriggers(const Trace* trace);
+  // End-of-run flush: switch caches, producers, then the NIC side (cluster
+  // flush barrier with deadline, or serial FeNic::Flush), then the serial
+  // latency shim. Returns the barrier status (deadline miss = not-ok).
+  Status FlushPipeline();
+  // Stops the sampler, detaches the sink, and builds the full RunReport
+  // from the quiescent pipeline (including health OnRunComplete).
+  RunReport FinishRun(const ReplayReport& offered, const Status& flush_status);
 
   // Summarizes the superfe_latency_* histograms plus the cost-model cycle
   // attribution. Meaningful after Run(); disabled breakdown otherwise.

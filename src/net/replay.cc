@@ -183,6 +183,135 @@ ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink
   return report;
 }
 
+StreamingReplay::StreamingReplay(const ReplayOptions& options,
+                                 std::vector<PacketSink*> sinks,
+                                 std::vector<const ReplayObs*> shard_obs,
+                                 std::function<uint32_t(const PacketRecord&)> shard_of,
+                                 size_t max_chunks_in_flight)
+    : options_(options),
+      sinks_(std::move(sinks)),
+      shard_obs_(std::move(shard_obs)),
+      shard_of_(std::move(shard_of)),
+      max_queue_(std::max<size_t>(max_chunks_in_flight, 1)),
+      amp_(std::max<uint32_t>(options.amplification, 1)),
+      speedup_(options.speedup > 0.0 ? options.speedup : 1.0),
+      queues_(sinks_.size()),
+      shard_reports_(sinks_.size()) {
+  threads_.reserve(sinks_.size());
+  for (size_t s = 0; s < sinks_.size(); ++s) {
+    threads_.emplace_back([this, s] { ShardLoop(s); });
+  }
+}
+
+StreamingReplay::~StreamingReplay() { Close(); }
+
+void StreamingReplay::Feed(std::vector<PacketRecord> chunk) {
+  if (chunk.empty() || sinks_.empty()) {
+    return;
+  }
+  if (!base_ts_set_) {
+    base_ts_ = chunk.front().timestamp_ns;
+    base_ts_set_ = true;
+  }
+  // Partition on the feeder thread: route each replica on its rewritten
+  // tuple — the same tuple the switch shard will hash — so amplification
+  // cannot alias groups across shards. Ids are chunk-local; the chunk's
+  // packets travel with them via shared_ptr so shards never index into
+  // feeder-owned storage.
+  const size_t shards = sinks_.size();
+  std::vector<std::vector<uint64_t>> ids(shards);
+  for (size_t index = 0; index < chunk.size(); ++index) {
+    for (uint32_t replica = 0; replica < amp_; ++replica) {
+      const PacketRecord pkt = MakeReplica(chunk[index], replica, base_ts_, speedup_);
+      const uint32_t target = shard_of_(pkt) % static_cast<uint32_t>(shards);
+      ids[target].push_back(static_cast<uint64_t>(index) * amp_ + replica);
+    }
+  }
+  auto shared =
+      std::make_shared<const std::vector<PacketRecord>>(std::move(chunk));
+  std::unique_lock<std::mutex> lock(mu_);
+  packets_fed_ += shared->size() * amp_;
+  for (size_t s = 0; s < shards; ++s) {
+    if (ids[s].empty()) {
+      continue;
+    }
+    space_cv_.wait(lock, [&] { return queues_[s].size() < max_queue_; });
+    queues_[s].push_back(Work{shared, std::move(ids[s])});
+    ++in_flight_;
+    work_cv_.notify_all();
+  }
+}
+
+void StreamingReplay::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void StreamingReplay::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    closing_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+ReplayReport StreamingReplay::Report() const {
+  ReplayReport report;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard_report : shard_reports_) {
+    report.MergeFrom(shard_report);
+  }
+  report.FinalizeRates();
+  return report;
+}
+
+uint64_t StreamingReplay::packets_fed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return packets_fed_;
+}
+
+size_t StreamingReplay::Backlog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void StreamingReplay::ShardLoop(size_t s) {
+  if (options_.pin_threads) {
+    PinCurrentThreadToCpu(static_cast<uint32_t>(s));
+  }
+  const ReplayObs* obs = s < shard_obs_.size() ? shard_obs_[s] : nullptr;
+  // One chunk-obs for the thread's lifetime, so counter flush cadence spans
+  // work items exactly as the one-shot per-shard loop did.
+  ReplayChunkObs chunk_obs(obs);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return !queues_[s].empty() || closing_; });
+    if (queues_[s].empty()) {
+      return;  // closing_ and fully drained (the predicate admits work first).
+    }
+    Work work = std::move(queues_[s].front());
+    queues_[s].pop_front();
+    space_cv_.notify_all();
+    lock.unlock();
+    const auto& packets = *work.chunk;
+    for (const uint64_t id : work.ids) {
+      const PacketRecord pkt = MakeReplica(
+          packets[id / amp_], static_cast<uint32_t>(id % amp_), base_ts_, speedup_);
+      DeliverReplica(pkt, obs, *sinks_[s], chunk_obs, shard_reports_[s]);
+    }
+    lock.lock();
+    --in_flight_;
+    space_cv_.notify_all();
+  }
+}
+
 ReplayReport ParallelReplay(const Trace& trace, const ReplayOptions& options,
                             const std::vector<PacketSink*>& sinks,
                             const std::vector<const ReplayObs*>& shard_obs,
@@ -191,51 +320,21 @@ ReplayReport ParallelReplay(const Trace& trace, const ReplayOptions& options,
   if (trace.empty() || sinks.empty()) {
     return report;
   }
-  const uint32_t amp = std::max<uint32_t>(options.amplification, 1);
-  const double speedup = options.speedup > 0.0 ? options.speedup : 1.0;
-  const uint64_t base_ts = trace.packets().front().timestamp_ns;
-  const size_t shards = sinks.size();
-
-  // Partition the (packet, replica) stream by group up front. Each shard's
-  // id list stays in global stream order, so per-group delivery order is
-  // identical to the serial replay (a group never spans shards). Replicas
-  // are routed on their *rewritten* tuples — the same tuples the switch
-  // shard will hash — so amplification cannot alias groups across shards.
-  std::vector<std::vector<uint64_t>> shard_ids(shards);
+  // One-shot wrapper over the streaming pipeline: feed fixed-size chunks so
+  // partitioning overlaps replay and peak partition state is bounded, instead
+  // of the historical full-trace id-list scan (a serial prefix on huge
+  // traces). Record bytes and per-group order are unchanged — same replica
+  // constructor, same base timestamp, same per-shard FIFO order.
+  StreamingReplay stream(options, sinks, shard_obs, shard_of);
+  constexpr size_t kChunkPackets = 16384;
   const auto& packets = trace.packets();
-  for (size_t index = 0; index < packets.size(); ++index) {
-    for (uint32_t replica = 0; replica < amp; ++replica) {
-      const PacketRecord pkt = MakeReplica(packets[index], replica, base_ts, speedup);
-      const uint32_t target = shard_of(pkt) % static_cast<uint32_t>(shards);
-      shard_ids[target].push_back(static_cast<uint64_t>(index) * amp + replica);
-    }
+  for (size_t begin = 0; begin < packets.size(); begin += kChunkPackets) {
+    const size_t end = std::min(packets.size(), begin + kChunkPackets);
+    stream.Feed(std::vector<PacketRecord>(packets.begin() + static_cast<ptrdiff_t>(begin),
+                                          packets.begin() + static_cast<ptrdiff_t>(end)));
   }
-
-  std::vector<ReplayReport> shard_reports(shards);
-  std::vector<std::thread> threads;
-  threads.reserve(shards);
-  for (size_t s = 0; s < shards; ++s) {
-    const ReplayObs* obs = s < shard_obs.size() ? shard_obs[s] : nullptr;
-    threads.emplace_back([&, s, obs] {
-      if (options.pin_threads) {
-        PinCurrentThreadToCpu(static_cast<uint32_t>(s));
-      }
-      ReplayChunkObs chunk_obs(obs);
-      for (const uint64_t id : shard_ids[s]) {
-        const PacketRecord pkt =
-            MakeReplica(packets[id / amp], static_cast<uint32_t>(id % amp), base_ts, speedup);
-        DeliverReplica(pkt, obs, *sinks[s], chunk_obs, shard_reports[s]);
-      }
-    });
-  }
-  for (auto& thread : threads) {
-    thread.join();
-  }
-  for (const auto& shard_report : shard_reports) {
-    report.MergeFrom(shard_report);
-  }
-  report.FinalizeRates();
-  return report;
+  stream.Close();
+  return stream.Report();
 }
 
 }  // namespace superfe

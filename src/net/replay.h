@@ -6,17 +6,24 @@
 // replicating each packet `amplification` times with rewritten source
 // addresses and interleaved timestamps.
 //
-// ParallelReplay() scales the driver: it partitions the (packet, replica)
-// stream across N shards up front with a caller-supplied routing function
-// (the switch's CG-hash), then replays each shard on its own thread. Because
-// the partition is by group, every shard preserves the per-group packet
-// order of the serial replay, and the emitted records are bit-identical to
-// the serial path (both are built by the same replica constructor).
+// StreamingReplay scales the driver without a serial prefix: the feeder
+// thread CG-hash-partitions one bounded chunk at a time into per-shard work
+// queues while shard threads replay previously queued chunks. Because the
+// partition is by group and each shard's queue is FIFO in feed order, every
+// shard preserves the per-group packet order of the serial replay, and the
+// emitted records are bit-identical to the serial path (both are built by
+// the same replica constructor). ParallelReplay() is the one-shot wrapper:
+// it feeds a whole trace through a StreamingReplay in fixed-size chunks.
 #ifndef SUPERFE_NET_REPLAY_H_
 #define SUPERFE_NET_REPLAY_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -114,12 +121,97 @@ struct ReplayReport {
 // Replays `trace` into `sink`; returns offered-load accounting.
 ReplayReport Replay(const Trace& trace, const ReplayOptions& options, PacketSink& sink);
 
-// Replays `trace` into sinks.size() shards, one thread per shard. `shard_of`
-// maps a fully-formed replica record to its shard (must return values in
-// [0, sinks.size()) and be pure — it is called once per record during the
-// up-front partition). `shard_obs` is either empty or one entry per shard
-// (entries may be null); each shard's obs must use a distinct trace/clock
-// lane. Aggregation across shards is exact (integer sums via MergeFrom).
+// Bounded-memory chunked streaming replay across N shard threads.
+//
+// One feeder thread calls Feed() with successive packet chunks; each call
+// partitions the chunk's (packet, replica) stream with `shard_of` (the
+// switch's CG-hash on the *rewritten* replica tuple) and appends per-shard
+// id lists to the shard work queues, blocking when a target queue already
+// holds `max_chunks_in_flight` chunks. Shard threads drain their queues
+// concurrently, so partitioning chunk k overlaps replaying chunk k-1 and
+// peak memory is O(chunks_in_flight × chunk_size) instead of O(trace).
+//
+// Ordering/exactness contract: a group never spans shards, each shard queue
+// is FIFO in feed order, and records are built by the same MakeReplica as
+// the serial path — so per-group delivery order and record bytes are
+// identical to Replay()/the historical up-front partition. The replica
+// timestamp base is the first packet of the first chunk ever fed.
+//
+// Thread contract: Feed/WaitIdle/Close from ONE feeder thread; Report and
+// Backlog from any thread. WaitIdle() blocks until every fed chunk has been
+// fully delivered — the daemon's epoch fence (the mutex edge also makes all
+// shard-side writes visible to the caller). Report() merges shard reports
+// under the lock; its packet/byte counts are exact at any time, but rates
+// are only meaningful at quiescence (after WaitIdle or Close).
+class StreamingReplay {
+ public:
+  StreamingReplay(const ReplayOptions& options, std::vector<PacketSink*> sinks,
+                  std::vector<const ReplayObs*> shard_obs,
+                  std::function<uint32_t(const PacketRecord&)> shard_of,
+                  size_t max_chunks_in_flight = 4);
+  ~StreamingReplay();
+  StreamingReplay(const StreamingReplay&) = delete;
+  StreamingReplay& operator=(const StreamingReplay&) = delete;
+
+  // Partitions and enqueues one chunk; blocks while any target shard queue
+  // is full (backpressure toward the ingest source).
+  void Feed(std::vector<PacketRecord> chunk);
+
+  // Blocks until all fed work has been delivered to the sinks.
+  void WaitIdle();
+
+  // Drains remaining work and joins the shard threads. Idempotent; the
+  // destructor calls it.
+  void Close();
+
+  ReplayReport Report() const;
+
+  // Replicated packets fed so far (chunk packets × amplification).
+  uint64_t packets_fed() const;
+
+  // Chunks enqueued or in progress — the shed signal for overload mode.
+  size_t Backlog() const;
+
+ private:
+  struct Work {
+    std::shared_ptr<const std::vector<PacketRecord>> chunk;
+    std::vector<uint64_t> ids;  // chunk-local index * amplification + replica
+  };
+  void ShardLoop(size_t s);
+
+  const ReplayOptions options_;
+  const std::vector<PacketSink*> sinks_;
+  const std::vector<const ReplayObs*> shard_obs_;
+  const std::function<uint32_t(const PacketRecord&)> shard_of_;
+  const size_t max_queue_;
+  const uint32_t amp_;
+  const double speedup_;
+
+  // Written once by the feeder before the first enqueue; shard threads only
+  // observe it through the queue's mutex edge.
+  uint64_t base_ts_ = 0;
+  bool base_ts_set_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // shards wait: work or closing
+  std::condition_variable space_cv_;  // feeder waits: queue space / idle
+  std::vector<std::deque<Work>> queues_;
+  size_t in_flight_ = 0;  // queued or being replayed
+  uint64_t packets_fed_ = 0;
+  bool closing_ = false;
+  bool closed_ = false;
+  std::vector<ReplayReport> shard_reports_;
+  std::vector<std::thread> threads_;
+};
+
+// Replays `trace` into sinks.size() shards, one thread per shard, by
+// feeding the whole trace through a StreamingReplay in fixed-size chunks.
+// `shard_of` maps a fully-formed replica record to its shard (must return
+// values in [0, sinks.size()) and be pure — it is called once per record
+// during chunk partitioning). `shard_obs` is either empty or one entry per
+// shard (entries may be null); each shard's obs must use a distinct
+// trace/clock lane. Aggregation across shards is exact (integer sums via
+// MergeFrom).
 ReplayReport ParallelReplay(const Trace& trace, const ReplayOptions& options,
                             const std::vector<PacketSink*>& sinks,
                             const std::vector<const ReplayObs*>& shard_obs,

@@ -306,6 +306,16 @@ void NicCluster::WorkerLoop(size_t index) {
         break;
       }
       case WorkerMessage::Kind::kFlush: {
+        if (msg.drain_only) {
+          // Epoch-boundary barrier: the queue ahead of this marker is drained
+          // (we are processing it), so just fold the obs deltas and release —
+          // the member NIC's half-built groups carry into the next epoch.
+          block.Flush();
+          std::lock_guard<std::mutex> lock(flush_mu_);
+          --flush_pending_;
+          flush_cv_.notify_all();
+          break;
+        }
         {
           obs::TraceRecorder::Span span(trace, lane, "worker", "member_flush");
           if (msg.abandon) {
@@ -634,8 +644,19 @@ void NicCluster::AccountCrashedMembers() {
 }
 
 Status NicCluster::FlushWithDeadline(uint64_t timeout_ms) {
+  return BarrierWithDeadline(timeout_ms, /*drain_only=*/false);
+}
+
+Status NicCluster::DrainWithDeadline(uint64_t timeout_ms) {
+  return BarrierWithDeadline(timeout_ms, /*drain_only=*/true);
+}
+
+Status NicCluster::BarrierWithDeadline(uint64_t timeout_ms, bool drain_only) {
   FaultInjector* injector = options_.injector;
   if (workers_.empty()) {
+    if (drain_only) {
+      return Status::Ok();  // Inline dispatch: nothing queued, nothing to drain.
+    }
     AccountCrashedMembers();
     for (size_t i = 0; i < nics_.size(); ++i) {
       if (injector != nullptr && injector->MemberDeadAtFlush(static_cast<uint32_t>(i))) {
@@ -652,9 +673,11 @@ Status NicCluster::FlushWithDeadline(uint64_t timeout_ms) {
   // Flush(). Markers bypass the capacity bound so the barrier cannot wedge
   // behind a full queue.
   obs::TraceRecorder::Span span(options_.trace, options_.trace_lane_base, "cluster",
-                                "flush_barrier");
+                                drain_only ? "drain_barrier" : "flush_barrier");
   default_producer_->Close();
-  AccountCrashedMembers();
+  if (!drain_only) {
+    AccountCrashedMembers();
+  }
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   {
@@ -677,8 +700,9 @@ Status NicCluster::FlushWithDeadline(uint64_t timeout_ms) {
   for (size_t i = 0; i < workers_.size(); ++i) {
     WorkerMessage msg;
     msg.kind = WorkerMessage::Kind::kFlush;
-    msg.abandon =
-        injector != nullptr && injector->MemberDeadAtFlush(static_cast<uint32_t>(i));
+    msg.drain_only = drain_only;
+    msg.abandon = !drain_only && injector != nullptr &&
+                  injector->MemberDeadAtFlush(static_cast<uint32_t>(i));
     workers_[i]->queue.PushUnbounded(std::move(msg));
   }
   std::unique_lock<std::mutex> lock(flush_mu_);

@@ -244,6 +244,16 @@ class NicCluster : public MgpvSink {
   // emitting it (counted in groups_abandoned).
   Status FlushWithDeadline(uint64_t timeout_ms);
 
+  // Barrier without the flush: drains every queue and folds worker-side obs
+  // deltas so registry/stat reads are exact, but leaves each member NIC's
+  // in-progress group state untouched (and does not abandon crashed-member
+  // state — that accounting belongs to the final flush). Daemon mode runs
+  // this at every rolling-epoch boundary; the final epoch uses
+  // FlushWithDeadline() as always, which is what makes concatenated epoch
+  // exports equal a one-shot run. Serial mode is a no-op (dispatch is
+  // inline, nothing is queued).
+  Status DrainWithDeadline(uint64_t timeout_ms);
+
   size_t size() const { return nics_.size(); }
   const FeNic& nic(size_t i) const { return *nics_[i]; }
   const NicClusterOptions& options() const { return options_; }
@@ -292,6 +302,10 @@ class NicCluster : public MgpvSink {
     FgSyncMessage sync;
     uint64_t fence_id = 0;  // kFenceMark / kFenceWait.
     bool abandon = false;   // kFlush: discard state instead of emitting.
+    // kFlush: barrier-only — drain the queue and fold obs deltas, but do
+    // NOT flush (or abandon) the member NIC's feature state. Daemon epoch
+    // boundaries use this so partial groups carry across epochs.
+    bool drain_only = false;
   };
 
   struct Worker {
@@ -355,6 +369,8 @@ class NicCluster : public MgpvSink {
   void PushFence(size_t from, size_t to, uint32_t trace_lane);
   // Counts members dead at flush into FaultStats exactly once per cluster.
   void AccountCrashedMembers();
+  // Shared body of FlushWithDeadline / DrainWithDeadline.
+  Status BarrierWithDeadline(uint64_t timeout_ms, bool drain_only);
   // Serial-mode fault routing (same decisions as Producer::FaultRoute,
   // minus fences — inline dispatch already preserves order).
   bool SerialFaultRoute(const MgpvReport& report, size_t& target);

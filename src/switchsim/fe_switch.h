@@ -61,6 +61,14 @@ class FeSwitch : public PacketSink {
   // Drains the cache at end of run.
   void Flush();
 
+  // Closes a rolling epoch (daemon mode): folds this switch's batch-local
+  // obs deltas, then rotates the cache's epoch. No state is evicted. Call
+  // at quiescence.
+  MgpvEpochInfo RotateMgpvEpoch() {
+    block_.Flush();
+    return cache_->RotateEpoch();
+  }
+
   const FeSwitchStats& stats() const { return stats_; }
   const MgpvCache& cache() const { return *cache_; }
   MgpvCache& mutable_cache() { return *cache_; }

@@ -73,6 +73,8 @@ MgpvObs MgpvObs::Create(obs::MetricsRegistry* registry, obs::TraceRecorder* trac
   }
   o.live_entries = registry->GetGauge("superfe_mgpv_live_entries", instance_labels,
                                       "Occupied MGPV short-buffer entries");
+  o.epoch = registry->GetGauge("superfe_mgpv_epoch", instance_labels,
+                               "Rolling-epoch counter of this MGPV instance");
   if (profile) {
     o.cycles = registry->GetCounter("superfe_cycles_total", {{"stage", "mgpv"}},
                                     "Measured worker cycles by pipeline stage");
@@ -376,6 +378,24 @@ void MgpvCache::Flush() {
   live_entries_ = 0;
   obs::Set(local_.live_entries, 0.0);
   block_.Flush();
+}
+
+MgpvEpochInfo MgpvCache::RotateEpoch() {
+  // Accounting boundary only: fold the hot-tier deltas so a boundary read
+  // of the registry is exact, then snapshot. No evictions — the cache's
+  // state is bounded by construction (fixed buffers + aging), so carrying
+  // batches across epochs costs nothing and preserves one-shot exactness.
+  block_.Flush();
+  ++epoch_;
+  obs::Set(obs_.epoch, static_cast<double>(epoch_));
+  MgpvEpochInfo info;
+  info.epoch = epoch_;
+  info.occupancy = Occupancy();
+  info.live_entries = live_entries_;
+  info.free_long_buffers = free_long_.size();
+  info.trace_now_ns = now_ns_;
+  info.stats = stats_;
+  return info;
 }
 
 double MgpvCache::Occupancy() const {

@@ -42,6 +42,9 @@ struct MgpvObs {
   obs::Counter* evictions[5] = {};  // Indexed by EvictReason.
   obs::Histogram* report_cells = nullptr;
   obs::Gauge* live_entries = nullptr;  // Valid short-buffer entries, live.
+  // Rolling-epoch counter of this cache instance (daemon mode); bumped by
+  // RotateEpoch(). Per-instance like live_entries.
+  obs::Gauge* epoch = nullptr;
   // Batch residency (first ingest -> eviction, trace-time ns) per eviction
   // cause; observed at the same site as the eviction counters, so each
   // cause's residency count equals its eviction count. Null unless latency
@@ -149,6 +152,19 @@ struct MgpvStats {
   }
 };
 
+// Snapshot taken at a rolling-epoch boundary (daemon mode). The epoch is an
+// accounting boundary, NOT a flush: cached batches carry across it (bounded
+// by construction — fixed buffers plus aging), which is what keeps
+// concatenated epoch exports identical to a one-shot run.
+struct MgpvEpochInfo {
+  uint64_t epoch = 0;  // 1-based index of the epoch just closed.
+  double occupancy = 0.0;
+  uint64_t live_entries = 0;
+  uint64_t free_long_buffers = 0;
+  uint64_t trace_now_ns = 0;  // Trace-time position at rotation.
+  MgpvStats stats;            // Cumulative (not per-epoch deltas).
+};
+
 class MgpvCache {
  public:
   MgpvCache(const MgpvConfig& config, MgpvSink* sink);
@@ -175,6 +191,14 @@ class MgpvCache {
     fault_ = injector;
     fault_shard_ = shard;
   }
+
+  // Closes the current rolling epoch: folds the batch-local obs deltas into
+  // the registry (so boundary reads are exact), bumps the epoch gauge, and
+  // returns a state snapshot. Deliberately does NOT evict anything — see
+  // MgpvEpochInfo. Call at quiescence (the cache is single-threaded).
+  MgpvEpochInfo RotateEpoch();
+
+  uint64_t epoch() const { return epoch_; }
 
   // Occupied entries / total entries.
   double Occupancy() const;
@@ -252,6 +276,7 @@ class MgpvCache {
   std::vector<FgSlot> fg_table_;
 
   uint64_t now_ns_ = 0;
+  uint64_t epoch_ = 0;
   uint32_t scan_cursor_ = 0;
   uint32_t pressure_cursor_ = 0;  // Separate cursor for PressureEvict scans.
 

@@ -38,6 +38,15 @@ void ShardedFeSwitch::Flush() {
   }
 }
 
+std::vector<MgpvEpochInfo> ShardedFeSwitch::RotateEpochs() {
+  std::vector<MgpvEpochInfo> infos;
+  infos.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    infos.push_back(shard->RotateMgpvEpoch());
+  }
+  return infos;
+}
+
 FeSwitchStats ShardedFeSwitch::AggregateSwitchStats() const {
   FeSwitchStats total;
   for (const auto& shard : shards_) {

@@ -58,6 +58,10 @@ class ShardedFeSwitch {
   // threads have joined (flush is not concurrency-safe against inserts).
   void Flush();
 
+  // Rotates every shard's rolling epoch, in shard order (daemon mode).
+  // Same quiescence requirement as Flush(); no state is evicted.
+  std::vector<MgpvEpochInfo> RotateEpochs();
+
   // Exact sums over per-shard stats (integer adds, order-independent).
   FeSwitchStats AggregateSwitchStats() const;
   MgpvStats AggregateMgpvStats() const;

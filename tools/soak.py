@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Daemon soak gate (docs/ROBUSTNESS.md, "Daemon mode").
+
+Runs `superfe_run --daemon` on an endlessly looped trace under a fault plan
+and asserts the continuous-operation contract:
+
+  * every epoch boundary reconciles exactly:
+      cells_offered == cells_processed + cells_shed
+                       + cells_lost_failover + cells_dropped_overflow
+    (re-derived from the raw epochs.jsonl counters, not just the daemon's
+    own `reconciled` verdict)
+  * /healthz walks ok -> degraded/stalled -> ok as the fault plan bites and
+    failover settles (asserted from /status's recorded transitions, so a
+    short 503 window cannot be missed between polls)
+  * MGPV occupancy stays bounded across epochs (no monotone growth)
+  * SIGTERM mid-ingest drains cleanly: in-flight work is flushed, the final
+    epoch reconciles, and the process exits with the documented drain code
+
+Exit 0 if the soak passes, 1 with a failure report otherwise. Stdlib only.
+
+Usage:
+  tools/soak.py --binary build/tools/superfe_run [--seconds 60]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+EXIT_DRAINED = 6  # superfe_run's "clean signal drain" exit code.
+PORT_RE = re.compile(r"telemetry: listening on 127\.0\.0\.1:(\d+)")
+
+RECONCILE_PARTS = (
+    "cells_processed",
+    "cells_shed",
+    "cells_lost_failover",
+    "cells_dropped_overflow",
+)
+
+
+def http_get(port, path, timeout=2.0):
+    """Body of GET on the daemon's telemetry port, or None on failure.
+
+    /healthz answers 503 while degraded — that is a valid, readable body,
+    not a failure.
+    """
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as e:
+        return e.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, OSError):
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", default="build/tools/superfe_run",
+                        help="path to the superfe_run binary")
+    parser.add_argument("--policy", default="examples/policies/basic_stats.sfe")
+    parser.add_argument("--fault-plan", default="examples/faults/chaos_smoke.plan")
+    parser.add_argument("--seconds", type=float, default=60.0,
+                        help="soak duration before SIGTERM")
+    parser.add_argument("--epoch-ms", type=int, default=2000,
+                        help="wall-clock epoch rotation period")
+    parser.add_argument("--packets", type=int, default=60000,
+                        help="generated trace size (looped endlessly)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--epoch-dir", default=None,
+                        help="keep epoch exports here (default: a temp dir)")
+    args = parser.parse_args()
+
+    failures = []
+
+    def check(ok, what):
+        print(("  ok  " if ok else "  FAIL") + f"  {what}")
+        if not ok:
+            failures.append(what)
+        return ok
+
+    epoch_dir = args.epoch_dir or tempfile.mkdtemp(prefix="superfe_soak_")
+    pathlib.Path(epoch_dir).mkdir(parents=True, exist_ok=True)
+
+    cmd = [
+        args.binary, args.policy,
+        "--daemon", "--loop", "0",
+        "--profile", "enterprise", "--packets", str(args.packets),
+        "--switch-shards", str(args.shards), "--workers", str(args.workers),
+        "--epoch-packets", "0", "--epoch-ms", str(args.epoch_ms),
+        "--epoch-dir", epoch_dir,
+        "--fault-plan", args.fault_plan,
+        "--telemetry-port", "0",
+        "--telemetry-linger-ms", "0",
+    ]
+    print("soak:", " ".join(cmd))
+    print("soak: epoch exports in", epoch_dir)
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
+
+    # Drain stderr on a thread (the daemon logs per-epoch lines; a full pipe
+    # would wedge it) and fish the telemetry port out of the banner.
+    stderr_lines = []
+    port_found = threading.Event()
+    port_box = {}
+
+    def pump_stderr():
+        for line in proc.stderr:
+            stderr_lines.append(line)
+            m = PORT_RE.search(line)
+            if m and not port_found.is_set():
+                port_box["port"] = int(m.group(1))
+                port_found.set()
+
+    pump = threading.Thread(target=pump_stderr, daemon=True)
+    pump.start()
+
+    if not port_found.wait(timeout=15.0) or proc.poll() is not None:
+        proc.kill()
+        proc.wait()
+        sys.stderr.write("".join(stderr_lines))
+        print("soak: FAIL — daemon never announced its telemetry port")
+        return 1
+    port = port_box["port"]
+    print(f"soak: telemetry on port {port}, running {args.seconds:.0f}s")
+
+    # Poll /healthz through the soak. The authoritative trajectory check
+    # reads /status's transition log afterwards; live polling is still
+    # worthwhile as a liveness probe (a wedged daemon stops answering).
+    health_seen = set()
+    deadline = time.monotonic() + args.seconds
+    alive = True
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            alive = False
+            break
+        body = http_get(port, "/healthz")
+        if body is not None:
+            health_seen.add(body.strip())
+        time.sleep(0.25)
+
+    if not check(alive, "daemon stayed up for the full soak"):
+        proc.kill()
+        proc.wait()
+        sys.stderr.write("".join(stderr_lines))
+        return 1
+
+    status_raw = http_get(port, "/status", timeout=5.0)
+    status = None
+    if status_raw:
+        try:
+            status = json.loads(status_raw)
+        except json.JSONDecodeError:
+            pass
+    check(status is not None, "/status answered with parseable JSON")
+
+    print(f"soak: sending SIGTERM to pid {proc.pid}")
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        rc = None
+    pump.join(timeout=5.0)
+
+    check(rc == EXIT_DRAINED,
+          f"SIGTERM drain exit code == {EXIT_DRAINED} (got {rc})")
+
+    # ---- Per-epoch reconciliation, re-derived from raw counters ----
+    jsonl_path = os.path.join(epoch_dir, "epochs.jsonl")
+    epochs = []
+    try:
+        with open(jsonl_path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if line:
+                    epochs.append((line_no, json.loads(line)))
+    except (OSError, json.JSONDecodeError) as e:
+        check(False, f"epochs.jsonl readable and well-formed ({e})")
+        epochs = []
+
+    min_epochs = max(3, int(args.seconds * 1000 / args.epoch_ms / 2))
+    check(len(epochs) >= min_epochs,
+          f"enough epoch boundaries observed ({len(epochs)} >= {min_epochs})")
+
+    bad = 0
+    fault_epochs = 0
+    for line_no, e in epochs:
+        total = sum(e[k] for k in RECONCILE_PARTS)
+        if e["cells_offered"] != total or not e["reconciled"]:
+            bad += 1
+            print(f"  FAIL  epoch {e.get('epoch')} (line {line_no}): "
+                  f"offered={e['cells_offered']} != "
+                  f"{' + '.join(str(e[k]) for k in RECONCILE_PARTS)}")
+        if e.get("fault_active"):
+            fault_epochs += 1
+    check(bad == 0, f"every epoch boundary reconciled ({len(epochs)} epochs)")
+    check(fault_epochs > 0, "the fault plan actually bit in some epoch")
+    check(bool(epochs) and epochs[-1][1].get("final") is True,
+          "final drain epoch present and flushed")
+
+    occupancies = [e["mgpv_occupancy"] for _, e in epochs]
+    check(bool(occupancies) and max(occupancies) < 0.99,
+          f"MGPV occupancy bounded (max {max(occupancies or [0]):.3f})")
+
+    # Per-epoch CSV exports exist and are non-trivial.
+    csvs = sorted(pathlib.Path(epoch_dir).glob("epoch_*.csv"))
+    check(len(csvs) == len(epochs),
+          f"one CSV export per epoch ({len(csvs)} files, {len(epochs)} epochs)")
+    check(all(p.stat().st_size > 0 for p in csvs), "epoch CSVs non-empty")
+
+    # ---- Health trajectory: ok -> degraded/stalled -> ok ----
+    transitions = (status or {}).get("health", {}).get("transitions", [])
+    trajectory = ["ok"] + [t.get("to") for t in transitions]
+    went_unhealthy = any(s in ("degraded", "stalled") for s in trajectory)
+    recovered = went_unhealthy and trajectory[-1] == "ok"
+    check(went_unhealthy,
+          f"health marked degraded/stalled under faults (trajectory {trajectory})")
+    check(recovered, f"health recovered to ok after failover (trajectory {trajectory})")
+    check("ok" in health_seen, f"/healthz polled ok at least once (saw {health_seen})")
+
+    if failures:
+        print(f"soak: FAIL — {len(failures)} check(s) failed")
+        for f in failures:
+            print("   -", f)
+        return 1
+    print(f"soak: PASS — {len(epochs)} epochs, all reconciled, "
+          f"trajectory {trajectory}, clean drain (exit {EXIT_DRAINED})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,28 +11,42 @@
 //               [--obs-batch N] [--profile-cycles]
 //               [--telemetry-port P] [--telemetry-linger-ms N]
 //               [--fault-plan FILE] [--flush-timeout-ms N] [--watchdog-ms N]
+//               [--daemon] [--loop N] [--listen tcp:P|udp:P]
+//               [--chunk-packets N] [--epoch-packets N] [--epoch-ms N]
+//               [--epoch-dir DIR] [--max-seconds N] [--max-epochs N]
+//               [--shed-after N] [--drain-timeout-ms N]
 //
 // Exit codes:
 //   0  success
 //   1  export/output write failure
 //   2  usage error
 //   3  invalid configuration (policy parse/compile error, bad fault plan,
-//      unknown profile)
+//      unknown profile, bad --listen spec)
 //   4  unreadable trace (pcap open/decode failure)
 //   5  degraded completion (a fault plan ran and the pipeline shed/lost/
 //      abandoned work or missed a flush deadline — outputs are still the
-//      exact reconciled remainder)
+//      exact reconciled remainder; in daemon mode also an epoch that failed
+//      reconciliation or a drain that missed its deadline)
+//   6  daemon clean drain on signal (SIGTERM/SIGINT arrived, ingest stopped,
+//      every epoch reconciled, and the final flush met its deadline — the
+//      documented graceful-shutdown success code)
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/json_writer.h"
 #include "core/runtime.h"
+#include "net/ingest.h"
 #include "net/pcap.h"
 #include "net/trace_gen.h"
 #include "policy/parser.h"
@@ -72,7 +86,27 @@ int Usage() {
                "                   [--no-batch-kernels]   per-cell scalar execution (skip\n"
                "                                          the SoA batch feature kernels)\n"
                "                   [--compensated-batch]  Neumaier-compensated batch sums\n"
-               "                                          for double-valued reducers\n");
+               "                                          for double-valued reducers\n"
+               "                   [--daemon]             continuous operation: streaming\n"
+               "                                          ingest + rolling MGPV epochs +\n"
+               "                                          SIGTERM/SIGINT graceful drain\n"
+               "                   [--loop N]             replay the trace N times (0 with\n"
+               "                                          --daemon = until stopped)\n"
+               "                   [--listen tcp:P|udp:P] daemon ingest from a loopback\n"
+               "                                          socket instead of the trace\n"
+               "                                          (0 = ephemeral port)\n"
+               "                   [--chunk-packets N]    ingest chunk size (default 8192)\n"
+               "                   [--epoch-packets N]    rotate an epoch every N replayed\n"
+               "                                          packets (default 262144; 0 = off)\n"
+               "                   [--epoch-ms N]         also rotate every N wall ms\n"
+               "                   [--epoch-dir DIR]      per-epoch feature CSVs\n"
+               "                                          (epoch_NNNNN.csv) + epochs.jsonl\n"
+               "                   [--max-seconds N]      stop ingesting after N seconds\n"
+               "                   [--max-epochs N]       stop after N rotated epochs\n"
+               "                   [--shed-after N]       shed ingest chunks whole once the\n"
+               "                                          replay backlog reaches N chunks\n"
+               "                                          (0 = lossless backpressure)\n"
+               "                   [--drain-timeout-ms N] epoch drain-barrier deadline\n");
   return 2;
 }
 
@@ -81,29 +115,44 @@ constexpr int kExitExportFailure = 1;
 constexpr int kExitInvalidConfig = 3;
 constexpr int kExitUnreadableTrace = 4;
 constexpr int kExitDegraded = 5;
+constexpr int kExitDrained = 6;
+
+// Raised by the SIGTERM/SIGINT handler (daemon mode); the daemon loop polls
+// it between chunks and starts the graceful drain.
+std::atomic<int> g_stop{0};
+
+void StopHandler(int sig) { g_stop.store(sig, std::memory_order_relaxed); }
+
+void WriteCsvHeader(std::ostream& out, const NicProgram& program) {
+  out << "group,timestamp_ns";
+  for (const auto& slot : program.layout) {
+    if (slot.Width() == 1) {
+      out << "," << slot.Name();
+    } else {
+      for (uint32_t i = 0; i < slot.Width(); ++i) {
+        out << "," << slot.Name() << "[" << i << "]";
+      }
+    }
+  }
+  out << "\n";
+}
+
+void WriteCsvRow(std::ostream& out, const FeatureVector& vector) {
+  out << vector.group.ToString() << "," << vector.timestamp_ns;
+  for (double v : vector.values) {
+    out << "," << v;
+  }
+  out << "\n";
+}
 
 class CsvSink : public FeatureSink {
  public:
   CsvSink(std::ostream& out, const NicProgram& program) : out_(out) {
-    out_ << "group,timestamp_ns";
-    for (const auto& slot : program.layout) {
-      if (slot.Width() == 1) {
-        out_ << "," << slot.Name();
-      } else {
-        for (uint32_t i = 0; i < slot.Width(); ++i) {
-          out_ << "," << slot.Name() << "[" << i << "]";
-        }
-      }
-    }
-    out_ << "\n";
+    WriteCsvHeader(out_, program);
   }
 
   void OnFeatureVector(FeatureVector&& vector) override {
-    out_ << vector.group.ToString() << "," << vector.timestamp_ns;
-    for (double v : vector.values) {
-      out_ << "," << v;
-    }
-    out_ << "\n";
+    WriteCsvRow(out_, vector);
     ++count_;
   }
 
@@ -113,6 +162,62 @@ class CsvSink : public FeatureSink {
   std::ostream& out_;
   uint64_t count_ = 0;
 };
+
+// Daemon-mode sink for --epoch-dir: one CSV file per rolling epoch, swapped
+// at the (quiescent) epoch boundary by the on_epoch callback. Vectors that
+// arrive between boundaries all land in the currently open file.
+class RotatingCsvSink : public FeatureSink {
+ public:
+  explicit RotatingCsvSink(const NicProgram& program) : program_(program) {}
+
+  bool OpenEpochFile(const std::string& path) {
+    file_.close();
+    file_.clear();
+    file_.open(path);
+    if (!file_) {
+      return false;
+    }
+    WriteCsvHeader(file_, program_);
+    return true;
+  }
+
+  void OnFeatureVector(FeatureVector&& vector) override {
+    WriteCsvRow(file_, vector);
+    ++count_;
+  }
+
+  bool ok() const { return file_.good(); }
+  uint64_t count() const { return count_; }
+
+ private:
+  const NicProgram& program_;
+  std::ofstream file_;
+  uint64_t count_ = 0;
+};
+
+// One epochs.jsonl line per closed epoch (hand-formatted: JsonWriter
+// pretty-prints, and the soak harness parses this file line by line): the
+// reconciliation ledger asserted at every boundary.
+void WriteEpochJsonl(std::ostream& out, const DaemonEpoch& e) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"epoch\":%llu,\"final\":%s,\"packets\":%llu,\"bytes\":%llu,"
+      "\"cells_offered\":%llu,\"cells_processed\":%llu,\"cells_shed\":%llu,"
+      "\"cells_lost_failover\":%llu,\"cells_dropped_overflow\":%llu,"
+      "\"vectors\":%llu,\"ingest_shed_packets\":%llu,\"reconciled\":%s,"
+      "\"fault_active\":%s,\"mgpv_occupancy\":%.6g,\"mgpv_epoch\":%llu,"
+      "\"wall_ms\":%.3f}",
+      (unsigned long long)e.index, e.final_epoch ? "true" : "false",
+      (unsigned long long)e.packets, (unsigned long long)e.bytes,
+      (unsigned long long)e.cells_offered, (unsigned long long)e.cells_processed,
+      (unsigned long long)e.cells_shed, (unsigned long long)e.cells_lost,
+      (unsigned long long)e.cells_overflow, (unsigned long long)e.vectors,
+      (unsigned long long)e.ingest_shed_packets, e.reconciled ? "true" : "false",
+      e.fault_active ? "true" : "false", e.mgpv_occupancy,
+      (unsigned long long)e.mgpv_epoch, e.wall_ms);
+  out << buf << '\n';
+}
 
 // 9.99 ns / 9.99 us / 9.99 ms / 9.99 s, whichever keeps the mantissa small.
 std::string FormatDuration(double ns) {
@@ -205,6 +310,17 @@ int main(int argc, char** argv) {
   uint32_t watchdog_ms = 0;
   bool no_batch_kernels = false;
   bool compensated_batch = false;
+  bool daemon_mode = false;
+  uint64_t loop = 1;
+  std::string listen_spec;
+  size_t chunk_packets = 8192;
+  uint64_t epoch_packets = 262144;
+  uint64_t epoch_ms = 0;
+  std::string epoch_dir;
+  uint64_t max_seconds = 0;
+  uint64_t max_epochs = 0;
+  size_t shed_after = 0;
+  uint64_t drain_timeout_ms = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
       pcap_path = argv[++i];
@@ -254,9 +370,39 @@ int main(int argc, char** argv) {
       no_batch_kernels = true;
     } else if (std::strcmp(argv[i], "--compensated-batch") == 0) {
       compensated_batch = true;
+    } else if (std::strcmp(argv[i], "--daemon") == 0) {
+      daemon_mode = true;
+    } else if (std::strcmp(argv[i], "--loop") == 0 && i + 1 < argc) {
+      loop = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--chunk-packets") == 0 && i + 1 < argc) {
+      chunk_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--epoch-packets") == 0 && i + 1 < argc) {
+      epoch_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--epoch-ms") == 0 && i + 1 < argc) {
+      epoch_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--epoch-dir") == 0 && i + 1 < argc) {
+      epoch_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-seconds") == 0 && i + 1 < argc) {
+      max_seconds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-epochs") == 0 && i + 1 < argc) {
+      max_epochs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shed-after") == 0 && i + 1 < argc) {
+      shed_after = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0 && i + 1 < argc) {
+      drain_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
     } else {
       return Usage();
     }
+  }
+  if (loop == 0 && !daemon_mode) {
+    std::fprintf(stderr, "--loop 0 (run until stopped) requires --daemon\n");
+    return Usage();
+  }
+  if (!listen_spec.empty() && !daemon_mode) {
+    std::fprintf(stderr, "--listen requires --daemon\n");
+    return Usage();
   }
 
   std::ifstream in(policy_path);
@@ -300,6 +446,12 @@ int main(int argc, char** argv) {
       return kExitInvalidConfig;
     }
     trace = GenerateTrace(profile, packets, seed);
+  }
+  if (!daemon_mode && loop > 1) {
+    // One-shot looped replay: materialize the exact stream a daemon's
+    // LoopedTraceSource produces over `loop` loops — the byte-identity
+    // oracle for daemon epoch exports (CI's daemon smoke diffs the two).
+    trace = LoopedTraceSource::Materialize(trace, loop);
   }
 
   RuntimeConfig config;
@@ -355,6 +507,190 @@ int main(int argc, char** argv) {
     std::fflush(stderr);
   }
 
+  const auto write_export = [&](const std::string& path, auto writer_fn) -> bool {
+    if (path.empty()) {
+      return true;
+    }
+    std::ofstream export_file(path);
+    if (!export_file || !writer_fn(export_file)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  };
+  const auto write_obs_exports = [&]() -> bool {
+    bool ok = true;
+    ok &= write_export(metrics_json_path, [&](std::ostream& os) {
+      return (*runtime)->WriteMetricsJson(os);
+    });
+    ok &= write_export(metrics_prom_path, [&](std::ostream& os) {
+      return (*runtime)->WriteMetricsProm(os);
+    });
+    ok &= write_export(trace_out_path, [&](std::ostream& os) {
+      return (*runtime)->WriteTraceJson(os);
+    });
+    ok &= write_export(samples_out_path, [&](std::ostream& os) {
+      return (*runtime)->WriteSamplesJson(os);
+    });
+    return ok;
+  };
+
+  if (daemon_mode) {
+    // ---- Continuous-operation mode (docs/ROBUSTNESS.md, "Daemon mode") ----
+    std::unique_ptr<PacketSource> source;
+    bool socket_ingest = false;
+    if (!listen_spec.empty()) {
+      SocketSourceOptions sopt;
+      const size_t colon = listen_spec.find(':');
+      const std::string proto =
+          colon == std::string::npos ? listen_spec : listen_spec.substr(0, colon);
+      if (proto == "udp") {
+        sopt.udp = true;
+      } else if (proto != "tcp") {
+        std::fprintf(stderr, "bad --listen spec '%s' (want tcp:PORT or udp:PORT)\n",
+                     listen_spec.c_str());
+        return kExitInvalidConfig;
+      }
+      if (colon != std::string::npos) {
+        sopt.port = static_cast<uint16_t>(
+            std::strtoul(listen_spec.c_str() + colon + 1, nullptr, 10));
+      }
+      auto opened = SocketSource::Open(sopt);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "listen error: %s\n", opened.status().ToString().c_str());
+        return kExitInvalidConfig;
+      }
+      // Scripts parse this line to find an ephemeral port; keep it stable.
+      std::fprintf(stderr, "ingest: listening on 127.0.0.1:%u (%s)\n",
+                   (*opened)->port(), sopt.udp ? "udp" : "tcp");
+      std::fflush(stderr);
+      socket_ingest = true;
+      source = std::move(opened).value();
+    } else {
+      source = std::make_unique<LoopedTraceSource>(&trace, loop);
+    }
+    std::signal(SIGTERM, StopHandler);
+    std::signal(SIGINT, StopHandler);
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    std::unique_ptr<CsvSink> csv;
+    std::unique_ptr<RotatingCsvSink> rotating;
+    std::ofstream jsonl;
+    bool epoch_files_ok = true;
+    FeatureSink* sink = nullptr;
+    const auto epoch_path = [&](uint64_t index) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "epoch_%05llu.csv", (unsigned long long)index);
+      return epoch_dir + "/" + name;
+    };
+    if (!epoch_dir.empty()) {
+      rotating = std::make_unique<RotatingCsvSink>((*runtime)->compiled().nic_program);
+      if (!rotating->OpenEpochFile(epoch_path(1))) {
+        std::fprintf(stderr, "cannot write %s\n", epoch_path(1).c_str());
+        return kExitExportFailure;
+      }
+      jsonl.open(epoch_dir + "/epochs.jsonl");
+      if (!jsonl) {
+        std::fprintf(stderr, "cannot write %s/epochs.jsonl\n", epoch_dir.c_str());
+        return kExitExportFailure;
+      }
+      sink = rotating.get();
+    } else {
+      if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file) {
+          std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+          return kExitExportFailure;
+        }
+        out = &file;
+      }
+      csv = std::make_unique<CsvSink>(*out, (*runtime)->compiled().nic_program);
+      sink = csv.get();
+    }
+
+    DaemonConfig dcfg;
+    dcfg.chunk_packets = chunk_packets;
+    dcfg.epoch_packets = epoch_packets;
+    dcfg.epoch_wall_ms = epoch_ms;
+    dcfg.max_seconds = max_seconds;
+    dcfg.max_epochs = max_epochs;
+    dcfg.stop = &g_stop;
+    dcfg.drain_timeout_ms = drain_timeout_ms;
+    dcfg.shed_backlog_chunks = shed_after;
+    // Socket ingest has no packet axis known up front; trace-backed ingest
+    // resolves at_packet fault triggers against the first loop, exactly as
+    // a one-shot run over the same trace would.
+    dcfg.fault_trigger_trace = socket_ingest ? nullptr : &trace;
+    dcfg.on_epoch = [&](const DaemonEpoch& e) {
+      if (jsonl.is_open()) {
+        WriteEpochJsonl(jsonl, e);
+        jsonl.flush();  // A soak supervisor tails this between epochs.
+      }
+      if (rotating != nullptr) {
+        epoch_files_ok = epoch_files_ok && rotating->ok();
+        if (!e.final_epoch) {
+          epoch_files_ok = rotating->OpenEpochFile(epoch_path(e.index + 1)) &&
+                           epoch_files_ok;
+        }
+      }
+    };
+
+    const DaemonReport d = (*runtime)->RunDaemon(*source, sink, dcfg);
+
+    bool exports_ok = write_obs_exports() && epoch_files_ok;
+    exports_ok = exports_ok && (rotating == nullptr || rotating->ok());
+    const uint64_t vectors = rotating != nullptr ? rotating->count() : csv->count();
+    std::fprintf(stderr,
+                 "daemon: %zu epochs (%s) | ingested %llu packets (shed %llu) | "
+                 "replayed %llu | %llu vectors | %.0f ms\n",
+                 d.epochs.size(),
+                 d.all_epochs_reconciled ? "all reconciled" : "RECONCILIATION FAILED",
+                 (unsigned long long)d.packets_ingested,
+                 (unsigned long long)d.packets_shed_ingest,
+                 (unsigned long long)d.run.offered.packets, (unsigned long long)vectors,
+                 d.wall_ms);
+    if (d.run.fault.enabled) {
+      const FaultStats& fs = d.run.fault.stats;
+      std::fprintf(stderr,
+                   "daemon fault: offered %llu = processed %llu + shed %llu + lost "
+                   "%llu + overflow %llu -> %s\n",
+                   (unsigned long long)fs.cells_offered,
+                   (unsigned long long)d.run.fault.cells_processed,
+                   (unsigned long long)fs.cells_shed,
+                   (unsigned long long)fs.cells_lost_to_failover,
+                   (unsigned long long)d.run.fault.overflow_cells_dropped,
+                   d.run.fault.reconciled ? "reconciled" : "NOT RECONCILED");
+    }
+    if (d.stopped_by_signal) {
+      std::fprintf(stderr, "daemon: signal %d -> %s drain\n", d.signal,
+                   d.drained ? "clean" : "FAILED");
+    }
+    if (telemetry_linger_ms > 0 && (*runtime)->telemetry() != nullptr) {
+      std::fprintf(stderr, "telemetry: lingering %llu ms before exit\n",
+                   (unsigned long long)telemetry_linger_ms);
+      std::fflush(stderr);
+    }
+    // Explicit drain-then-linger shutdown: the sampler and telemetry server
+    // outlive the final epoch flush and stop here, in order, not via the
+    // runtime destructor chain.
+    (*runtime)->FinishTelemetry(telemetry_linger_ms);
+    if (!exports_ok) {
+      return kExitExportFailure;
+    }
+    if (!d.drained || !d.all_epochs_reconciled) {
+      return kExitDegraded;
+    }
+    if (d.stopped_by_signal) {
+      // Clean signal-initiated drain: distinct from both success (the run
+      // was cut short) and degradation (nothing was lost). Takes precedence
+      // over per-epoch fault marks — a chaos soak that drains cleanly and
+      // reconciles every epoch exits 6, not 5.
+      return kExitDrained;
+    }
+    return d.run.fault.enabled && d.run.fault.degraded ? kExitDegraded : 0;
+  }
+
   std::ofstream file;
   std::ostream* out = &std::cout;
   if (!out_path.empty()) {
@@ -368,30 +704,7 @@ int main(int argc, char** argv) {
   CsvSink sink(*out, (*runtime)->compiled().nic_program);
   const RunReport run = (*runtime)->Run(trace, &sink);
 
-  const auto write_export = [&](const std::string& path, auto writer_fn) -> bool {
-    if (path.empty()) {
-      return true;
-    }
-    std::ofstream export_file(path);
-    if (!export_file || !writer_fn(export_file)) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return false;
-    }
-    return true;
-  };
-  bool exports_ok = true;
-  exports_ok &= write_export(metrics_json_path, [&](std::ostream& os) {
-    return (*runtime)->WriteMetricsJson(os);
-  });
-  exports_ok &= write_export(metrics_prom_path, [&](std::ostream& os) {
-    return (*runtime)->WriteMetricsProm(os);
-  });
-  exports_ok &= write_export(trace_out_path, [&](std::ostream& os) {
-    return (*runtime)->WriteTraceJson(os);
-  });
-  exports_ok &= write_export(samples_out_path, [&](std::ostream& os) {
-    return (*runtime)->WriteSamplesJson(os);
-  });
+  const bool exports_ok = write_obs_exports();
 
   if (report || !out_path.empty()) {
     std::fprintf(stderr,
@@ -467,8 +780,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "telemetry: lingering %llu ms before exit\n",
                  (unsigned long long)telemetry_linger_ms);
     std::fflush(stderr);
-    std::this_thread::sleep_for(std::chrono::milliseconds(telemetry_linger_ms));
   }
+  // Explicit drain-then-linger shutdown ordering (sampler stop -> linger ->
+  // server stop) instead of relying on the runtime destructor chain.
+  (*runtime)->FinishTelemetry(telemetry_linger_ms);
   if (!exports_ok) {
     return kExitExportFailure;
   }
